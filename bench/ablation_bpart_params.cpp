@@ -1,0 +1,91 @@
+// Ablations over BPart's design choices (DESIGN.md §5): the weighting
+// factor c, the score exponent gamma, the over-split factor, the pairing
+// rule, the acceptance threshold tau and the capacity slack. Each sweep
+// varies one knob with the rest at defaults on the Twitter stand-in.
+#include "common.hpp"
+
+#include "partition/bpart.hpp"
+#include "partition/metrics.hpp"
+#include "util/timer.hpp"
+
+using namespace bpart;
+using partition::BPart;
+using partition::BPartConfig;
+using partition::PairingRule;
+
+namespace {
+
+void add_row(Table& table, const std::string& knob, const std::string& value,
+             const graph::Graph& g, const BPartConfig& cfg,
+             partition::PartId k) {
+  Timer t;
+  partition::BPartTrace trace;
+  const auto p = BPart(cfg).partition_traced(g, k, &trace);
+  const double seconds = t.seconds();
+  const auto q = partition::evaluate(g, p);
+  table.row()
+      .cell(knob)
+      .cell(value)
+      .cell(q.vertex_summary.bias)
+      .cell(q.edge_summary.bias)
+      .cell(q.edge_cut_ratio)
+      .cell(static_cast<std::uint64_t>(trace.layers.size()))
+      .cell(seconds);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options opts(argc, argv);
+  const std::string graph_name = opts.get("graph", "twitter");
+  const auto k = static_cast<partition::PartId>(opts.get_int("parts", 8));
+  const graph::Graph g = bench::build_graph(graph_name);
+
+  Table table({"knob", "value", "vertex_bias", "edge_bias", "cut_ratio",
+               "layers", "seconds"});
+
+  add_row(table, "defaults", "-", g, BPartConfig{}, k);
+
+  for (double c : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    BPartConfig cfg;
+    cfg.balance_weight_c = c;
+    add_row(table, "c", std::to_string(c), g, cfg, k);
+  }
+  for (double gamma : {1.1, 1.5, 2.0}) {
+    BPartConfig cfg;
+    cfg.gamma = gamma;
+    add_row(table, "gamma", std::to_string(gamma), g, cfg, k);
+  }
+  for (unsigned oversplit : {2u, 4u, 8u}) {
+    BPartConfig cfg;
+    cfg.oversplit_factor = oversplit;
+    add_row(table, "oversplit", std::to_string(oversplit), g, cfg, k);
+  }
+  {
+    BPartConfig cfg;
+    cfg.pairing = PairingRule::kRank;
+    add_row(table, "pairing", "rank(paper)", g, cfg, k);
+    cfg.pairing = PairingRule::kBestFit;
+    add_row(table, "pairing", "best-fit", g, cfg, k);
+  }
+  for (double tau : {0.02, 0.05, 0.1, 0.2}) {
+    BPartConfig cfg;
+    cfg.balance_threshold = tau;
+    add_row(table, "tau", std::to_string(tau), g, cfg, k);
+  }
+  for (double slack : {1.05, 1.1, 1.2, 1.5}) {
+    BPartConfig cfg;
+    cfg.capacity_slack = slack;
+    add_row(table, "capacity_slack", std::to_string(slack), g, cfg, k);
+  }
+  for (unsigned layers : {1u, 2u, 3u, 5u}) {
+    BPartConfig cfg;
+    cfg.max_layers = layers;
+    add_row(table, "max_layers", std::to_string(layers), g, cfg, k);
+  }
+
+  bench::emit("Ablation: BPart parameters (" + graph_name + ", " +
+                  std::to_string(k) + " parts)",
+              table, "ablation_bpart_params");
+  return 0;
+}

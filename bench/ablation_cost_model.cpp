@@ -1,0 +1,61 @@
+// Ablation: cost-model robustness. Every "time" in this reproduction comes
+// from the cluster cost model, so the paper-level conclusions ("BPart is
+// fastest end to end") must hold across a wide band of cost constants —
+// otherwise they would be artifacts of our chosen numbers. Sweeps the
+// message/compute cost ratio and the barrier latency over two orders of
+// magnitude each and reports the winner per cell.
+#include "common.hpp"
+
+#include <map>
+
+#include "walk/apps.hpp"
+
+using namespace bpart;
+
+int main(int argc, char** argv) {
+  const Options opts(argc, argv);
+  const std::string graph_name = opts.get("graph", "twitter");
+  const auto k = static_cast<partition::PartId>(opts.get_int("parts", 8));
+  const graph::Graph g = bench::build_graph(graph_name);
+
+  std::map<std::string, partition::Partition> parts;
+  for (const std::string algo : {"chunk-v", "fennel", "hash", "bpart"})
+    parts.emplace(algo, bench::run_partitioner(g, algo, k));
+
+  Table table({"message_cost_x", "barrier_x", "algorithm", "total_seconds",
+               "vs_bpart", "bpart_still_fastest"});
+  const cluster::CostModel base;
+  for (double msg_mult : {0.1, 1.0, 10.0}) {
+    for (double barrier_mult : {0.1, 1.0, 10.0}) {
+      cluster::CostModel model = base;
+      model.seconds_per_message = base.seconds_per_message * msg_mult;
+      model.barrier_latency = base.barrier_latency * barrier_mult;
+
+      std::map<std::string, double> seconds;
+      for (const auto& [algo, p] : parts) {
+        walk::WalkConfig cfg;
+        cfg.walks_per_vertex = 5;
+        seconds[algo] =
+            walk::run_walks(g, p, walk::SimpleRandomWalk(4), cfg, model)
+                .run.total_seconds();
+      }
+      const double bpart = seconds.at("bpart");
+      bool fastest = true;
+      for (const auto& [algo, s] : seconds)
+        if (s < bpart) fastest = false;
+      for (const auto& [algo, s] : seconds) {
+        table.row()
+            .cell(msg_mult)
+            .cell(barrier_mult)
+            .cell(algo)
+            .cell(s)
+            .cell(bpart > 0 ? s / bpart : 0.0)
+            .cell(fastest ? "yes" : "no");
+      }
+    }
+  }
+  bench::emit("Ablation: cost-model sensitivity (" + graph_name + ", " +
+                  std::to_string(k) + " machines, random walks)",
+              table, "ablation_cost_model");
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Ablation: heterogeneous machines. The paper assumes identical machines;
+// real clusters have stragglers. This sweep injects per-machine speed
+// profiles into the cost model and asks whether BPart's waiting-time
+// advantage over 1D schemes survives. Expected: the advantage persists but
+// a heterogeneity floor appears — balanced *work* is no longer balanced
+// *time*, so partitioning alone cannot erase a hardware straggler.
+#include "common.hpp"
+
+#include "walk/apps.hpp"
+
+using namespace bpart;
+
+int main(int argc, char** argv) {
+  const Options opts(argc, argv);
+  const std::string graph_name = opts.get("graph", "twitter");
+  const auto k = static_cast<partition::PartId>(opts.get_int("parts", 8));
+  const graph::Graph g = bench::build_graph(graph_name);
+
+  struct Profile {
+    std::string name;
+    std::vector<double> speeds;
+  };
+  const std::vector<Profile> profiles = {
+      {"uniform", {}},
+      {"one_mild_straggler(0.75x)", {1, 1, 1, 1, 1, 1, 1, 0.75}},
+      {"one_hard_straggler(0.5x)", {1, 1, 1, 1, 1, 1, 1, 0.5}},
+      {"linear_spread(1.0..0.65)", {1.0, 0.95, 0.9, 0.85, 0.8, 0.75, 0.7,
+                                    0.65}},
+  };
+
+  Table table({"profile", "algorithm", "wait_ratio", "total_seconds",
+               "vs_bpart"});
+  for (const Profile& profile : profiles) {
+    cluster::CostModel model;
+    model.machine_speed = profile.speeds;
+    double bpart_seconds = 0;
+    struct Row {
+      std::string algo;
+      double wait;
+      double seconds;
+    };
+    std::vector<Row> rows;
+    for (const std::string algo : {"chunk-v", "fennel", "hash", "bpart"}) {
+      const auto p = bench::run_partitioner(g, algo, k);
+      walk::WalkConfig cfg;
+      cfg.walks_per_vertex = 5;
+      const auto report =
+          walk::run_walks(g, p, walk::SimpleRandomWalk(4), cfg, model);
+      rows.push_back(
+          {algo, report.run.wait_ratio(), report.run.total_seconds()});
+      if (algo == "bpart") bpart_seconds = report.run.total_seconds();
+    }
+    for (const Row& r : rows) {
+      table.row()
+          .cell(profile.name)
+          .cell(r.algo)
+          .cell(r.wait)
+          .cell(r.seconds)
+          .cell(bpart_seconds > 0 ? r.seconds / bpart_seconds : 0.0);
+    }
+  }
+  bench::emit("Ablation: straggler profiles (" + graph_name + ", " +
+                  std::to_string(k) + " machines, random walks)",
+              table, "ablation_heterogeneity");
+  return 0;
+}

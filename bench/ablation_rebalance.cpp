@@ -1,0 +1,54 @@
+// Ablation: is two-phase partitioning necessary, or does "any partition +
+// post-hoc rebalancing" reach the same point? Compares BPart against every
+// baseline with the 2D rebalancer applied, on balance, cut and end-to-end
+// walk time. Expected: rebalanced Fennel matches BPart's balance but
+// surrenders part of Fennel's cut advantage (the migrated boundary
+// vertices are exactly its best-connected ones), and rebalanced chunking
+// stays cut-poor — over-split-then-combine earns its keep.
+#include "common.hpp"
+
+#include "partition/metrics.hpp"
+#include "partition/rebalance.hpp"
+#include "walk/apps.hpp"
+
+using namespace bpart;
+
+int main(int argc, char** argv) {
+  const Options opts(argc, argv);
+  const std::string graph_name = opts.get("graph", "twitter");
+  const auto k = static_cast<partition::PartId>(opts.get_int("parts", 8));
+  const graph::Graph g = bench::build_graph(graph_name);
+
+  Table table({"scheme", "vertex_bias", "edge_bias", "cut_ratio",
+               "rebalance_moves", "walk_seconds"});
+
+  auto measure = [&](const std::string& label, partition::Partition p,
+                     std::uint64_t moves) {
+    const auto q = partition::evaluate(g, p);
+    walk::WalkConfig cfg;
+    cfg.walks_per_vertex = 5;
+    const auto walk_report =
+        walk::run_walks(g, p, walk::SimpleRandomWalk(4), cfg);
+    table.row()
+        .cell(label)
+        .cell(q.vertex_summary.bias)
+        .cell(q.edge_summary.bias)
+        .cell(q.edge_cut_ratio)
+        .cell(moves)
+        .cell(walk_report.run.total_seconds());
+  };
+
+  measure("bpart", bench::run_partitioner(g, "bpart", k), 0);
+  for (const std::string algo : {"fennel", "chunk-v", "chunk-e", "ldg"}) {
+    partition::Partition raw = bench::run_partitioner(g, algo, k);
+    measure(algo, raw, 0);
+    partition::Partition balanced = bench::run_partitioner(g, algo, k);
+    const auto stats = partition::rebalance(g, balanced);
+    measure(algo + "+rebalance", std::move(balanced), stats.moves);
+  }
+
+  bench::emit("Ablation: post-hoc rebalancing vs two-phase BPart (" +
+                  graph_name + ", " + std::to_string(k) + " parts)",
+              table, "ablation_rebalance");
+  return 0;
+}

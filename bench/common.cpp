@@ -1,0 +1,90 @@
+#include "common.hpp"
+
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+
+#include "engine/components.hpp"
+#include "engine/pagerank.hpp"
+#include "partition/registry.hpp"
+#include "util/timer.hpp"
+#include "walk/apps.hpp"
+
+namespace bpart::bench {
+
+namespace {
+std::vector<std::string> split_csv(const std::string& csv) {
+  std::vector<std::string> out;
+  std::stringstream ss(csv);
+  std::string item;
+  while (std::getline(ss, item, ','))
+    if (!item.empty()) out.push_back(item);
+  return out;
+}
+}  // namespace
+
+std::vector<std::string> graphs_from(const Options& opts) {
+  return split_csv(opts.get("graphs", "livejournal,twitter,friendster"));
+}
+
+std::vector<unsigned> uint_list_from(const Options& opts,
+                                     const std::string& key,
+                                     const std::string& fallback) {
+  std::vector<unsigned> out;
+  for (const auto& tok : split_csv(opts.get(key, fallback)))
+    out.push_back(static_cast<unsigned>(std::stoul(tok)));
+  return out;
+}
+
+graph::Graph build_graph(const std::string& name) {
+  Timer t;
+  graph::Graph g = graph::build_dataset(graph::dataset_spec(name));
+  std::fprintf(stderr, "[bench] %s: %u vertices, %llu edges (%.1fs)\n",
+               name.c_str(), g.num_vertices(),
+               static_cast<unsigned long long>(g.num_edges()), t.seconds());
+  return g;
+}
+
+partition::Partition run_partitioner(const graph::Graph& g,
+                                     const std::string& algo,
+                                     partition::PartId k, double* seconds) {
+  Timer t;
+  partition::Partition p = partition::create(algo)->partition(g, k);
+  if (seconds != nullptr) *seconds = t.seconds();
+  return p;
+}
+
+const std::vector<std::string>& paper_applications() {
+  static const std::vector<std::string> apps = {
+      "ppr", "rwj", "rwd", "deepwalk", "node2vec", "pagerank", "cc"};
+  return apps;
+}
+
+double app_total_seconds(const graph::Graph& g,
+                         const partition::Partition& parts,
+                         const std::string& app) {
+  if (app == "pagerank") {
+    return engine::pagerank(g, parts).run.total_seconds();
+  }
+  if (app == "cc") {
+    return engine::connected_components(g, parts).run.total_seconds();
+  }
+  const auto walk_app = walk::create_walk_app(app);
+  walk::WalkConfig cfg;
+  cfg.walks_per_vertex = 1;  // the paper starts |V| walks
+  return walk::run_walks(g, parts, *walk_app, cfg).run.total_seconds();
+}
+
+void emit(const std::string& title, const Table& table,
+          const std::string& csv_name) {
+  std::cout << "\n== " << title << " ==\n" << table.to_ascii();
+  const std::string dir = bench_output_dir();
+  if (!dir.empty()) {
+    const std::string path = dir + "/" + csv_name + ".csv";
+    if (table.write_csv(path))
+      std::cout << "(csv: " << path << ")\n";
+  }
+  std::cout.flush();
+}
+
+}  // namespace bpart::bench

@@ -1,0 +1,49 @@
+// Shared plumbing for the paper-reproduction benches: dataset construction,
+// partitioner invocation with timing, and table emission (stdout + CSV).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "graph/datasets.hpp"
+#include "partition/partition.hpp"
+#include "util/options.hpp"
+#include "util/table.hpp"
+
+namespace bpart::bench {
+
+/// Parse --graphs=a,b,c (default: all three paper datasets).
+std::vector<std::string> graphs_from(const Options& opts);
+
+/// Parse --parts=4,8,16 style lists.
+std::vector<unsigned> uint_list_from(const Options& opts,
+                                     const std::string& key,
+                                     const std::string& fallback);
+
+/// Build a dataset by registry name, logging size to stderr.
+graph::Graph build_graph(const std::string& name);
+
+/// Run a partitioner by name; wall-clock seconds go to *seconds if set.
+partition::Partition run_partitioner(const graph::Graph& g,
+                                     const std::string& algo,
+                                     partition::PartId k,
+                                     double* seconds = nullptr);
+
+/// Print the table under a header line and drop a CSV alongside
+/// (bench_out/<csv_name>.csv unless $BPART_OUT_DIR overrides).
+void emit(const std::string& title, const Table& table,
+          const std::string& csv_name);
+
+/// The seven applications of Fig. 14/15, paper order: the five random-walk
+/// algorithms then the two Gemini iteration apps.
+const std::vector<std::string>& paper_applications();
+
+/// Simulated end-to-end seconds of one application under one partition
+/// (walk apps: |V| walkers with each app's paper settings; "pagerank": ten
+/// iterations; "cc": to convergence).
+double app_total_seconds(const graph::Graph& g,
+                         const partition::Partition& parts,
+                         const std::string& app);
+
+}  // namespace bpart::bench

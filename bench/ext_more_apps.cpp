@@ -1,0 +1,59 @@
+// Extension: does Fig. 14's conclusion generalize beyond the paper's seven
+// applications? Runs the three additional engine apps (k-core, label
+// propagation, triangle counting) under every partition scheme and reports
+// normalized runtimes — the same presentation as Fig. 14.
+#include "common.hpp"
+
+#include <map>
+
+#include "engine/kcore.hpp"
+#include "engine/label_propagation.hpp"
+#include "engine/triangles.hpp"
+#include "partition/registry.hpp"
+
+using namespace bpart;
+
+namespace {
+
+double run_app(const graph::Graph& g, const partition::Partition& p,
+               const std::string& app) {
+  if (app == "kcore") return engine::kcore(g, p).run.total_seconds();
+  if (app == "labelprop")
+    return engine::label_propagation_communities(g, p).run.total_seconds();
+  return engine::count_triangles(g, p).run.total_seconds();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options opts(argc, argv);
+  const auto k = static_cast<partition::PartId>(opts.get_int("parts", 8));
+  Options defaulted = opts;
+  if (!opts.has("graphs")) defaulted.set("graphs", "livejournal,twitter");
+
+  Table table({"graph", "application", "algorithm", "seconds",
+               "normalized_to_chunk_v"});
+  for (const std::string& graph_name : bench::graphs_from(defaulted)) {
+    const graph::Graph g = bench::build_graph(graph_name);
+    std::map<std::string, partition::Partition> parts;
+    for (const std::string& algo : partition::paper_algorithms())
+      parts.emplace(algo, bench::run_partitioner(g, algo, k));
+    for (const std::string app : {"kcore", "labelprop", "triangles"}) {
+      std::map<std::string, double> seconds;
+      for (const auto& [algo, p] : parts) seconds[algo] = run_app(g, p, app);
+      const double base = seconds.at("chunk-v");
+      for (const std::string& algo : partition::paper_algorithms()) {
+        table.row()
+            .cell(graph_name)
+            .cell(app)
+            .cell(algo)
+            .cell(seconds.at(algo))
+            .cell(base > 0 ? seconds.at(algo) / base : 0.0);
+      }
+    }
+  }
+  bench::emit("Extension: additional applications, normalized to Chunk-V (" +
+                  std::to_string(k) + " machines)",
+              table, "ext_more_apps");
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Fig. 3 — per-subgraph vertex/edge ratios under Chunk-V, Chunk-E, Fennel
+// (Twitter, 4 subgraphs). The paper's bars show one dimension balanced and
+// the other badly skewed for every 1D scheme; BPart rows are included for
+// contrast.
+#include "common.hpp"
+
+#include "partition/metrics.hpp"
+#include "util/stats.hpp"
+
+using namespace bpart;
+
+int main(int argc, char** argv) {
+  const Options opts(argc, argv);
+  const std::string graph_name = opts.get("graph", "twitter");
+  const auto k = static_cast<partition::PartId>(opts.get_int("parts", 4));
+  const graph::Graph g = bench::build_graph(graph_name);
+
+  Table table({"algorithm", "subgraph", "vertex_ratio", "edge_ratio"});
+  Table gaps({"algorithm", "vertex_gap_max_over_min", "edge_gap_max_over_min"});
+  for (const std::string algo : {"chunk-v", "chunk-e", "fennel", "bpart"}) {
+    const auto p = bench::run_partitioner(g, algo, k);
+    const auto vc = p.vertex_counts();
+    const auto ec = p.edge_counts(g);
+    for (partition::PartId i = 0; i < k; ++i) {
+      table.row()
+          .cell(algo)
+          .cell(static_cast<int>(i))
+          .cell(static_cast<double>(vc[i]) /
+                static_cast<double>(g.num_vertices()))
+          .cell(static_cast<double>(ec[i]) /
+                static_cast<double>(g.num_edges()));
+    }
+    gaps.row()
+        .cell(algo)
+        .cell(stats::max_over_min(stats::to_doubles(vc)))
+        .cell(stats::max_over_min(stats::to_doubles(ec)));
+  }
+  bench::emit("Fig. 3: |Vi|/|V| and |Ei|/|E| per subgraph (" + graph_name +
+                  ", " + std::to_string(k) + " parts)",
+              table, "fig03_ratios");
+  bench::emit("Fig. 3 (summary): max/min gap per dimension", gaps,
+              "fig03_gaps");
+  return 0;
+}

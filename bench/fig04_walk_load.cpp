@@ -1,0 +1,58 @@
+// Fig. 4 — distribution of computing load (walking steps) between machines
+// in each iteration. Paper setting: Twitter, 4 machines, 5 walks per vertex,
+// 4 steps each.
+#include "common.hpp"
+
+#include "util/stats.hpp"
+#include "walk/apps.hpp"
+
+using namespace bpart;
+
+int main(int argc, char** argv) {
+  const Options opts(argc, argv);
+  const std::string graph_name = opts.get("graph", "twitter");
+  const auto k = static_cast<partition::PartId>(opts.get_int("parts", 4));
+  const auto walks =
+      static_cast<unsigned>(opts.get_int("walks-per-vertex", 5));
+  const auto steps = static_cast<unsigned>(opts.get_int("steps", 4));
+  const graph::Graph g = bench::build_graph(graph_name);
+
+  Table table({"algorithm", "iteration", "machine", "steps", "share"});
+  Table bias({"algorithm", "iteration", "load_bias"});
+  for (const std::string algo : {"chunk-v", "chunk-e", "fennel", "bpart"}) {
+    const auto p = bench::run_partitioner(g, algo, k);
+    walk::WalkConfig cfg;
+    cfg.walks_per_vertex = walks;
+    const auto report =
+        walk::run_walks(g, p, walk::SimpleRandomWalk(steps), cfg);
+    for (std::size_t it = 0; it < report.run.iterations.size(); ++it) {
+      const auto& iter = report.run.iterations[it];
+      const auto total = iter.total_work();
+      std::vector<double> loads;
+      for (cluster::MachineId m = 0; m < iter.machines.size(); ++m) {
+        const auto w = iter.machines[m].work_items;
+        loads.push_back(static_cast<double>(w));
+        table.row()
+            .cell(algo)
+            .cell(static_cast<int>(it))
+            .cell(static_cast<int>(m))
+            .cell(w)
+            .cell(total == 0 ? 0.0
+                             : static_cast<double>(w) /
+                                   static_cast<double>(total));
+      }
+      bias.row()
+          .cell(algo)
+          .cell(static_cast<int>(it))
+          .cell(stats::bias(loads));
+    }
+  }
+  bench::emit("Fig. 4: walking steps per machine per iteration (" +
+                  graph_name + ", " + std::to_string(k) + " machines, " +
+                  std::to_string(walks) + "x|V| walks, " +
+                  std::to_string(steps) + " steps)",
+              table, "fig04_walk_load");
+  bench::emit("Fig. 4 (summary): per-iteration load bias", bias,
+              "fig04_load_bias");
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Fig. 5 — (a) edge-cut ratio and (b) total message walks per partition
+// algorithm at 8 subgraphs, 5 walks/vertex x 4 steps. Paper: Chunk-E and
+// Hash cut ~90% and ship >2x the walks Fennel does.
+#include "common.hpp"
+
+#include "partition/metrics.hpp"
+#include "partition/registry.hpp"
+#include "walk/apps.hpp"
+
+using namespace bpart;
+
+int main(int argc, char** argv) {
+  const Options opts(argc, argv);
+  const auto k = static_cast<partition::PartId>(opts.get_int("parts", 8));
+  const auto walks =
+      static_cast<unsigned>(opts.get_int("walks-per-vertex", 5));
+  const auto steps = static_cast<unsigned>(opts.get_int("steps", 4));
+
+  Table table({"graph", "algorithm", "edge_cut_ratio", "message_walks",
+               "messages_normalized_to_fennel"});
+  for (const std::string& graph_name : bench::graphs_from(opts)) {
+    const graph::Graph g = bench::build_graph(graph_name);
+    std::uint64_t fennel_messages = 0;
+    struct Row {
+      std::string algo;
+      double cut;
+      std::uint64_t messages;
+    };
+    std::vector<Row> rows;
+    for (const std::string& algo : partition::paper_algorithms()) {
+      const auto p = bench::run_partitioner(g, algo, k);
+      walk::WalkConfig cfg;
+      cfg.walks_per_vertex = walks;
+      const auto report =
+          walk::run_walks(g, p, walk::SimpleRandomWalk(steps), cfg);
+      rows.push_back(
+          {algo, partition::edge_cut_ratio(g, p), report.message_walks});
+      if (algo == "fennel") fennel_messages = report.message_walks;
+    }
+    for (const Row& r : rows) {
+      table.row()
+          .cell(graph_name)
+          .cell(r.algo)
+          .cell(r.cut)
+          .cell(r.messages)
+          .cell(fennel_messages == 0
+                    ? 0.0
+                    : static_cast<double>(r.messages) /
+                          static_cast<double>(fennel_messages));
+    }
+  }
+  bench::emit("Fig. 5: edge cuts and total message walks (" +
+                  std::to_string(k) + " subgraphs)",
+              table, "fig05_cuts_and_messages");
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Fig. 6 — distribution of |Vi| and |Ei| over 64 small subgraphs under
+// Chunk-V and Chunk-E (Twitter). The paper's point: balancing one dimension
+// leaves the other highly skewed, so no merge of such pieces can fix it.
+#include "common.hpp"
+
+#include "util/stats.hpp"
+
+using namespace bpart;
+
+int main(int argc, char** argv) {
+  const Options opts(argc, argv);
+  const std::string graph_name = opts.get("graph", "twitter");
+  const auto pieces = static_cast<partition::PartId>(
+      opts.get_int("pieces", 64));
+  const graph::Graph g = bench::build_graph(graph_name);
+
+  Table table({"algorithm", "piece", "vertex_ratio", "edge_ratio"});
+  Table summary({"algorithm", "vertex_bias", "edge_bias", "vertex_fairness",
+                 "edge_fairness"});
+  for (const std::string algo : {"chunk-v", "chunk-e"}) {
+    const auto p = bench::run_partitioner(g, algo, pieces);
+    const auto vc = p.vertex_counts();
+    const auto ec = p.edge_counts(g);
+    for (partition::PartId i = 0; i < pieces; ++i) {
+      table.row()
+          .cell(algo)
+          .cell(static_cast<int>(i))
+          .cell(static_cast<double>(vc[i]) /
+                static_cast<double>(g.num_vertices()))
+          .cell(static_cast<double>(ec[i]) /
+                static_cast<double>(g.num_edges()));
+    }
+    const auto vstats = stats::summarize(stats::to_doubles(vc));
+    const auto estats = stats::summarize(stats::to_doubles(ec));
+    summary.row()
+        .cell(algo)
+        .cell(vstats.bias)
+        .cell(estats.bias)
+        .cell(vstats.fairness)
+        .cell(estats.fairness);
+  }
+  bench::emit("Fig. 6: |Vi| and |Ei| over " + std::to_string(pieces) +
+                  " pieces (" + graph_name + ")",
+              table, "fig06_distributions");
+  bench::emit("Fig. 6 (summary)", summary, "fig06_summary");
+  return 0;
+}

@@ -1,0 +1,36 @@
+// Fig. 11 — Jain's fairness of vertex and edge counts as the number of
+// subgraphs grows (8..128, Twitter). Paper: BPart stays ~1.0 in both
+// dimensions at every scale; the 1D schemes decay in their unbalanced
+// dimension.
+#include "common.hpp"
+
+#include "partition/metrics.hpp"
+#include "partition/registry.hpp"
+
+using namespace bpart;
+
+int main(int argc, char** argv) {
+  const Options opts(argc, argv);
+  const std::string graph_name = opts.get("graph", "twitter");
+  const auto part_counts =
+      bench::uint_list_from(opts, "parts", "8,16,32,64,128");
+  const graph::Graph g = bench::build_graph(graph_name);
+
+  Table table({"algorithm", "parts", "vertex_fairness", "edge_fairness"});
+  for (const std::string& algo : partition::paper_algorithms()) {
+    for (unsigned k : part_counts) {
+      const auto p =
+          bench::run_partitioner(g, algo, static_cast<partition::PartId>(k));
+      const auto q = partition::evaluate(g, p);
+      table.row()
+          .cell(algo)
+          .cell(static_cast<int>(k))
+          .cell(q.vertex_summary.fairness)
+          .cell(q.edge_summary.fairness);
+    }
+  }
+  bench::emit("Fig. 11: Jain fairness vs number of subgraphs (" + graph_name +
+                  ")",
+              table, "fig11_fairness");
+  return 0;
+}

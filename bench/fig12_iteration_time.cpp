@@ -1,0 +1,53 @@
+// Fig. 12 — per-machine computation time in each iteration (Friendster,
+// 8 machines, 5|V| walks x 4 steps). Unbalanced partitions show one tall
+// bar per iteration (the machine everyone waits for); BPart's bars are
+// level.
+#include "common.hpp"
+
+#include "util/stats.hpp"
+#include "walk/apps.hpp"
+
+using namespace bpart;
+
+int main(int argc, char** argv) {
+  const Options opts(argc, argv);
+  const std::string graph_name = opts.get("graph", "friendster");
+  const auto k = static_cast<partition::PartId>(opts.get_int("parts", 8));
+  const auto walks =
+      static_cast<unsigned>(opts.get_int("walks-per-vertex", 5));
+  const auto steps = static_cast<unsigned>(opts.get_int("steps", 4));
+  const graph::Graph g = bench::build_graph(graph_name);
+
+  Table table(
+      {"algorithm", "iteration", "machine", "compute_seconds", "wait_seconds"});
+  Table summary({"algorithm", "iteration", "slowest_over_mean"});
+  for (const std::string algo : {"chunk-v", "chunk-e", "fennel", "bpart"}) {
+    const auto p = bench::run_partitioner(g, algo, k);
+    walk::WalkConfig cfg;
+    cfg.walks_per_vertex = walks;
+    const auto report =
+        walk::run_walks(g, p, walk::SimpleRandomWalk(steps), cfg);
+    for (std::size_t it = 0; it < report.run.iterations.size(); ++it) {
+      const auto& iter = report.run.iterations[it];
+      for (cluster::MachineId m = 0; m < iter.machines.size(); ++m) {
+        table.row()
+            .cell(algo)
+            .cell(static_cast<int>(it))
+            .cell(static_cast<int>(m))
+            .cell(iter.machines[m].compute_seconds)
+            .cell(iter.machines[m].wait_seconds);
+      }
+      summary.row()
+          .cell(algo)
+          .cell(static_cast<int>(it))
+          .cell(stats::max_over_mean(iter.compute_seconds_per_machine()));
+    }
+  }
+  table.set_precision(6);
+  bench::emit("Fig. 12: computation time per machine per iteration (" +
+                  graph_name + ", " + std::to_string(k) + " machines)",
+              table, "fig12_iteration_time");
+  bench::emit("Fig. 12 (summary): slowest/mean compute time", summary,
+              "fig12_summary");
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Fig. 13 — ratio of total machine waiting time to total running time for
+// 5|V| four-step random walks, on 4- and 8-machine clusters. Paper: 1D
+// schemes waste ~45-55% (up to 70%) waiting; BPart ~10-20%.
+#include "common.hpp"
+
+#include "walk/apps.hpp"
+
+using namespace bpart;
+
+int main(int argc, char** argv) {
+  const Options opts(argc, argv);
+  const auto machine_counts = bench::uint_list_from(opts, "parts", "4,8");
+  const auto walks =
+      static_cast<unsigned>(opts.get_int("walks-per-vertex", 5));
+  const auto steps = static_cast<unsigned>(opts.get_int("steps", 4));
+
+  Table table({"graph", "machines", "algorithm", "wait_ratio"});
+  for (const std::string& graph_name : bench::graphs_from(opts)) {
+    const graph::Graph g = bench::build_graph(graph_name);
+    for (unsigned k : machine_counts) {
+      for (const std::string algo :
+           {"chunk-v", "chunk-e", "fennel", "bpart"}) {
+        const auto p = bench::run_partitioner(
+            g, algo, static_cast<partition::PartId>(k));
+        walk::WalkConfig cfg;
+        cfg.walks_per_vertex = walks;
+        const auto report =
+            walk::run_walks(g, p, walk::SimpleRandomWalk(steps), cfg);
+        table.row()
+            .cell(graph_name)
+            .cell(static_cast<int>(k))
+            .cell(algo)
+            .cell(report.run.wait_ratio());
+      }
+    }
+  }
+  bench::emit("Fig. 13: waiting time / total running time (random walks)",
+              table, "fig13_waiting_ratio");
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Fig. 14 — normalized total running time of all seven applications under
+// each partition algorithm, on all three graphs (8 machines). Times are
+// normalized to Chunk-V = 1 per (graph, application), exactly like the
+// paper's bars. Target shape: BPart lowest everywhere, 5-70% below
+// Chunk-V/Fennel and 10-60% below Chunk-E.
+#include "common.hpp"
+
+#include <map>
+
+#include "partition/registry.hpp"
+
+using namespace bpart;
+
+int main(int argc, char** argv) {
+  const Options opts(argc, argv);
+  const auto k = static_cast<partition::PartId>(opts.get_int("parts", 8));
+
+  Table table({"graph", "application", "algorithm", "seconds",
+               "normalized_to_chunk_v"});
+  for (const std::string& graph_name : bench::graphs_from(opts)) {
+    const graph::Graph g = bench::build_graph(graph_name);
+    // Partition once per algorithm, reuse across applications.
+    std::map<std::string, partition::Partition> parts;
+    for (const std::string& algo : partition::paper_algorithms())
+      parts.emplace(algo, bench::run_partitioner(g, algo, k));
+
+    for (const std::string& app : bench::paper_applications()) {
+      std::map<std::string, double> seconds;
+      for (const auto& [algo, p] : parts)
+        seconds[algo] = bench::app_total_seconds(g, p, app);
+      const double base = seconds.at("chunk-v");
+      for (const std::string& algo : partition::paper_algorithms()) {
+        table.row()
+            .cell(graph_name)
+            .cell(app)
+            .cell(algo)
+            .cell(seconds.at(algo))
+            .cell(base > 0 ? seconds.at(algo) / base : 0.0);
+      }
+    }
+  }
+  bench::emit("Fig. 14: normalized application running time (" +
+                  std::to_string(k) + " machines, Chunk-V = 1)",
+              table, "fig14_app_runtime");
+  return 0;
+}

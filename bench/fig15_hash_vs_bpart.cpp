@@ -1,0 +1,35 @@
+// Fig. 15 — Hash vs BPart head-to-head: both are 2D-balanced, so the gap
+// isolates the edge-cut effect. Paper: BPart is 5-20% faster on walk apps
+// and 20-35% faster on PR/CC (Twitter and Friendster, 8 machines).
+#include "common.hpp"
+
+using namespace bpart;
+
+int main(int argc, char** argv) {
+  const Options opts(argc, argv);
+  const auto k = static_cast<partition::PartId>(opts.get_int("parts", 8));
+  Options defaulted = opts;
+  if (!opts.has("graphs")) defaulted.set("graphs", "twitter,friendster");
+
+  Table table({"graph", "application", "hash_seconds", "bpart_seconds",
+               "bpart_normalized_to_hash"});
+  for (const std::string& graph_name : bench::graphs_from(defaulted)) {
+    const graph::Graph g = bench::build_graph(graph_name);
+    const auto hash = bench::run_partitioner(g, "hash", k);
+    const auto bpart = bench::run_partitioner(g, "bpart", k);
+    for (const std::string& app : bench::paper_applications()) {
+      const double hs = bench::app_total_seconds(g, hash, app);
+      const double bs = bench::app_total_seconds(g, bpart, app);
+      table.row()
+          .cell(graph_name)
+          .cell(app)
+          .cell(hs)
+          .cell(bs)
+          .cell(hs > 0 ? bs / hs : 0.0);
+    }
+  }
+  bench::emit("Fig. 15: computation time, BPart normalized to Hash = 1 (" +
+                  std::to_string(k) + " machines)",
+              table, "fig15_hash_vs_bpart");
+  return 0;
+}

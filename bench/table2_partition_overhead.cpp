@@ -1,0 +1,35 @@
+// Table 2 — wall-clock partitioning time (seconds) for each algorithm on
+// each dataset at 8 subgraphs. Paper ordering: Chunk-V ~ Chunk-E << Hash <
+// Fennel < BPart (BPart pays for its extra streaming layers).
+#include "common.hpp"
+
+#include "partition/registry.hpp"
+
+using namespace bpart;
+
+int main(int argc, char** argv) {
+  const Options opts(argc, argv);
+  const auto k = static_cast<partition::PartId>(opts.get_int("parts", 8));
+
+  Table table({"algorithm", "livejournal_s", "twitter_s", "friendster_s"});
+  const auto graph_names = bench::graphs_from(opts);
+  std::vector<graph::Graph> graphs;
+  graphs.reserve(graph_names.size());
+  for (const auto& name : graph_names) graphs.push_back(bench::build_graph(name));
+
+  for (const std::string& algo : partition::paper_algorithms()) {
+    std::vector<Table::Cell> row{algo};
+    for (const auto& g : graphs) {
+      double seconds = 0;
+      (void)bench::run_partitioner(g, algo, k, &seconds);
+      row.emplace_back(seconds);
+    }
+    while (row.size() < 4) row.emplace_back(0.0);  // fewer graphs requested
+    table.add_row(std::move(row));
+  }
+  table.set_precision(4);
+  bench::emit("Table 2: partition time overhead (s), " + std::to_string(k) +
+                  " subgraphs",
+              table, "table2_partition_overhead");
+  return 0;
+}

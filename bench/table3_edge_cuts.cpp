@@ -1,0 +1,37 @@
+// Table 3 — edge-cut ratio of every partition algorithm on every graph at
+// 8 subgraphs. Paper values for reference: Hash 0.875 everywhere; Chunk-E
+// 0.76-0.90; Fennel 0.33-0.65; BPart 0.53-0.73.
+#include "common.hpp"
+
+#include "partition/metrics.hpp"
+#include "partition/registry.hpp"
+
+using namespace bpart;
+
+int main(int argc, char** argv) {
+  const Options opts(argc, argv);
+  const auto k = static_cast<partition::PartId>(opts.get_int("parts", 8));
+
+  const auto graph_names = bench::graphs_from(opts);
+  std::vector<std::string> headers{"algorithm"};
+  headers.insert(headers.end(), graph_names.begin(), graph_names.end());
+  Table table(headers);
+
+  std::vector<graph::Graph> graphs;
+  graphs.reserve(graph_names.size());
+  for (const auto& name : graph_names)
+    graphs.push_back(bench::build_graph(name));
+
+  for (const std::string& algo : partition::paper_algorithms()) {
+    std::vector<Table::Cell> row{algo};
+    for (const auto& g : graphs) {
+      const auto p = bench::run_partitioner(g, algo, k);
+      row.emplace_back(partition::edge_cut_ratio(g, p));
+    }
+    table.add_row(std::move(row));
+  }
+  bench::emit("Table 3: edge-cut ratio at " + std::to_string(k) +
+                  " subgraphs",
+              table, "table3_edge_cuts");
+  return 0;
+}

@@ -1,0 +1,75 @@
+// deepwalk_corpus — generate a DeepWalk / node2vec training corpus on a
+// distributed cluster simulation, the workload KnightKing (and this paper)
+// optimizes for. Shows the system-level effect of the partition choice
+// (message walks, waiting time) while producing a real artifact: one walk
+// per line, vertex ids space-separated, ready for a skip-gram trainer.
+//
+// Usage:
+//   deepwalk_corpus --graph=livejournal --algo=bpart --parts=8
+//       --length=10 --walks-per-vertex=1 --out=corpus.txt [--node2vec] (cont.)
+#include <cstdio>
+#include <fstream>
+
+#include "graph/datasets.hpp"
+#include "util/options.hpp"
+#include "walk/apps.hpp"
+#include "walk/walk_engine.hpp"
+#include "partition/registry.hpp"
+
+using namespace bpart;
+
+int main(int argc, char** argv) {
+  const Options opts(argc, argv);
+  const graph::Graph g = graph::build_dataset(
+      graph::dataset_spec(opts.get("graph", "livejournal")));
+  const auto k = static_cast<partition::PartId>(opts.get_int("parts", 8));
+  const auto length = static_cast<unsigned>(opts.get_int("length", 10));
+
+  const std::string algo = opts.get("algo", "bpart");
+  const partition::Partition parts = partition::create(algo)->partition(g, k);
+
+  walk::WalkConfig cfg;
+  cfg.walks_per_vertex =
+      static_cast<unsigned>(opts.get_int("walks-per-vertex", 1));
+  cfg.record_paths = true;
+  cfg.seed = static_cast<std::uint64_t>(opts.get_int("seed", 1));
+
+  std::unique_ptr<walk::WalkApp> app;
+  if (opts.get_bool("node2vec", false)) {
+    app = std::make_unique<walk::Node2Vec>(opts.get_double("p", 2.0),
+                                           opts.get_double("q", 0.5), length);
+  } else {
+    app = std::make_unique<walk::DeepWalk>(length);
+  }
+
+  const walk::WalkReport report = walk::run_walks(g, parts, *app, cfg);
+  std::printf(
+      "%s on %u machines (%s partition):\n"
+      "  %llu walks, %llu total steps, %llu message walks (%.1f%% of steps)\n"
+      "  simulated time %.3fs, wait ratio %.3f, %zu BSP iterations\n",
+      app->name().c_str(), k, algo.c_str(),
+      static_cast<unsigned long long>(report.paths.size()),
+      static_cast<unsigned long long>(report.total_steps),
+      static_cast<unsigned long long>(report.message_walks),
+      100.0 * static_cast<double>(report.message_walks) /
+          static_cast<double>(report.total_steps == 0 ? 1
+                                                      : report.total_steps),
+      report.run.total_seconds(), report.run.wait_ratio(),
+      report.run.iterations.size());
+
+  const std::string out = opts.get("out", "corpus.txt");
+  std::ofstream f(out);
+  if (!f) {
+    std::fprintf(stderr, "cannot write %s\n", out.c_str());
+    return 1;
+  }
+  for (const auto& path : report.paths) {
+    for (std::size_t i = 0; i < path.size(); ++i) {
+      if (i) f << ' ';
+      f << path[i];
+    }
+    f << '\n';
+  }
+  std::printf("corpus written to %s\n", out.c_str());
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Quickstart: the whole BPart pipeline in ~40 lines.
+//
+//   1. synthesize a small social-network-like graph,
+//   2. partition it with BPart and two baselines,
+//   3. report the two-dimensional balance and edge cuts,
+//   4. run a distributed random-walk workload and compare waiting time.
+//
+// Build & run:  ./examples/quickstart
+#include <cstdio>
+
+#include "graph/generators.hpp"
+#include "partition/metrics.hpp"
+#include "partition/registry.hpp"
+#include "walk/apps.hpp"
+#include "walk/walk_engine.hpp"
+
+int main() {
+  using namespace bpart;
+
+  // 1. A 16K-vertex scale-free graph with planted communities.
+  graph::CommunityGraphConfig gen;
+  gen.num_vertices = 1 << 14;
+  gen.avg_degree = 24;
+  gen.num_communities = 64;
+  gen.seed = 42;
+  const graph::Graph g =
+      graph::Graph::from_edges_symmetric(graph::community_scale_free(gen));
+  std::printf("graph: %u vertices, %llu directed edges, avg degree %.1f\n\n",
+              g.num_vertices(),
+              static_cast<unsigned long long>(g.num_edges()), g.avg_degree());
+
+  // 2-4. Partition into 8 parts with each scheme and measure.
+  std::printf("%-10s %12s %12s %10s %12s %12s\n", "algorithm", "vertex_bias",
+              "edge_bias", "cut_ratio", "wait_ratio", "sim_time_ms");
+  for (const char* algo : {"chunk-v", "chunk-e", "fennel", "hash", "bpart"}) {
+    const partition::Partition parts =
+        partition::create(algo)->partition(g, 8);
+    const partition::QualityReport q = partition::evaluate(g, parts);
+
+    walk::WalkConfig wcfg;
+    wcfg.walks_per_vertex = 5;
+    const walk::WalkReport walk_report =
+        walk::run_walks(g, parts, walk::SimpleRandomWalk(4), wcfg);
+
+    std::printf("%-10s %12.3f %12.3f %10.3f %12.3f %12.2f\n", algo,
+                q.vertex_summary.bias, q.edge_summary.bias, q.edge_cut_ratio,
+                walk_report.run.wait_ratio(),
+                walk_report.run.total_seconds() * 1e3);
+  }
+  std::printf(
+      "\nThe 1D schemes stall at barriers (high wait ratio); hash avoids\n"
+      "stalls but ships ~7/8 of all steps across machines. BPart balances\n"
+      "BOTH dimensions (biases < 0.1) with far fewer cuts, giving the\n"
+      "lowest end-to-end simulated time.\n");
+  return 0;
+}

@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# One-shot reproduction driver: configure, build, test, then regenerate
+# every table/figure of the paper plus the ablations. CSVs land in
+# bench_out/ (or $BPART_OUT_DIR).
+#
+# Usage: scripts/reproduce.sh [build-dir] [scale]
+#   build-dir  defaults to ./build
+#   scale      BPART_SCALE dataset multiplier, defaults to 1
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+SCALE="${2:-1}"
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+
+cd "$ROOT"
+cmake -B "$BUILD_DIR" -G Ninja
+cmake --build "$BUILD_DIR"
+
+echo "== tests =="
+ctest --test-dir "$BUILD_DIR" --output-on-failure
+
+echo "== paper experiments (BPART_SCALE=$SCALE) =="
+export BPART_SCALE="$SCALE"
+for bench in "$BUILD_DIR"/bench/*; do
+  [ -x "$bench" ] && [ -f "$bench" ] || continue
+  echo "--- $(basename "$bench") ---"
+  "$bench"
+done
+
+echo "All experiments complete. CSVs: ${BPART_OUT_DIR:-bench_out}/"

@@ -1,0 +1,126 @@
+#include "cluster/bsp.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/check.hpp"
+
+namespace bpart::cluster {
+
+std::uint64_t IterationReport::total_work() const {
+  std::uint64_t total = 0;
+  for (const auto& m : machines) total += m.work_items;
+  return total;
+}
+
+std::uint64_t IterationReport::total_messages() const {
+  std::uint64_t total = 0;
+  for (const auto& m : machines) total += m.messages_sent;
+  return total;
+}
+
+double IterationReport::total_wait_seconds() const {
+  double total = 0;
+  for (const auto& m : machines) total += m.wait_seconds;
+  return total;
+}
+
+std::vector<double> IterationReport::compute_seconds_per_machine() const {
+  std::vector<double> out;
+  out.reserve(machines.size());
+  for (const auto& m : machines) out.push_back(m.compute_seconds);
+  return out;
+}
+
+double RunReport::total_seconds() const {
+  double total = 0;
+  for (const auto& it : iterations) total += it.duration_seconds;
+  return total;
+}
+
+double RunReport::total_wait_seconds() const {
+  double total = 0;
+  for (const auto& it : iterations) total += it.total_wait_seconds();
+  return total;
+}
+
+double RunReport::wait_ratio() const {
+  const double run = total_seconds();
+  if (run <= 0 || num_machines == 0) return 0;
+  return total_wait_seconds() / (static_cast<double>(num_machines) * run);
+}
+
+std::uint64_t RunReport::total_messages() const {
+  std::uint64_t total = 0;
+  for (const auto& it : iterations) total += it.total_messages();
+  return total;
+}
+
+std::uint64_t RunReport::total_work() const {
+  std::uint64_t total = 0;
+  for (const auto& it : iterations) total += it.total_work();
+  return total;
+}
+
+std::vector<std::uint64_t> RunReport::work_per_machine() const {
+  std::vector<std::uint64_t> out(num_machines, 0);
+  for (const auto& it : iterations)
+    for (MachineId m = 0; m < it.machines.size(); ++m)
+      out[m] += it.machines[m].work_items;
+  return out;
+}
+
+BspSimulation::BspSimulation(MachineId num_machines, CostModel model)
+    : num_machines_(num_machines), model_(model) {
+  BPART_CHECK(num_machines >= 1);
+  report_.num_machines = num_machines;
+}
+
+void BspSimulation::begin_iteration() {
+  BPART_CHECK_MSG(!in_iteration_, "begin_iteration called twice");
+  current_.assign(num_machines_, MachineIterationStats{});
+  in_iteration_ = true;
+}
+
+void BspSimulation::add_work(MachineId machine, std::uint64_t items) {
+  BPART_CHECK_MSG(in_iteration_, "add_work outside an iteration");
+  BPART_CHECK(machine < num_machines_);
+  current_[machine].work_items += items;
+}
+
+void BspSimulation::add_message(MachineId src, MachineId dst,
+                                std::uint64_t count) {
+  BPART_CHECK_MSG(in_iteration_, "add_message outside an iteration");
+  BPART_CHECK(src < num_machines_ && dst < num_machines_);
+  if (src == dst) return;  // local delivery is a memory write
+  current_[src].messages_sent += count;
+  current_[dst].messages_received += count;
+}
+
+void BspSimulation::end_iteration() {
+  BPART_CHECK_MSG(in_iteration_, "end_iteration without begin_iteration");
+  in_iteration_ = false;
+
+  IterationReport it;
+  it.machines = std::move(current_);
+  // A machine is busy for compute + send time; the iteration ends when the
+  // slowest machine is done (plus one barrier), and everyone else waits.
+  double slowest = 0;
+  for (MachineId rank = 0; rank < it.machines.size(); ++rank) {
+    auto& m = it.machines[rank];
+    m.compute_seconds = model_.compute_seconds(m.work_items, rank);
+    m.comm_seconds = model_.comm_seconds(m.messages_sent);
+    slowest = std::max(slowest, m.compute_seconds + m.comm_seconds);
+  }
+  for (auto& m : it.machines)
+    m.wait_seconds = slowest - (m.compute_seconds + m.comm_seconds);
+  it.duration_seconds = slowest + model_.barrier_latency;
+  report_.iterations.push_back(std::move(it));
+}
+
+RunReport BspSimulation::finish() {
+  BPART_CHECK_MSG(!in_iteration_, "finish inside an iteration");
+  return std::move(report_);
+}
+
+}  // namespace bpart::cluster

@@ -1,0 +1,52 @@
+// Cost model of the simulated cluster.
+//
+// The paper's testbed is eight 48-core machines on 56 Gbps Ethernet. We
+// replace wall-clock measurement with an explicit model: counted work items
+// (walk steps, edge updates) and counted messages are converted to simulated
+// seconds. This keeps every "time" figure deterministic and machine-
+// independent while preserving exactly the quantities that drive the
+// paper's results — per-machine work balance and cross-partition traffic.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace bpart::cluster {
+
+struct CostModel {
+  /// Seconds per local work item. Default: ~25M walk steps (or edge
+  /// updates) per second per machine, the right order for KnightKing-style
+  /// engines on the paper's hardware.
+  double seconds_per_work_item = 4e-8;
+
+  /// Marginal seconds per cross-machine message (walker shipment or
+  /// boundary update). ~10M messages/s over a fast fabric.
+  double seconds_per_message = 1e-7;
+
+  /// Fixed per-iteration synchronization latency (barrier + round trips).
+  double barrier_latency = 2e-4;
+
+  /// Per-machine relative speed (1.0 = nominal; 0.5 = half speed, i.e. a
+  /// straggler). Empty = homogeneous cluster. Machines beyond the vector's
+  /// length run at nominal speed. Real clusters are rarely uniform — the
+  /// heterogeneity ablation uses this to test whether partition-balance
+  /// conclusions survive stragglers.
+  std::vector<double> machine_speed;
+
+  [[nodiscard]] double speed_of(std::uint32_t machine) const {
+    return machine < machine_speed.size() && machine_speed[machine] > 0
+               ? machine_speed[machine]
+               : 1.0;
+  }
+
+  [[nodiscard]] double compute_seconds(std::uint64_t work_items,
+                                       std::uint32_t machine = 0) const {
+    return static_cast<double>(work_items) * seconds_per_work_item /
+           speed_of(machine);
+  }
+  [[nodiscard]] double comm_seconds(std::uint64_t messages) const {
+    return static_cast<double>(messages) * seconds_per_message;
+  }
+};
+
+}  // namespace bpart::cluster

@@ -1,0 +1,63 @@
+#include "cluster/threaded.hpp"
+
+#include <atomic>
+#include <barrier>
+#include <thread>
+
+#include "util/check.hpp"
+
+namespace bpart::cluster {
+
+std::size_t ThreadedBsp::run(
+    MachineId machines, std::size_t max_supersteps,
+    const std::function<Vote(MachineContext&, std::size_t)>& step) {
+  BPART_CHECK(machines >= 1);
+  std::vector<MachineContext> ctx;
+  ctx.reserve(machines);
+  for (MachineId m = 0; m < machines; ++m) ctx.emplace_back(m, machines);
+
+  std::atomic<std::uint32_t> continue_votes{0};
+  std::atomic<std::uint64_t> in_flight{0};
+  std::atomic<bool> done{false};
+  std::size_t supersteps = 0;
+
+  // Completion phase of the barrier runs on one thread with all others
+  // parked — the safe place to exchange mailboxes and decide termination.
+  auto on_sync = [&]() noexcept {
+    std::uint64_t moved = 0;
+    for (MachineId to = 0; to < machines; ++to) {
+      ctx[to].inbox_.clear();
+      for (MachineId from = 0; from < machines; ++from) {
+        auto& out = ctx[from].outgoing_[to];
+        ctx[to].inbox_.insert(ctx[to].inbox_.end(), out.begin(), out.end());
+        moved += out.size();
+        out.clear();
+      }
+    }
+    in_flight.store(moved, std::memory_order_relaxed);
+    ++supersteps;
+    if ((continue_votes.load(std::memory_order_relaxed) == 0 && moved == 0) ||
+        supersteps >= max_supersteps)
+      done.store(true, std::memory_order_relaxed);
+    continue_votes.store(0, std::memory_order_relaxed);
+  };
+  std::barrier barrier(static_cast<std::ptrdiff_t>(machines), on_sync);
+
+  auto worker = [&](MachineId self) {
+    for (std::size_t s = 0;; ++s) {
+      const Vote v = step(ctx[self], s);
+      if (v == Vote::kContinue)
+        continue_votes.fetch_add(1, std::memory_order_relaxed);
+      barrier.arrive_and_wait();
+      if (done.load(std::memory_order_relaxed)) return;
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(machines);
+  for (MachineId m = 0; m < machines; ++m) threads.emplace_back(worker, m);
+  for (auto& t : threads) t.join();
+  return supersteps;
+}
+
+}  // namespace bpart::cluster

@@ -1,0 +1,68 @@
+// Threaded BSP executor: one thread per simulated machine, with real
+// barriers between the compute and communicate phases of each superstep.
+//
+// The quantitative results in this repository come from BspSimulation's
+// deterministic cost model; this executor exists so the engines can also be
+// driven with genuine parallelism (and so tests exercise the concurrency
+// structure). Message exchange is double-buffered mailbox-style: messages
+// sent in superstep t are visible to the receiver in superstep t+1, the BSP
+// contract.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "cluster/bsp.hpp"
+
+namespace bpart::cluster {
+
+/// An opaque datagram between machines.
+struct Envelope {
+  MachineId from = 0;
+  std::uint64_t payload = 0;
+};
+
+/// Context handed to each machine's step function.
+class MachineContext {
+ public:
+  MachineContext(MachineId self, MachineId machines)
+      : self_(self), outgoing_(machines) {}
+
+  [[nodiscard]] MachineId self() const { return self_; }
+  [[nodiscard]] MachineId num_machines() const {
+    return static_cast<MachineId>(outgoing_.size());
+  }
+
+  /// Queue a message for delivery at the start of the next superstep.
+  void send(MachineId to, std::uint64_t payload) {
+    outgoing_[to].push_back(Envelope{self_, payload});
+  }
+
+  /// Messages delivered to this machine this superstep.
+  [[nodiscard]] const std::vector<Envelope>& inbox() const { return inbox_; }
+
+ private:
+  friend class ThreadedBsp;
+  MachineId self_;
+  std::vector<std::vector<Envelope>> outgoing_;  // per destination
+  std::vector<Envelope> inbox_;
+};
+
+/// Return value of a step function: whether this machine wants another
+/// superstep. The run continues while any machine votes to continue OR any
+/// message is in flight.
+enum class Vote : std::uint8_t { kHalt, kContinue };
+
+class ThreadedBsp {
+ public:
+  /// Runs `step(ctx, superstep)` on `machines` threads until global quiescence
+  /// (all halt and no messages in flight) or `max_supersteps`. Returns the
+  /// number of supersteps executed. The step function must only touch shared
+  /// state through the context's send/inbox.
+  static std::size_t run(
+      MachineId machines, std::size_t max_supersteps,
+      const std::function<Vote(MachineContext&, std::size_t)>& step);
+};
+
+}  // namespace bpart::cluster

@@ -1,0 +1,112 @@
+#include "engine/bfs.hpp"
+
+namespace bpart::engine {
+
+namespace {
+
+/// Push superstep: frontier vertices signal their out-neighbors.
+/// Returns the next frontier.
+std::vector<graph::VertexId> push_step(DistContext& ctx,
+                                       const std::vector<graph::VertexId>&
+                                           frontier,
+                                       std::vector<std::uint32_t>& distance,
+                                       std::uint32_t depth) {
+  const graph::Graph& g = ctx.graph();
+  std::vector<graph::VertexId> next;
+  for (graph::VertexId v : frontier) {
+    const cluster::MachineId owner = ctx.machine_of(v);
+    ctx.sim().add_work(owner, g.out_degree(v) + 1);
+    for (graph::VertexId u : g.out_neighbors(v)) {
+      ctx.sim().add_message(owner, ctx.machine_of(u));
+      if (distance[u] == BfsResult::kUnreachable) {
+        distance[u] = depth;
+        next.push_back(u);
+      }
+    }
+  }
+  return next;
+}
+
+/// Pull superstep: every *unvisited* vertex scans its in-neighbors and
+/// adopts the frontier distance on the first hit (early exit — the whole
+/// point of bottom-up BFS). Membership in the previous frontier is tested
+/// against `in_frontier`.
+std::vector<graph::VertexId> pull_step(DistContext& ctx,
+                                       const std::vector<bool>& in_frontier,
+                                       std::vector<std::uint32_t>& distance,
+                                       std::uint32_t depth) {
+  const graph::Graph& g = ctx.graph();
+  std::vector<graph::VertexId> next;
+  for (graph::VertexId u = 0; u < g.num_vertices(); ++u) {
+    if (distance[u] != BfsResult::kUnreachable) continue;
+    const cluster::MachineId owner = ctx.machine_of(u);
+    std::uint64_t scanned = 0;
+    for (graph::VertexId v : g.in_neighbors(u)) {
+      ++scanned;
+      if (in_frontier[v]) {
+        // The pull needs the parent's frontier flag; remote parents cost a
+        // message (Gemini ships the frontier bitmap, amortized — we count
+        // one message per remote hit, the dominant term).
+        ctx.sim().add_message(ctx.machine_of(v), owner);
+        distance[u] = depth;
+        next.push_back(u);
+        break;
+      }
+    }
+    ctx.sim().add_work(owner, scanned + 1);
+  }
+  return next;
+}
+
+}  // namespace
+
+BfsResult bfs(const graph::Graph& g, const partition::Partition& parts,
+              graph::VertexId source, cluster::CostModel model,
+              const BfsConfig& cfg) {
+  BPART_CHECK(source < g.num_vertices());
+  DistContext ctx(g, parts, model);
+  const graph::VertexId n = g.num_vertices();
+
+  BfsResult result;
+  result.distance.assign(n, BfsResult::kUnreachable);
+  result.distance[source] = 0;
+
+  std::vector<graph::VertexId> frontier{source};
+  std::vector<bool> in_frontier(n, false);
+  std::uint32_t depth = 0;
+
+  while (!frontier.empty()) {
+    ctx.sim().begin_iteration();
+    ++depth;
+
+    bool pull = false;
+    if (cfg.direction_optimizing) {
+      std::uint64_t frontier_edges = 0;
+      for (graph::VertexId v : frontier) frontier_edges += g.out_degree(v);
+      const bool dense_edges =
+          static_cast<double>(frontier_edges) >
+          static_cast<double>(g.num_edges()) / cfg.alpha;
+      const bool big_frontier =
+          static_cast<double>(frontier.size()) >
+          static_cast<double>(n) / cfg.beta;
+      pull = dense_edges || big_frontier;
+    }
+
+    std::vector<graph::VertexId> next;
+    if (pull) {
+      std::fill(in_frontier.begin(), in_frontier.end(), false);
+      for (graph::VertexId v : frontier) in_frontier[v] = true;
+      next = pull_step(ctx, in_frontier, result.distance, depth);
+    } else {
+      next = push_step(ctx, frontier, result.distance, depth);
+    }
+    result.pulled.push_back(pull);
+    frontier.swap(next);
+    ctx.sim().end_iteration();
+  }
+
+  result.run = ctx.sim().finish();
+  return result;
+}
+
+}  // namespace bpart::engine

@@ -1,0 +1,37 @@
+// Distributed frontier BFS — the engine analogue of Gemini's BFS
+// benchmark, including Gemini's signature *direction-optimizing* mode:
+// push (top-down) while the frontier is sparse, switch to pull (bottom-up,
+// unvisited vertices scan their in-neighbors) once the frontier's edge
+// mass dominates, then switch back for the tail. On social graphs this
+// saves most of the edge traversals in the two or three dense iterations.
+#pragma once
+
+#include <vector>
+
+#include "engine/context.hpp"
+
+namespace bpart::engine {
+
+struct BfsConfig {
+  /// Adaptive push/pull. false = always push (classic top-down).
+  bool direction_optimizing = false;
+  /// Pull when frontier out-edge mass > |E| / alpha (Beamer's heuristic).
+  double alpha = 14.0;
+  /// Return to push when the frontier shrinks below |V| / beta vertices.
+  double beta = 24.0;
+};
+
+struct BfsResult {
+  /// Hop distance from the source; kUnreachable if not reached.
+  std::vector<std::uint32_t> distance;
+  static constexpr std::uint32_t kUnreachable = 0xffffffffu;
+  cluster::RunReport run;
+  /// Which mode each iteration ran in (true = pull / bottom-up).
+  std::vector<bool> pulled;
+};
+
+BfsResult bfs(const graph::Graph& g, const partition::Partition& parts,
+              graph::VertexId source, cluster::CostModel model = {},
+              const BfsConfig& cfg = {});
+
+}  // namespace bpart::engine

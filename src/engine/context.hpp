@@ -1,0 +1,44 @@
+// Shared context of the Gemini-like distributed engine.
+//
+// A DistContext binds a graph to a partition and exposes the two things
+// every vertex-centric app needs: which simulated machine owns a vertex,
+// and the BSP accounting object work/messages are reported to.
+#pragma once
+
+#include "cluster/bsp.hpp"
+#include "graph/csr.hpp"
+#include "partition/partition.hpp"
+#include "util/check.hpp"
+
+namespace bpart::engine {
+
+class DistContext {
+ public:
+  DistContext(const graph::Graph& g, const partition::Partition& parts,
+              cluster::CostModel model = {})
+      : graph_(g),
+        parts_(parts),
+        sim_(parts.num_parts(), model) {
+    BPART_CHECK_MSG(g.num_vertices() == parts.num_vertices(),
+                    "graph/partition size mismatch");
+    BPART_CHECK_MSG(parts.fully_assigned(),
+                    "engine requires a fully assigned partition");
+  }
+
+  [[nodiscard]] const graph::Graph& graph() const { return graph_; }
+  [[nodiscard]] const partition::Partition& parts() const { return parts_; }
+  [[nodiscard]] cluster::MachineId machine_of(graph::VertexId v) const {
+    return parts_[v];
+  }
+  [[nodiscard]] cluster::MachineId num_machines() const {
+    return parts_.num_parts();
+  }
+  [[nodiscard]] cluster::BspSimulation& sim() { return sim_; }
+
+ private:
+  const graph::Graph& graph_;
+  const partition::Partition& parts_;
+  cluster::BspSimulation sim_;
+};
+
+}  // namespace bpart::engine

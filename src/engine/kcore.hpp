@@ -1,0 +1,29 @@
+// Distributed k-core decomposition by iterative peeling.
+//
+// The core number of a vertex is the largest k such that it belongs to a
+// subgraph where every vertex has degree >= k. BSP peeling: each round,
+// vertices whose remaining degree dropped below the current k are removed
+// and signal their neighbors (a message per cross-partition edge); when a
+// round removes nothing, k advances. Work and traffic accounting follows
+// the same conventions as the other engine apps.
+#pragma once
+
+#include <vector>
+
+#include "engine/context.hpp"
+
+namespace bpart::engine {
+
+struct KCoreResult {
+  std::vector<std::uint32_t> core;  ///< Core number per vertex.
+  std::uint32_t max_core = 0;       ///< Degeneracy of the graph.
+  cluster::RunReport run;
+};
+
+/// Operates on the undirected view (out-degree == degree on the symmetric
+/// graphs this library targets; for directed inputs the union degree is
+/// used).
+KCoreResult kcore(const graph::Graph& g, const partition::Partition& parts,
+                  cluster::CostModel model = {});
+
+}  // namespace bpart::engine

@@ -1,0 +1,37 @@
+// Distributed community detection by synchronous label propagation, with a
+// modularity score for the result. Complements the partitioners: LP finds
+// the communities, the modularity metric quantifies how community-rich a
+// graph is (the structural property Fennel/BPart exploit for low cuts).
+#pragma once
+
+#include <vector>
+
+#include "engine/context.hpp"
+
+namespace bpart::engine {
+
+struct LabelPropagationConfig {
+  unsigned max_iterations = 20;
+  /// Stop once fewer than this fraction of vertices changed label.
+  double convergence_fraction = 0.001;
+  std::uint64_t seed = 3;  ///< Tie-breaking.
+};
+
+struct LabelPropagationResult {
+  std::vector<graph::VertexId> label;  ///< Community id (dense, 0-based).
+  graph::VertexId num_communities = 0;
+  double modularity = 0;  ///< Newman modularity of the final labeling.
+  cluster::RunReport run;
+};
+
+LabelPropagationResult label_propagation_communities(
+    const graph::Graph& g, const partition::Partition& parts,
+    const LabelPropagationConfig& cfg = {}, cluster::CostModel model = {});
+
+/// Newman modularity Q of an arbitrary labeling over the undirected view:
+/// Q = Σ_c [ e_c/m − (d_c/2m)² ] with e_c intra-community undirected edges,
+/// d_c total degree of community c, m undirected edge count.
+double modularity(const graph::Graph& g,
+                  const std::vector<graph::VertexId>& label);
+
+}  // namespace bpart::engine

@@ -1,0 +1,47 @@
+#include "engine/pagerank.hpp"
+
+namespace bpart::engine {
+
+PageRankResult pagerank(const graph::Graph& g,
+                        const partition::Partition& parts,
+                        const PageRankConfig& cfg, cluster::CostModel model) {
+  DistContext ctx(g, parts, model);
+  const graph::VertexId n = g.num_vertices();
+  const double inv_n = n > 0 ? 1.0 / static_cast<double>(n) : 0.0;
+
+  std::vector<double> rank(n, inv_n);
+  std::vector<double> next(n, 0.0);
+
+  for (unsigned iter = 0; iter < cfg.iterations; ++iter) {
+    ctx.sim().begin_iteration();
+    std::fill(next.begin(), next.end(), 0.0);
+    double dangling_mass = 0.0;
+
+    for (graph::VertexId v = 0; v < n; ++v) {
+      const cluster::MachineId owner = ctx.machine_of(v);
+      const auto degree = g.out_degree(v);
+      if (degree == 0) {
+        dangling_mass += rank[v];
+        ctx.sim().add_work(owner, 1);
+        continue;
+      }
+      ctx.sim().add_work(owner, degree);
+      const double share = rank[v] / static_cast<double>(degree);
+      for (graph::VertexId u : g.out_neighbors(v)) {
+        next[u] += share;
+        ctx.sim().add_message(owner, ctx.machine_of(u));
+      }
+    }
+
+    const double base = (1.0 - cfg.damping) * inv_n +
+                        cfg.damping * dangling_mass * inv_n;
+    for (graph::VertexId v = 0; v < n; ++v)
+      next[v] = base + cfg.damping * next[v];
+    rank.swap(next);
+    ctx.sim().end_iteration();
+  }
+
+  return PageRankResult{std::move(rank), ctx.sim().finish()};
+}
+
+}  // namespace bpart::engine

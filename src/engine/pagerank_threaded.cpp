@@ -1,0 +1,133 @@
+#include <bit>
+#include <cstring>
+#include <vector>
+
+#include "cluster/threaded.hpp"
+#include "engine/pagerank.hpp"
+
+namespace bpart::engine {
+
+namespace {
+
+// Datagram payload layout: high 32 bits = destination vertex (or the
+// dangling sentinel), low 32 bits = IEEE float bits of the contribution.
+constexpr std::uint32_t kDanglingSentinel = 0xffffffffu;
+
+std::uint64_t pack(std::uint32_t vertex, float value) {
+  return (static_cast<std::uint64_t>(vertex) << 32) |
+         std::bit_cast<std::uint32_t>(value);
+}
+std::uint32_t payload_vertex(std::uint64_t payload) {
+  return static_cast<std::uint32_t>(payload >> 32);
+}
+float payload_value(std::uint64_t payload) {
+  return std::bit_cast<float>(static_cast<std::uint32_t>(payload));
+}
+
+/// State owned by one machine thread. Vertices are globally indexed but a
+/// machine only reads/writes entries it owns — the arrays are sized n for
+/// indexing convenience, not shared semantics.
+struct MachineState {
+  std::vector<graph::VertexId> owned;
+  std::vector<double> rank;        // valid at owned indices only
+  std::vector<double> accumulator; // contributions for the current round
+  double dangling_received = 0;    // remote dangling mass, this round
+  double dangling_local = 0;       // own dangling mass, emitted each round
+};
+
+}  // namespace
+
+PageRankResult pagerank_threaded(const graph::Graph& g,
+                                 const partition::Partition& parts,
+                                 const PageRankConfig& cfg) {
+  BPART_CHECK(g.num_vertices() == parts.num_vertices());
+  BPART_CHECK(parts.fully_assigned());
+  const graph::VertexId n = g.num_vertices();
+  const cluster::MachineId machines = parts.num_parts();
+  const double inv_n = n > 0 ? 1.0 / static_cast<double>(n) : 0.0;
+
+  std::vector<MachineState> state(machines);
+  for (cluster::MachineId m = 0; m < machines; ++m) {
+    state[m].rank.assign(n, 0.0);
+    state[m].accumulator.assign(n, 0.0);
+  }
+  for (graph::VertexId v = 0; v < n; ++v) {
+    state[parts[v]].owned.push_back(v);
+    state[parts[v]].rank[v] = inv_n;
+  }
+
+  // Protocol per superstep s (s = 0 .. iterations):
+  //   1. drain inbox: contributions and dangling shares from superstep s-1
+  //      complete round s-1's accumulation;
+  //   2. if s > 0: finalize rank for round s-1 from the accumulator;
+  //   3. if s < iterations: emit round s's contributions (local ones apply
+  //      directly, remote ones ship; dangling mass broadcasts).
+  // Superstep `iterations` only drains and finalizes.
+  const std::size_t total_supersteps = cfg.iterations + 1;
+  cluster::ThreadedBsp::run(
+      machines, total_supersteps,
+      [&](cluster::MachineContext& ctx, std::size_t s) {
+        MachineState& me = state[ctx.self()];
+
+        for (const cluster::Envelope& e : ctx.inbox()) {
+          const std::uint32_t v = payload_vertex(e.payload);
+          if (v == kDanglingSentinel) {
+            me.dangling_received +=
+                static_cast<double>(payload_value(e.payload));
+          } else {
+            me.accumulator[v] += static_cast<double>(payload_value(e.payload));
+          }
+        }
+
+        if (s > 0) {
+          const double dangling = me.dangling_received + me.dangling_local;
+          const double base =
+              (1.0 - cfg.damping) * inv_n + cfg.damping * dangling * inv_n;
+          for (graph::VertexId v : me.owned) {
+            me.rank[v] = base + cfg.damping * me.accumulator[v];
+            me.accumulator[v] = 0.0;
+          }
+          me.dangling_received = 0.0;
+          me.dangling_local = 0.0;
+        }
+
+        if (s < cfg.iterations) {
+          for (graph::VertexId v : me.owned) {
+            const auto degree = g.out_degree(v);
+            if (degree == 0) {
+              me.dangling_local += me.rank[v];
+              continue;
+            }
+            const double share =
+                me.rank[v] / static_cast<double>(degree);
+            for (graph::VertexId u : g.out_neighbors(v)) {
+              const cluster::MachineId owner = parts[u];
+              if (owner == ctx.self()) {
+                me.accumulator[u] += share;
+              } else {
+                ctx.send(owner, pack(u, static_cast<float>(share)));
+              }
+            }
+          }
+          // Broadcast this round's dangling mass to every other machine
+          // (each machine already counts its own).
+          if (me.dangling_local != 0.0) {
+            for (cluster::MachineId m = 0; m < machines; ++m)
+              if (m != ctx.self())
+                ctx.send(m, pack(kDanglingSentinel,
+                                 static_cast<float>(me.dangling_local)));
+          }
+          return cluster::Vote::kContinue;
+        }
+        return cluster::Vote::kHalt;
+      });
+
+  // Stitch the owned slices into one result; reuse the accounting engine
+  // for the RunReport so callers get consistent simulated-time metadata.
+  PageRankResult result = pagerank(g, parts, cfg);
+  for (cluster::MachineId m = 0; m < machines; ++m)
+    for (graph::VertexId v : state[m].owned) result.rank[v] = state[m].rank[v];
+  return result;
+}
+
+}  // namespace bpart::engine

@@ -1,0 +1,58 @@
+#include "engine/sssp.hpp"
+
+#include "util/rng.hpp"
+
+namespace bpart::engine {
+
+std::uint32_t sssp_edge_weight(graph::VertexId u, graph::VertexId v,
+                               const SsspConfig& cfg) {
+  const std::uint64_t key = (static_cast<std::uint64_t>(u) << 32) | v;
+  return static_cast<std::uint32_t>(splitmix64(key ^ cfg.weight_seed) %
+                                    cfg.max_weight) +
+         1;
+}
+
+SsspResult sssp(const graph::Graph& g, const partition::Partition& parts,
+                graph::VertexId source, const SsspConfig& cfg,
+                cluster::CostModel model) {
+  BPART_CHECK(source < g.num_vertices());
+  BPART_CHECK(cfg.max_weight >= 1);
+  DistContext ctx(g, parts, model);
+  const graph::VertexId n = g.num_vertices();
+
+  SsspResult result;
+  result.distance.assign(n, SsspResult::kUnreachable);
+  result.distance[source] = 0;
+
+  std::vector<bool> active(n, false), next_active(n, false);
+  active[source] = true;
+  bool any = true;
+
+  while (any) {
+    ctx.sim().begin_iteration();
+    std::fill(next_active.begin(), next_active.end(), false);
+    any = false;
+    for (graph::VertexId v = 0; v < n; ++v) {
+      if (!active[v]) continue;
+      const cluster::MachineId owner = ctx.machine_of(v);
+      ctx.sim().add_work(owner, g.out_degree(v) + 1);
+      const std::uint64_t dv = result.distance[v];
+      for (graph::VertexId u : g.out_neighbors(v)) {
+        ctx.sim().add_message(owner, ctx.machine_of(u));
+        const std::uint64_t cand = dv + sssp_edge_weight(v, u, cfg);
+        if (cand < result.distance[u]) {
+          result.distance[u] = cand;
+          next_active[u] = true;
+          any = true;
+        }
+      }
+    }
+    active.swap(next_active);
+    ctx.sim().end_iteration();
+  }
+
+  result.run = ctx.sim().finish();
+  return result;
+}
+
+}  // namespace bpart::engine

@@ -1,0 +1,29 @@
+// Distributed triangle counting and clustering coefficients.
+//
+// Classic ordered-intersection algorithm: for each edge (u, v) with
+// rank(u) < rank(v) (rank = degree with id tie-break, which bounds the
+// intersection work on power-law graphs), intersect the higher-ranked
+// adjacency prefixes. In a distributed setting each edge whose endpoints
+// live on different machines requires shipping one adjacency list — we
+// count one message per cross-partition processed edge.
+#pragma once
+
+#include <vector>
+
+#include "engine/context.hpp"
+
+namespace bpart::engine {
+
+struct TriangleResult {
+  std::uint64_t total_triangles = 0;
+  std::vector<std::uint32_t> per_vertex;  ///< Triangles incident to v.
+  double global_clustering = 0;           ///< 3·triangles / open wedges.
+  cluster::RunReport run;
+};
+
+/// Requires a symmetric graph (checked).
+TriangleResult count_triangles(const graph::Graph& g,
+                               const partition::Partition& parts,
+                               cluster::CostModel model = {});
+
+}  // namespace bpart::engine

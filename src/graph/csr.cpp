@@ -1,0 +1,73 @@
+#include "graph/csr.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/check.hpp"
+
+namespace bpart::graph {
+
+namespace {
+
+// Counting-sort style CSR construction: one pass to count, one to place.
+void build_adjacency(std::span<const Edge> edges, VertexId n, bool reverse,
+                     std::vector<EdgeId>& offsets,
+                     std::vector<VertexId>& targets) {
+  offsets.assign(static_cast<std::size_t>(n) + 1, 0);
+  for (const Edge& e : edges) {
+    const VertexId key = reverse ? e.dst : e.src;
+    ++offsets[static_cast<std::size_t>(key) + 1];
+  }
+  std::partial_sum(offsets.begin(), offsets.end(), offsets.begin());
+  targets.resize(edges.size());
+  std::vector<EdgeId> cursor(offsets.begin(), offsets.end() - 1);
+  for (const Edge& e : edges) {
+    const VertexId key = reverse ? e.dst : e.src;
+    const VertexId val = reverse ? e.src : e.dst;
+    targets[cursor[key]++] = val;
+  }
+  // Sort each adjacency run so neighbor lookups can binary-search and
+  // iteration order is deterministic regardless of input edge order.
+  for (VertexId v = 0; v < n; ++v) {
+    std::sort(targets.begin() + static_cast<std::ptrdiff_t>(offsets[v]),
+              targets.begin() + static_cast<std::ptrdiff_t>(offsets[v + 1]));
+  }
+}
+
+}  // namespace
+
+Graph Graph::from_edges(const EdgeList& edges) {
+  Graph g;
+  const VertexId n = edges.num_vertices();
+  build_adjacency(edges.edges(), n, /*reverse=*/false, g.out_offsets_,
+                  g.out_targets_);
+  build_adjacency(edges.edges(), n, /*reverse=*/true, g.in_offsets_,
+                  g.in_targets_);
+  return g;
+}
+
+Graph Graph::from_edges_symmetric(EdgeList edges) {
+  edges.remove_self_loops();
+  edges.symmetrize();
+  return from_edges(edges);
+}
+
+bool Graph::is_symmetric() const {
+  const VertexId n = num_vertices();
+  for (VertexId v = 0; v < n; ++v) {
+    for (VertexId u : out_neighbors(v)) {
+      const auto nbrs = out_neighbors(u);
+      if (!std::binary_search(nbrs.begin(), nbrs.end(), v)) return false;
+    }
+  }
+  return true;
+}
+
+std::vector<EdgeId> Graph::out_degrees() const {
+  const VertexId n = num_vertices();
+  std::vector<EdgeId> deg(n);
+  for (VertexId v = 0; v < n; ++v) deg[v] = out_degree(v);
+  return deg;
+}
+
+}  // namespace bpart::graph

@@ -1,0 +1,90 @@
+// Immutable compressed-sparse-row graph.
+//
+// Stores both out- and in-adjacency so push- and pull-mode engines, the
+// streaming partitioners (which score a vertex by its neighbors in *either*
+// direction) and the walk engine all read from the same structure.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "graph/edge_list.hpp"
+#include "graph/types.hpp"
+
+namespace bpart::graph {
+
+class Graph {
+ public:
+  /// Builds CSR from an edge list (treated as directed edges).
+  /// The edge list is not modified; duplicates are kept as parallel edges.
+  static Graph from_edges(const EdgeList& edges);
+
+  /// Convenience: build a symmetric graph (each input edge present in both
+  /// directions, self-loops removed, duplicates collapsed).
+  static Graph from_edges_symmetric(EdgeList edges);
+
+  Graph() = default;
+
+  [[nodiscard]] VertexId num_vertices() const {
+    return static_cast<VertexId>(out_offsets_.empty()
+                                     ? 0
+                                     : out_offsets_.size() - 1);
+  }
+  [[nodiscard]] EdgeId num_edges() const { return out_targets_.size(); }
+  [[nodiscard]] double avg_degree() const {
+    return num_vertices() == 0
+               ? 0.0
+               : static_cast<double>(num_edges()) /
+                     static_cast<double>(num_vertices());
+  }
+
+  [[nodiscard]] EdgeId out_degree(VertexId v) const {
+    return out_offsets_[v + 1] - out_offsets_[v];
+  }
+  [[nodiscard]] EdgeId in_degree(VertexId v) const {
+    return in_offsets_[v + 1] - in_offsets_[v];
+  }
+
+  [[nodiscard]] std::span<const VertexId> out_neighbors(VertexId v) const {
+    return {out_targets_.data() + out_offsets_[v],
+            out_targets_.data() + out_offsets_[v + 1]};
+  }
+  [[nodiscard]] std::span<const VertexId> in_neighbors(VertexId v) const {
+    return {in_targets_.data() + in_offsets_[v],
+            in_targets_.data() + in_offsets_[v + 1]};
+  }
+
+  /// k-th out-neighbor of v (0 <= k < out_degree(v)); hot path of the
+  /// walk engine, kept branch-free.
+  [[nodiscard]] VertexId out_neighbor(VertexId v, EdgeId k) const {
+    return out_targets_[out_offsets_[v] + k];
+  }
+
+  /// Global edge index of v's k-th out edge (used as a stable edge id).
+  [[nodiscard]] EdgeId out_edge_index(VertexId v, EdgeId k) const {
+    return out_offsets_[v] + k;
+  }
+
+  /// True when every (u,v) has a matching (v,u). O(E log d).
+  [[nodiscard]] bool is_symmetric() const;
+
+  /// Out-degree array copy (length n); used by partitioners and stats.
+  [[nodiscard]] std::vector<EdgeId> out_degrees() const;
+
+  [[nodiscard]] std::span<const EdgeId> out_offsets() const {
+    return out_offsets_;
+  }
+  [[nodiscard]] std::span<const VertexId> out_targets() const {
+    return out_targets_;
+  }
+
+ private:
+  // offsets have length n+1 (or 0 for an empty graph); targets length == m.
+  std::vector<EdgeId> out_offsets_;
+  std::vector<VertexId> out_targets_;
+  std::vector<EdgeId> in_offsets_;
+  std::vector<VertexId> in_targets_;
+};
+
+}  // namespace bpart::graph

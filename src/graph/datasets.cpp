@@ -1,0 +1,74 @@
+#include "graph/datasets.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "graph/generators.hpp"
+#include "util/env.hpp"
+#include "util/logging.hpp"
+
+namespace bpart::graph {
+
+const std::vector<DatasetSpec>& dataset_specs() {
+  // Tuned against the paper's measurements of the real graphs:
+  //  * avg_degree matches Table 1 (30 / 35.7 / 54.9);
+  //  * mixing reproduces Table 3's per-graph edge-cut floor — LiveJournal's
+  //    communities are weaker (Fennel only reaches 0.65 cut there) than
+  //    Twitter/Friendster's (Fennel 0.33-0.36);
+  //  * degree_exponent ~2 gives the scale-free skew behind Figs. 3/6.
+  static const std::vector<DatasetSpec> specs = {
+      {.name = "livejournal",
+       .base_vertices = 1u << 15,
+       .avg_degree = 30.0,
+       .degree_exponent = 2.1,
+       .mixing = 0.55,
+       .id_noise = 0.35,
+       .seed = 36},
+      {.name = "twitter",
+       .base_vertices = 1u << 16,
+       .avg_degree = 35.7,
+       .degree_exponent = 2.0,
+       .mixing = 0.28,
+       .id_noise = 0.45,
+       .seed = 51},
+      {.name = "friendster",
+       .base_vertices = 3u << 15,
+       .avg_degree = 54.9,
+       .degree_exponent = 2.0,
+       .mixing = 0.30,
+       .id_noise = 0.40,
+       .seed = 15},
+  };
+  return specs;
+}
+
+Graph build_dataset(const DatasetSpec& spec) {
+  double scaled = static_cast<double>(spec.base_vertices) * dataset_scale();
+  if (scaled < 1024.0) scaled = 1024.0;  // floor at 1K vertices
+
+  CommunityGraphConfig cfg;
+  cfg.num_vertices = static_cast<VertexId>(scaled);
+  cfg.avg_degree = spec.avg_degree;
+  cfg.degree_exponent = spec.degree_exponent;
+  cfg.mixing = spec.mixing;
+  cfg.id_noise = spec.id_noise;
+  // Keep mean community size ~constant (256 vertices) as the graph scales.
+  cfg.num_communities =
+      std::max<VertexId>(16, cfg.num_vertices / 256);
+  cfg.seed = spec.seed;
+  LOG_DEBUG << "building dataset " << spec.name << " with "
+            << cfg.num_vertices << " vertices";
+  return Graph::from_edges_symmetric(community_scale_free(cfg));
+}
+
+const DatasetSpec& dataset_spec(const std::string& name) {
+  for (const DatasetSpec& s : dataset_specs())
+    if (s.name == name) return s;
+  throw std::out_of_range("unknown dataset: " + name);
+}
+
+Graph livejournal_like() { return build_dataset(dataset_spec("livejournal")); }
+Graph twitter_like() { return build_dataset(dataset_spec("twitter")); }
+Graph friendster_like() { return build_dataset(dataset_spec("friendster")); }
+
+}  // namespace bpart::graph

@@ -1,0 +1,43 @@
+// The synthetic dataset registry.
+//
+// The paper evaluates on LiveJournal (7.5M V / 225M E, d̄≈30), Twitter
+// (41.4M V / 1.48B E, d̄≈36) and Friendster (65.6M V / 3.6B E, d̄≈55).
+// We cannot ship those graphs, so each has a seeded R-MAT stand-in with the
+// same average degree and a matching power-law degree profile, scaled down
+// ~1000x (see DESIGN.md §2). $BPART_SCALE (powers of two) grows them back.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace bpart::graph {
+
+struct DatasetSpec {
+  std::string name;
+  VertexId base_vertices;   ///< Vertex count at BPART_SCALE=1.
+  double avg_degree;        ///< Table 1's average degree.
+  double degree_exponent;   ///< Power-law exponent of the degree profile.
+  double mixing;            ///< Inter-community edge fraction (cut floor).
+  double id_noise;          ///< Scattered-id fraction (crawl-order noise).
+  std::uint64_t seed;
+};
+
+/// Specs for the three paper stand-ins, in paper order.
+const std::vector<DatasetSpec>& dataset_specs();
+
+/// Build the graph for a spec (symmetric CSR, self-loops removed).
+/// Deterministic for a fixed spec and $BPART_SCALE.
+Graph build_dataset(const DatasetSpec& spec);
+
+/// Lookup by name ("livejournal", "twitter", "friendster"); throws
+/// std::out_of_range for unknown names.
+const DatasetSpec& dataset_spec(const std::string& name);
+
+/// Convenience shorthands.
+Graph livejournal_like();
+Graph twitter_like();
+Graph friendster_like();
+
+}  // namespace bpart::graph

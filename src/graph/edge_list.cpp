@@ -1,0 +1,66 @@
+#include "graph/edge_list.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace bpart::graph {
+
+void EdgeList::add(VertexId src, VertexId dst) {
+  edges_.push_back(Edge{src, dst});
+  const VertexId hi = std::max(src, dst);
+  if (hi >= num_vertices_) num_vertices_ = hi + 1;
+}
+
+void EdgeList::add_undirected(VertexId src, VertexId dst) {
+  add(src, dst);
+  edges_.push_back(Edge{dst, src});
+}
+
+void EdgeList::set_num_vertices(VertexId n) {
+  for (const Edge& e : edges_)
+    BPART_CHECK_MSG(e.src < n && e.dst < n,
+                    "edge (" << e.src << "," << e.dst
+                             << ") out of range for n=" << n);
+  num_vertices_ = n;
+}
+
+std::size_t EdgeList::remove_self_loops() {
+  const std::size_t before = edges_.size();
+  std::erase_if(edges_, [](const Edge& e) { return e.src == e.dst; });
+  return before - edges_.size();
+}
+
+std::size_t EdgeList::sort_and_dedup() {
+  std::sort(edges_.begin(), edges_.end());
+  const std::size_t before = edges_.size();
+  edges_.erase(std::unique(edges_.begin(), edges_.end()), edges_.end());
+  return before - edges_.size();
+}
+
+void EdgeList::symmetrize() {
+  const std::size_t n = edges_.size();
+  edges_.reserve(n * 2);
+  for (std::size_t i = 0; i < n; ++i)
+    edges_.push_back(Edge{edges_[i].dst, edges_[i].src});
+  sort_and_dedup();
+}
+
+bool EdgeList::is_symmetric() const {
+  std::vector<Edge> sorted(edges_.begin(), edges_.end());
+  std::sort(sorted.begin(), sorted.end());
+  for (const Edge& e : edges_) {
+    if (!std::binary_search(sorted.begin(), sorted.end(),
+                            Edge{e.dst, e.src}))
+      return false;
+  }
+  return true;
+}
+
+std::vector<EdgeId> EdgeList::out_degrees() const {
+  std::vector<EdgeId> deg(num_vertices_, 0);
+  for (const Edge& e : edges_) ++deg[e.src];
+  return deg;
+}
+
+}  // namespace bpart::graph

@@ -1,0 +1,381 @@
+#include "graph/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <unordered_set>
+#include <vector>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace bpart::graph {
+
+namespace {
+
+/// Deterministic pseudo-random permutation of [0, n) via hashing with
+/// collision-free rank assignment. Used to scramble R-MAT vertex ids.
+std::vector<VertexId> scramble_permutation(VertexId n, std::uint64_t seed) {
+  std::vector<VertexId> perm(n);
+  std::iota(perm.begin(), perm.end(), VertexId{0});
+  // Fisher-Yates with a seeded generator: exact permutation, O(n).
+  Xoshiro256 rng(seed ^ 0x5ca1ab1eULL);
+  for (VertexId i = n; i > 1; --i) {
+    const auto j = static_cast<VertexId>(rng.bounded(i));
+    std::swap(perm[i - 1], perm[j]);
+  }
+  return perm;
+}
+
+}  // namespace
+
+EdgeList rmat(const RmatConfig& cfg) {
+  BPART_CHECK_MSG(cfg.scale >= 1 && cfg.scale <= 30,
+                  "rmat scale out of range: " << cfg.scale);
+  const double sum = cfg.a + cfg.b + cfg.c + cfg.d;
+  BPART_CHECK_MSG(std::abs(sum - 1.0) < 1e-9,
+                  "rmat probabilities must sum to 1, got " << sum);
+  const VertexId n = VertexId{1} << cfg.scale;
+  const auto m = static_cast<EdgeId>(cfg.edge_factor * static_cast<double>(n));
+
+  EdgeList edges(n);
+  edges.reserve(m);
+  Xoshiro256 rng(cfg.seed);
+
+  // Noise on the quadrant probabilities per level ("smooth" R-MAT variant)
+  // avoids the artificial self-similarity of vanilla R-MAT.
+  const double ab = cfg.a + cfg.b;
+  const double a_norm = cfg.a / ab;
+  const double c_norm = cfg.c / (cfg.c + cfg.d);
+
+  for (EdgeId i = 0; i < m; ++i) {
+    VertexId src = 0, dst = 0;
+    for (unsigned bit = 0; bit < cfg.scale; ++bit) {
+      const bool down = rng.chance(ab) ? false : true;   // rows: top/bottom
+      const bool right = down ? rng.chance(c_norm) == false
+                              : rng.chance(a_norm) == false;
+      src = static_cast<VertexId>((src << 1) | (down ? 1u : 0u));
+      dst = static_cast<VertexId>((dst << 1) | (right ? 1u : 0u));
+    }
+    edges.add(src, dst);
+  }
+  edges.set_num_vertices(n);
+
+  if (cfg.scramble_ids) {
+    const auto perm = scramble_permutation(n, cfg.seed);
+    EdgeList scrambled(n);
+    scrambled.reserve(edges.size());
+    for (const Edge& e : edges.edges())
+      scrambled.add(perm[e.src], perm[e.dst]);
+    scrambled.set_num_vertices(n);
+    return scrambled;
+  }
+  return edges;
+}
+
+EdgeList barabasi_albert(const BarabasiAlbertConfig& cfg) {
+  BPART_CHECK(cfg.num_vertices > cfg.attach);
+  BPART_CHECK(cfg.attach >= 1);
+  EdgeList edges(cfg.num_vertices);
+  edges.reserve(static_cast<std::size_t>(cfg.num_vertices) * cfg.attach * 2);
+  Xoshiro256 rng(cfg.seed);
+
+  // `targets` holds one entry per edge endpoint; sampling uniformly from it
+  // is sampling proportionally to degree (the classic BA trick).
+  std::vector<VertexId> endpoint_pool;
+  endpoint_pool.reserve(static_cast<std::size_t>(cfg.num_vertices) *
+                        cfg.attach * 2);
+
+  // Seed clique over the first attach+1 vertices.
+  for (VertexId v = 0; v <= cfg.attach; ++v) {
+    for (VertexId u = v + 1; u <= cfg.attach; ++u) {
+      edges.add_undirected(v, u);
+      endpoint_pool.push_back(v);
+      endpoint_pool.push_back(u);
+    }
+  }
+
+  std::vector<VertexId> chosen;
+  for (VertexId v = cfg.attach + 1; v < cfg.num_vertices; ++v) {
+    chosen.clear();
+    while (chosen.size() < cfg.attach) {
+      const VertexId u =
+          endpoint_pool[rng.bounded(endpoint_pool.size())];
+      if (u == v) continue;
+      if (std::find(chosen.begin(), chosen.end(), u) != chosen.end())
+        continue;
+      chosen.push_back(u);
+    }
+    for (VertexId u : chosen) {
+      edges.add_undirected(v, u);
+      endpoint_pool.push_back(v);
+      endpoint_pool.push_back(u);
+    }
+  }
+  edges.set_num_vertices(cfg.num_vertices);
+  return edges;
+}
+
+EdgeList erdos_renyi(const ErdosRenyiConfig& cfg) {
+  BPART_CHECK(cfg.num_vertices >= 2);
+  const auto n64 = static_cast<std::uint64_t>(cfg.num_vertices);
+  BPART_CHECK_MSG(cfg.num_edges <= n64 * (n64 - 1),
+                  "more edges requested than distinct pairs exist");
+  EdgeList edges(cfg.num_vertices);
+  edges.reserve(cfg.num_edges);
+  Xoshiro256 rng(cfg.seed);
+  // Sample with replacement then dedup-retry; for m << n^2 retries are rare.
+  std::uint64_t added = 0;
+  while (added < cfg.num_edges) {
+    const auto src = static_cast<VertexId>(rng.bounded(n64));
+    const auto dst = static_cast<VertexId>(rng.bounded(n64));
+    if (src == dst) continue;
+    edges.add(src, dst);
+    ++added;
+  }
+  edges.set_num_vertices(cfg.num_vertices);
+  return edges;
+}
+
+EdgeList watts_strogatz(const WattsStrogatzConfig& cfg) {
+  BPART_CHECK(cfg.num_vertices > 2 * cfg.k);
+  BPART_CHECK(cfg.k >= 1);
+  BPART_CHECK(cfg.beta >= 0.0 && cfg.beta <= 1.0);
+  EdgeList edges(cfg.num_vertices);
+  Xoshiro256 rng(cfg.seed);
+  const auto n = static_cast<std::uint64_t>(cfg.num_vertices);
+  for (VertexId v = 0; v < cfg.num_vertices; ++v) {
+    for (unsigned j = 1; j <= cfg.k; ++j) {
+      VertexId u = static_cast<VertexId>((v + j) % n);
+      if (rng.chance(cfg.beta)) {
+        // Rewire to a uniform random non-self target.
+        do {
+          u = static_cast<VertexId>(rng.bounded(n));
+        } while (u == v);
+      }
+      edges.add_undirected(v, u);
+    }
+  }
+  edges.set_num_vertices(cfg.num_vertices);
+  return edges;
+}
+
+EdgeList community_scale_free(const CommunityGraphConfig& cfg) {
+  BPART_CHECK(cfg.num_vertices >= 4);
+  BPART_CHECK(cfg.num_communities >= 1);
+  BPART_CHECK(cfg.mixing >= 0.0 && cfg.mixing <= 1.0);
+  BPART_CHECK(cfg.id_noise >= 0.0 && cfg.id_noise <= 1.0);
+  BPART_CHECK(cfg.avg_degree > 0.0);
+  BPART_CHECK(cfg.degree_position_corr >= 0.0 &&
+              cfg.degree_position_corr <= 1.0);
+  const VertexId n = cfg.num_vertices;
+  Xoshiro256 rng(cfg.seed);
+
+  // --- Community assignment (indexed by *internal* label) ------------------
+  ZipfSampler comm_zipf(cfg.num_communities, cfg.community_exponent);
+  const auto community_cap = static_cast<std::uint64_t>(
+      cfg.max_community_factor * static_cast<double>(n) /
+      static_cast<double>(cfg.num_communities));
+  std::vector<VertexId> community(n);
+  std::vector<std::uint64_t> community_size(cfg.num_communities, 0);
+  for (VertexId v = 0; v < n; ++v) {
+    VertexId c = static_cast<VertexId>(comm_zipf(rng));
+    // Size-capped Zipf: full communities push members to the next free one,
+    // keeping the head heavy but bounded.
+    for (VertexId probe = 0;
+         community_size[c] >= community_cap && probe < cfg.num_communities;
+         ++probe)
+      c = (c + 1) % cfg.num_communities;
+    community[v] = c;
+    ++community_size[c];
+  }
+
+  // --- External id layout ---------------------------------------------------
+  // Communities occupy contiguous id ranges (crawl-order locality), except
+  // an id_noise fraction of vertices whose positions are shuffled among
+  // themselves.
+  std::vector<std::vector<VertexId>> members(cfg.num_communities);
+  for (VertexId v = 0; v < n; ++v) members[community[v]].push_back(v);
+
+  std::vector<VertexId> layout;  // layout[position] = internal label
+  layout.reserve(n);
+  for (VertexId c = 0; c < cfg.num_communities; ++c)
+    layout.insert(layout.end(), members[c].begin(), members[c].end());
+
+  std::vector<std::uint32_t> noisy_positions;
+  for (VertexId pos = 0; pos < n; ++pos)
+    if (rng.chance(cfg.id_noise)) noisy_positions.push_back(pos);
+  // Fisher-Yates over the noisy positions' occupants.
+  for (std::size_t i = noisy_positions.size(); i > 1; --i) {
+    const auto j = static_cast<std::size_t>(rng.bounded(i));
+    std::swap(layout[noisy_positions[i - 1]], layout[noisy_positions[j]]);
+  }
+  std::vector<VertexId> external_id(n);
+  for (VertexId pos = 0; pos < n; ++pos) external_id[layout[pos]] = pos;
+
+  // --- Degree weights, correlated with id position --------------------------
+  // Draw the Zipf degree-weight multiset, then deal it out so low ids get
+  // systematically heavier weights: each position receives a sort key
+  // corr·(pos/n) + (1-corr)·U(0,1); the position with the smallest key
+  // takes the largest weight. corr = 1 is strict degree-descending id
+  // order, corr = 0 is independent.
+  ZipfSampler degree_zipf(n, cfg.degree_exponent - 1.0);
+  std::vector<double> weight_pool(n);
+  for (VertexId v = 0; v < n; ++v)
+    weight_pool[v] = 1.0 + static_cast<double>(degree_zipf(rng));
+  std::sort(weight_pool.begin(), weight_pool.end(), std::greater<>());
+
+  std::vector<std::pair<double, VertexId>> keyed(n);
+  for (VertexId pos = 0; pos < n; ++pos) {
+    const double key =
+        cfg.degree_position_corr * (static_cast<double>(pos) /
+                                    static_cast<double>(n)) +
+        (1.0 - cfg.degree_position_corr) * rng.uniform();
+    keyed[pos] = {key, pos};
+  }
+  std::sort(keyed.begin(), keyed.end());
+  std::vector<double> weight(n);  // indexed by internal label
+  for (VertexId rank = 0; rank < n; ++rank)
+    weight[layout[keyed[rank].second]] = weight_pool[rank];
+
+  // --- Sampling structures --------------------------------------------------
+  // Per-community member lists with per-community cumulative weights, plus a
+  // global cumulative. Binary search gives weight-proportional draws.
+  std::vector<std::vector<double>> comm_cum(cfg.num_communities);
+  for (VertexId c = 0; c < cfg.num_communities; ++c) {
+    double acc = 0;
+    comm_cum[c].reserve(members[c].size());
+    for (VertexId v : members[c]) {
+      acc += weight[v];
+      comm_cum[c].push_back(acc);
+    }
+  }
+  std::vector<double> global_cum(n);
+  double total_weight = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    total_weight += weight[v];
+    global_cum[v] = total_weight;
+  }
+  auto sample_global = [&]() -> VertexId {
+    const double x = rng.uniform() * total_weight;
+    return static_cast<VertexId>(
+        std::lower_bound(global_cum.begin(), global_cum.end(), x) -
+        global_cum.begin());
+  };
+  auto sample_in_community = [&](VertexId c) -> VertexId {
+    const auto& cum = comm_cum[c];
+    const double x = rng.uniform() * cum.back();
+    const auto idx = static_cast<std::size_t>(
+        std::lower_bound(cum.begin(), cum.end(), x) - cum.begin());
+    return members[c][idx];
+  };
+
+  // --- Edge generation -------------------------------------------------------
+  // avg_degree counts the symmetrized graph's directed edges per vertex, so
+  // we need n·avg/2 *distinct* undirected pairs. Weight-proportional
+  // sampling produces many duplicates between hubs, so dedup as we sample —
+  // otherwise symmetrization collapses them and the average degree lands
+  // well short of the target.
+  const auto target =
+      static_cast<EdgeId>(cfg.avg_degree * static_cast<double>(n) / 2.0);
+  std::unordered_set<std::uint64_t> seen;
+  seen.reserve(target * 2);
+  EdgeList edges(n);
+  edges.reserve(target);
+  EdgeId added = 0;
+
+  auto try_add = [&](VertexId src, VertexId dst) {
+    if (src == dst) return false;
+    const VertexId a = std::min(external_id[src], external_id[dst]);
+    const VertexId b = std::max(external_id[src], external_id[dst]);
+    const std::uint64_t key = (static_cast<std::uint64_t>(a) << 32) | b;
+    if (!seen.insert(key).second) return false;
+    edges.add(a, b);
+    ++added;
+    return true;
+  };
+
+  // Degree floor: every vertex first gets min_degree edges into its own
+  // community (weight-proportional partner, global fallback for
+  // singletons), so no id range is near-isolated.
+  for (VertexId v = 0; v < n && added < target; ++v) {
+    for (unsigned e = 0; e < cfg.min_degree && added < target; ++e) {
+      for (int attempt = 0; attempt < 8; ++attempt) {
+        const bool use_global = members[community[v]].size() < 2;
+        const VertexId partner =
+            use_global ? sample_global() : sample_in_community(community[v]);
+        if (try_add(v, partner)) break;
+      }
+    }
+  }
+  // Bail-out: a saturated community pair could starve progress; cap total
+  // attempts at a generous multiple of the target.
+  EdgeId attempts = 0;
+  const EdgeId max_attempts = target * 64 + 1024;
+  while (added < target && attempts < max_attempts) {
+    ++attempts;
+    const VertexId src = sample_global();
+    // Singleton communities cannot host an internal edge; go global (this
+    // also keeps mixing = 0 from live-locking on them).
+    const bool global = rng.chance(cfg.mixing) ||
+                        members[community[src]].size() < 2;
+    const VertexId dst =
+        global ? sample_global() : sample_in_community(community[src]);
+    try_add(src, dst);
+  }
+  edges.set_num_vertices(n);
+  return edges;
+}
+
+EdgeList chung_lu(const ChungLuConfig& cfg) {
+  BPART_CHECK(cfg.num_vertices >= 2);
+  BPART_CHECK(cfg.avg_degree > 0);
+  BPART_CHECK(cfg.exponent > 1.0);
+  Xoshiro256 rng(cfg.seed);
+
+  // Draw a Zipf-distributed weight per vertex, then scale weights so the
+  // expected number of edges matches avg_degree * n.
+  const auto n = static_cast<std::uint64_t>(cfg.num_vertices);
+  ZipfSampler zipf(n, cfg.exponent - 1.0);
+  std::vector<double> weight(cfg.num_vertices);
+  double total_weight = 0;
+  for (VertexId v = 0; v < cfg.num_vertices; ++v) {
+    // rank+1 ^ (-1/(exponent-1)) gives the classic power-law weight profile.
+    const std::uint64_t rank = zipf(rng);
+    weight[v] = 1.0 + static_cast<double>(rank);
+    total_weight += weight[v];
+  }
+  const auto target_edges =
+      static_cast<EdgeId>(cfg.avg_degree * static_cast<double>(n));
+
+  // Build an endpoint pool proportional to weight and sample pairs from it.
+  // This is the O(m) "edge-skipping-free" approximation of Chung–Lu, exact
+  // in expectation.
+  std::vector<double> cumulative(cfg.num_vertices);
+  double acc = 0;
+  for (VertexId v = 0; v < cfg.num_vertices; ++v) {
+    acc += weight[v];
+    cumulative[v] = acc;
+  }
+  auto sample_vertex = [&]() -> VertexId {
+    const double x = rng.uniform() * total_weight;
+    const auto it =
+        std::lower_bound(cumulative.begin(), cumulative.end(), x);
+    return static_cast<VertexId>(it - cumulative.begin());
+  };
+
+  EdgeList edges(cfg.num_vertices);
+  edges.reserve(target_edges);
+  EdgeId added = 0;
+  while (added < target_edges) {
+    const VertexId src = sample_vertex();
+    const VertexId dst = sample_vertex();
+    if (src == dst) continue;
+    edges.add(src, dst);
+    ++added;
+  }
+  edges.set_num_vertices(cfg.num_vertices);
+  return edges;
+}
+
+}  // namespace bpart::graph

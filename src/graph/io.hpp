@@ -1,0 +1,28 @@
+// Graph file IO.
+//
+// Two formats:
+//  * Text edge list — one "src dst" pair per line, '#' comments; the format
+//    of SNAP / KONECT dumps, so users can load real datasets if they have
+//    them.
+//  * Binary — a small header (magic, version, counts) followed by the raw
+//    edge array; ~20x faster to load, used to cache generated graphs.
+#pragma once
+
+#include <string>
+
+#include "graph/edge_list.hpp"
+
+namespace bpart::graph {
+
+/// Parse a text edge list. Throws std::runtime_error on unreadable files or
+/// malformed lines (with line number in the message).
+EdgeList load_text_edges(const std::string& path);
+
+void save_text_edges(const EdgeList& edges, const std::string& path);
+
+/// Binary round-trip. The header records endianness-sensitive magic so a
+/// foreign-endian file fails loudly instead of loading garbage.
+EdgeList load_binary_edges(const std::string& path);
+void save_binary_edges(const EdgeList& edges, const std::string& path);
+
+}  // namespace bpart::graph

@@ -1,0 +1,80 @@
+#include "graph/reorder.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <numeric>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace bpart::graph {
+
+bool is_permutation(const std::vector<VertexId>& perm) {
+  std::vector<bool> seen(perm.size(), false);
+  for (VertexId x : perm) {
+    if (x >= perm.size() || seen[x]) return false;
+    seen[x] = true;
+  }
+  return true;
+}
+
+Graph apply_permutation(const Graph& g, const std::vector<VertexId>& perm) {
+  BPART_CHECK_MSG(perm.size() == g.num_vertices(),
+                  "permutation size mismatch");
+  BPART_CHECK_MSG(is_permutation(perm), "not a permutation of [0, n)");
+  EdgeList edges(g.num_vertices());
+  edges.reserve(g.num_edges());
+  for (VertexId v = 0; v < g.num_vertices(); ++v)
+    for (VertexId u : g.out_neighbors(v)) edges.add(perm[v], perm[u]);
+  edges.set_num_vertices(g.num_vertices());
+  return Graph::from_edges(edges);
+}
+
+std::vector<VertexId> degree_order(const Graph& g) {
+  const VertexId n = g.num_vertices();
+  std::vector<VertexId> by_degree(n);
+  std::iota(by_degree.begin(), by_degree.end(), VertexId{0});
+  std::stable_sort(by_degree.begin(), by_degree.end(),
+                   [&](VertexId a, VertexId b) {
+                     return g.out_degree(a) > g.out_degree(b);
+                   });
+  // by_degree[rank] = old id; invert to perm[old id] = rank.
+  std::vector<VertexId> perm(n);
+  for (VertexId rank = 0; rank < n; ++rank) perm[by_degree[rank]] = rank;
+  return perm;
+}
+
+std::vector<VertexId> bfs_order(const Graph& g, VertexId source) {
+  const VertexId n = g.num_vertices();
+  BPART_CHECK(source < n);
+  std::vector<VertexId> perm(n, kInvalidVertex);
+  VertexId next_rank = 0;
+  std::deque<VertexId> queue{source};
+  perm[source] = next_rank++;
+  while (!queue.empty()) {
+    const VertexId v = queue.front();
+    queue.pop_front();
+    auto visit = [&](VertexId u) {
+      if (perm[u] == kInvalidVertex) {
+        perm[u] = next_rank++;
+        queue.push_back(u);
+      }
+    };
+    for (VertexId u : g.out_neighbors(v)) visit(u);
+    for (VertexId u : g.in_neighbors(v)) visit(u);
+  }
+  for (VertexId v = 0; v < n; ++v)
+    if (perm[v] == kInvalidVertex) perm[v] = next_rank++;
+  return perm;
+}
+
+std::vector<VertexId> random_order(VertexId n, std::uint64_t seed) {
+  std::vector<VertexId> perm(n);
+  std::iota(perm.begin(), perm.end(), VertexId{0});
+  Xoshiro256 rng(seed);
+  for (VertexId i = n; i > 1; --i)
+    std::swap(perm[i - 1], perm[rng.bounded(i)]);
+  return perm;
+}
+
+}  // namespace bpart::graph

@@ -1,0 +1,28 @@
+// Fundamental graph types shared across the library.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <limits>
+
+namespace bpart::graph {
+
+/// Vertex identifier. 32 bits covers graphs up to ~4.3B vertices, which is
+/// larger than any dataset in the paper; halves CSR memory vs 64-bit ids.
+using VertexId = std::uint32_t;
+
+/// Edge counter / CSR offset type. Edge counts exceed 2^32 for Friendster.
+using EdgeId = std::uint64_t;
+
+inline constexpr VertexId kInvalidVertex =
+    std::numeric_limits<VertexId>::max();
+
+/// A directed edge (src -> dst).
+struct Edge {
+  VertexId src = 0;
+  VertexId dst = 0;
+
+  friend constexpr auto operator<=>(const Edge&, const Edge&) = default;
+};
+
+}  // namespace bpart::graph

@@ -1,0 +1,37 @@
+// Recursive two-dimensionally balanced bisection — a GD-style baseline.
+//
+// The paper's related work (§5) cites Avdiukhin et al.'s projected gradient
+// descent, which achieves 2D balance by recursive two-way splits but "is
+// very time-consuming and only partitions into power-of-two subgraphs".
+// This is a faithful-in-spirit, local-search variant: each level splits a
+// vertex set into two sides with *target fractions* ⌈k/2⌉/k and ⌊k/2⌋/k in
+// BOTH dimensions (so arbitrary k works), using the weighted stream for
+// initialization, a shift phase to hit the targets, and a bounded
+// FM-style refinement to recover cut quality. Slower than BPart (log k
+// full passes) — which is exactly the related-work trade-off the paper
+// highlights.
+#pragma once
+
+#include "partition/partitioner.hpp"
+
+namespace bpart::partition {
+
+struct BisectionConfig {
+  double balance_threshold = 0.05;  ///< Per-level band around the targets.
+  unsigned refine_sweeps = 4;       ///< FM-lite passes per level.
+  double stream_c = 0.5;            ///< Weighted-stream init (Eq. 1's c).
+};
+
+class RecursiveBisection final : public Partitioner {
+ public:
+  explicit RecursiveBisection(BisectionConfig cfg = {}) : cfg_(cfg) {}
+
+  [[nodiscard]] std::string name() const override { return "bisect"; }
+  [[nodiscard]] Partition partition(const graph::Graph& g,
+                                    PartId k) const override;
+
+ private:
+  BisectionConfig cfg_;
+};
+
+}  // namespace bpart::partition

@@ -1,0 +1,42 @@
+#include "partition/chunk.hpp"
+
+#include "util/check.hpp"
+
+namespace bpart::partition {
+
+Partition ChunkV::partition(const graph::Graph& g, PartId k) const {
+  BPART_CHECK(k >= 1);
+  const graph::VertexId n = g.num_vertices();
+  Partition p(n, k);
+  for (graph::VertexId v = 0; v < n; ++v) {
+    // Integer split: part i receives the range [i*n/k, (i+1)*n/k).
+    const auto part = static_cast<PartId>(
+        (static_cast<std::uint64_t>(v) * k) / std::max<graph::VertexId>(n, 1));
+    p.assign(v, part < k ? part : k - 1);
+  }
+  return p;
+}
+
+Partition ChunkE::partition(const graph::Graph& g, PartId k) const {
+  BPART_CHECK(k >= 1);
+  const graph::VertexId n = g.num_vertices();
+  Partition p(n, k);
+  const std::uint64_t total = g.num_edges();
+  // Greedy cumulative split: advance to the next part once this one's edge
+  // budget (total/k) is met. Vertices are atomic, so parts can overshoot by
+  // at most one vertex's degree — exactly how KnightKing chunks its edges.
+  std::uint64_t seen = 0;
+  PartId part = 0;
+  for (graph::VertexId v = 0; v < n; ++v) {
+    // Target boundary for part `part` is (part+1) * total / k.
+    while (part + 1 < k &&
+           seen >= ((part + 1) * total) / k) {
+      ++part;
+    }
+    p.assign(v, part);
+    seen += g.out_degree(v);
+  }
+  return p;
+}
+
+}  // namespace bpart::partition

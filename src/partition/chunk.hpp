@@ -1,0 +1,28 @@
+// Chunk-V and Chunk-E: contiguous-range ("chunking") partitioners.
+//
+// Chunk-V (Gemini, GridGraph) slices the vertex-id range into k runs of
+// equal vertex count. Chunk-E (KnightKing, GraphChi) slices it into runs of
+// equal *edge* count (cumulative out-degree). Each balances exactly one
+// dimension — the imbalance of the other on power-law graphs is the
+// paper's Limitation #1.
+#pragma once
+
+#include "partition/partitioner.hpp"
+
+namespace bpart::partition {
+
+class ChunkV final : public Partitioner {
+ public:
+  [[nodiscard]] std::string name() const override { return "chunk-v"; }
+  [[nodiscard]] Partition partition(const graph::Graph& g,
+                                    PartId k) const override;
+};
+
+class ChunkE final : public Partitioner {
+ public:
+  [[nodiscard]] std::string name() const override { return "chunk-e"; }
+  [[nodiscard]] Partition partition(const graph::Graph& g,
+                                    PartId k) const override;
+};
+
+}  // namespace bpart::partition

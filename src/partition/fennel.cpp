@@ -1,0 +1,13 @@
+#include "partition/fennel.hpp"
+
+#include <numeric>
+
+namespace bpart::partition {
+
+Partition Fennel::partition(const graph::Graph& g, PartId k) const {
+  std::vector<graph::VertexId> order(g.num_vertices());
+  std::iota(order.begin(), order.end(), graph::VertexId{0});
+  return greedy_stream_partition(g, order, k, cfg_);
+}
+
+}  // namespace bpart::partition

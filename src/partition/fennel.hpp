@@ -1,0 +1,30 @@
+// Fennel [Tsourakakis et al., WSDM'14]: streaming partitioning that greedily
+// maximizes  S(v, G_i) = |V_i ∩ N(v)| − α·γ·|V_i|^(γ−1).
+//
+// The first term pulls v toward the part holding most of its neighbors
+// (fewer cuts); the second penalizes already-large parts (vertex balance).
+// Fennel balances *vertices only* — setting StreamConfig::balance_weight_c
+// below 1 turns it into BPart's weighted phase-1 pass.
+#pragma once
+
+#include "partition/partitioner.hpp"
+
+namespace bpart::partition {
+
+class Fennel final : public Partitioner {
+ public:
+  explicit Fennel(StreamConfig cfg = {}) : cfg_(cfg) {
+    cfg_.balance_weight_c = 1.0;  // Fennel is the c=1 special case of Eq. 1.
+  }
+
+  [[nodiscard]] std::string name() const override { return "fennel"; }
+  [[nodiscard]] Partition partition(const graph::Graph& g,
+                                    PartId k) const override;
+
+  [[nodiscard]] const StreamConfig& config() const { return cfg_; }
+
+ private:
+  StreamConfig cfg_;
+};
+
+}  // namespace bpart::partition

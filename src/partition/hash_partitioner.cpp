@@ -1,0 +1,18 @@
+#include "partition/hash_partitioner.hpp"
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace bpart::partition {
+
+Partition HashPartitioner::partition(const graph::Graph& g, PartId k) const {
+  BPART_CHECK(k >= 1);
+  Partition p(g.num_vertices(), k);
+  for (graph::VertexId v = 0; v < g.num_vertices(); ++v) {
+    const std::uint64_t h = splitmix64(static_cast<std::uint64_t>(v) ^ seed_);
+    p.assign(v, static_cast<PartId>(h % k));
+  }
+  return p;
+}
+
+}  // namespace bpart::partition

@@ -1,0 +1,25 @@
+// Hash partitioner (Pregel / Giraph style): part(v) = hash(v) mod k.
+//
+// Balances both dimensions in expectation (each part is a uniform vertex
+// sample) but cuts ~(k-1)/k of all edges — the paper's Limitation #2.
+#pragma once
+
+#include <cstdint>
+
+#include "partition/partitioner.hpp"
+
+namespace bpart::partition {
+
+class HashPartitioner final : public Partitioner {
+ public:
+  explicit HashPartitioner(std::uint64_t seed = 0x9e3779b9ULL) : seed_(seed) {}
+
+  [[nodiscard]] std::string name() const override { return "hash"; }
+  [[nodiscard]] Partition partition(const graph::Graph& g,
+                                    PartId k) const override;
+
+ private:
+  std::uint64_t seed_;
+};
+
+}  // namespace bpart::partition

@@ -1,0 +1,66 @@
+#include "partition/io.hpp"
+
+#include <charconv>
+#include <fstream>
+#include <stdexcept>
+#include <string_view>
+
+namespace bpart::partition {
+
+namespace {
+[[noreturn]] void fail(const std::string& what) {
+  throw std::runtime_error(what);
+}
+
+bool parse_u32(std::string_view tok, std::uint32_t& out) {
+  const auto res = std::from_chars(tok.data(), tok.data() + tok.size(), out);
+  return res.ec == std::errc{} && res.ptr == tok.data() + tok.size();
+}
+}  // namespace
+
+void save_partition(const Partition& p, const std::string& path) {
+  std::ofstream f(path);
+  if (!f) fail("cannot write partition: " + path);
+  f << "# bpart partition: " << p.num_vertices() << " vertices, "
+    << p.num_parts() << " parts\n";
+  for (graph::VertexId v = 0; v < p.num_vertices(); ++v)
+    if (p[v] != kUnassigned) f << v << ' ' << p[v] << '\n';
+  if (!f) fail("write error on " + path);
+}
+
+Partition load_partition(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) fail("cannot open partition: " + path);
+  std::string line;
+  std::size_t line_no = 0;
+
+  // Header carries the authoritative sizes (vertices may be unassigned and
+  // so absent from the body).
+  graph::VertexId n = 0;
+  PartId k = 0;
+  if (!std::getline(f, line)) fail(path + ": empty file");
+  ++line_no;
+  if (std::sscanf(line.c_str(), "# bpart partition: %u vertices, %u parts",
+                  &n, &k) != 2)
+    fail(path + ":1: missing 'bpart partition' header");
+
+  Partition p(n, k);
+  while (std::getline(f, line)) {
+    ++line_no;
+    std::string_view sv(line);
+    while (!sv.empty() && (sv.back() == '\r' || sv.back() == ' '))
+      sv.remove_suffix(1);
+    if (sv.empty() || sv.front() == '#') continue;
+    const auto sep = sv.find(' ');
+    std::uint32_t v = 0, part = 0;
+    if (sep == std::string_view::npos || !parse_u32(sv.substr(0, sep), v) ||
+        !parse_u32(sv.substr(sep + 1), part))
+      fail(path + ":" + std::to_string(line_no) + ": expected 'vertex part'");
+    if (v >= n || part >= k)
+      fail(path + ":" + std::to_string(line_no) + ": value out of range");
+    p.assign(v, part);
+  }
+  return p;
+}
+
+}  // namespace bpart::partition

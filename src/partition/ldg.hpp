@@ -1,0 +1,29 @@
+// LDG — Linear Deterministic Greedy streaming partitioner
+// [Stanton & Kliot, KDD'12], the streaming baseline that predates Fennel.
+//
+// Assigns each streamed vertex to the part maximizing
+//   |P_i ∩ N(v)| · (1 − |P_i| / C),       C = capacity = ⌈n/k⌉,
+// i.e. neighbor affinity scaled by remaining capacity. Like Fennel it is
+// vertex-balanced only; it is included as an additional baseline for the
+// ablation benches and to exercise the partitioner framework.
+#pragma once
+
+#include "partition/partitioner.hpp"
+
+namespace bpart::partition {
+
+class Ldg final : public Partitioner {
+ public:
+  /// Capacity slack: parts may exceed ⌈n/k⌉ by this factor before the
+  /// multiplicative penalty zeroes out (1.0 = strict LDG).
+  explicit Ldg(double capacity_slack = 1.0) : slack_(capacity_slack) {}
+
+  [[nodiscard]] std::string name() const override { return "ldg"; }
+  [[nodiscard]] Partition partition(const graph::Graph& g,
+                                    PartId k) const override;
+
+ private:
+  double slack_;
+};
+
+}  // namespace bpart::partition

@@ -1,0 +1,62 @@
+#include "partition/partition.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace bpart::partition {
+
+Partition::Partition(std::vector<PartId> assignment, PartId num_parts)
+    : assign_(std::move(assignment)), num_parts_(num_parts) {
+  for (PartId p : assign_)
+    BPART_CHECK_MSG(p < num_parts_ || p == kUnassigned,
+                    "part id " << p << " out of range (" << num_parts_ << ")");
+}
+
+void Partition::assign(graph::VertexId v, PartId p) {
+  BPART_CHECK(v < assign_.size());
+  BPART_CHECK_MSG(p < num_parts_, "part id " << p << " out of range ("
+                                             << num_parts_ << ")");
+  assign_[v] = p;
+}
+
+bool Partition::fully_assigned() const {
+  return std::none_of(assign_.begin(), assign_.end(),
+                      [](PartId p) { return p == kUnassigned; });
+}
+
+std::vector<std::uint64_t> Partition::vertex_counts() const {
+  std::vector<std::uint64_t> counts(num_parts_, 0);
+  for (PartId p : assign_)
+    if (p != kUnassigned) ++counts[p];
+  return counts;
+}
+
+std::vector<std::uint64_t> Partition::edge_counts(
+    const graph::Graph& g) const {
+  BPART_CHECK_MSG(g.num_vertices() == assign_.size(),
+                  "partition/graph size mismatch");
+  std::vector<std::uint64_t> counts(num_parts_, 0);
+  for (graph::VertexId v = 0; v < g.num_vertices(); ++v) {
+    const PartId p = assign_[v];
+    if (p != kUnassigned) counts[p] += g.out_degree(v);
+  }
+  return counts;
+}
+
+Partition Partition::remapped(const std::vector<PartId>& map) const {
+  BPART_CHECK_MSG(map.size() == num_parts_,
+                  "remap table size " << map.size() << " != num_parts "
+                                      << num_parts_);
+  PartId new_parts = 0;
+  for (PartId p : map) {
+    BPART_CHECK(p != kUnassigned);
+    new_parts = std::max(new_parts, static_cast<PartId>(p + 1));
+  }
+  std::vector<PartId> remapped(assign_.size());
+  for (std::size_t v = 0; v < assign_.size(); ++v)
+    remapped[v] = assign_[v] == kUnassigned ? kUnassigned : map[assign_[v]];
+  return Partition(std::move(remapped), new_parts);
+}
+
+}  // namespace bpart::partition

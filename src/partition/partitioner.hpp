@@ -1,0 +1,73 @@
+// Partitioner interface and the shared streaming-partition driver.
+//
+// Fig. 2 of the paper shows all practical schemes as variations of one
+// workflow: scan a vertex stream, decide a part per vertex. Chunk-V/Chunk-E
+// use running counters, Hash a random draw, Fennel and BPart's phase 1 a
+// per-part score. `greedy_stream_partition` implements the score-based
+// variant once; Fennel and BPart plug in their configurations.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "graph/csr.hpp"
+#include "partition/partition.hpp"
+
+namespace bpart::partition {
+
+class Partitioner {
+ public:
+  virtual ~Partitioner() = default;
+
+  /// Stable identifier ("chunk-v", "fennel", "bpart", ...).
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Split g's vertices into k parts. Must return a fully assigned
+  /// partition with exactly k parts. Implementations are deterministic for
+  /// a fixed (graph, k, configuration).
+  [[nodiscard]] virtual Partition partition(const graph::Graph& g,
+                                            PartId k) const = 0;
+};
+
+/// Configuration of the greedy streaming pass shared by Fennel and BPart.
+struct StreamConfig {
+  /// Weighting factor c in the paper's Eq. 1. c=1 reduces W_i to |V_i|
+  /// (classic Fennel); c=0 to |E_i|/d̄; BPart default is 1/2.
+  double balance_weight_c = 1.0;
+
+  /// Fennel's γ exponent of the penalty term (Eq. 2); γ=1.5 is the
+  /// published default.
+  double gamma = 1.5;
+
+  /// Fennel's α. 0 means auto-calibrate to sqrt(k)·m / n^1.5, the value
+  /// the Fennel paper derives for γ=1.5.
+  double alpha = 0.0;
+
+  /// Multiplier applied to the auto-calibrated α (ignored when alpha > 0).
+  /// Values < 1 shift the soft score toward cut minimization and leave
+  /// balancing to the hard capacity cap.
+  double alpha_scale = 1.0;
+
+  /// Hard capacity: no part may exceed slack × (ΣW / k). Keeps adversarial
+  /// streams from collapsing into one part; 0 disables the cap.
+  double capacity_slack = 1.2;
+
+  /// Score with in-neighbors as well as out-neighbors. On the symmetric
+  /// social graphs of the paper this is a no-op; on directed graphs it
+  /// substantially lowers cuts.
+  bool use_in_neighbors = true;
+};
+
+/// Stream `vertices` (in the given order) into k fresh parts, greedily
+/// maximizing S(v, G_i) = |V_i ∩ N(v)| − α·γ·W_i^(γ−1) (paper Eq. 2).
+///
+/// Only vertices in `vertices` participate: neighbor overlap counts other
+/// subset members already assigned, and balance totals are subset-local.
+/// Returns a full-size Partition in which vertices outside the subset are
+/// kUnassigned. Passing all vertices of g gives the classic whole-graph
+/// streaming partition.
+Partition greedy_stream_partition(const graph::Graph& g,
+                                  std::span<const graph::VertexId> vertices,
+                                  PartId k, const StreamConfig& cfg);
+
+}  // namespace bpart::partition

@@ -1,0 +1,42 @@
+// Post-hoc two-dimensional rebalancing of an arbitrary partition.
+//
+// An alternative route to 2D balance the paper does not evaluate: take any
+// partition (say Fennel's — vertex-balanced, edge-skewed, cut-optimal) and
+// migrate boundary vertices until both dimensions are within a threshold,
+// choosing at each step the migration that damages the cut least. The
+// ablation bench compares "Fennel + rebalance" against BPart: it reaches
+// similar balance but keeps less of Fennel's cut advantage than one might
+// hope, because draining an edge-heavy part means moving exactly its
+// best-connected vertices.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/csr.hpp"
+#include "partition/partition.hpp"
+
+namespace bpart::partition {
+
+struct RebalanceConfig {
+  /// Target: both dimensions within tau of the per-part ideal.
+  double balance_threshold = 0.1;
+  /// Abort after this many migrations (guards pathological inputs).
+  std::uint64_t max_moves = 1u << 22;
+  /// Consider only moves whose destination stays under (1 + tau) × ideal
+  /// in both dimensions.
+  bool strict_destination = true;
+};
+
+struct RebalanceStats {
+  std::uint64_t moves = 0;
+  bool converged = false;
+  double initial_vertex_bias = 0, final_vertex_bias = 0;
+  double initial_edge_bias = 0, final_edge_bias = 0;
+};
+
+/// Rebalance `p` in place toward 2D balance. Returns migration statistics.
+/// The partition must be fully assigned.
+RebalanceStats rebalance(const graph::Graph& g, Partition& p,
+                         const RebalanceConfig& cfg = {});
+
+}  // namespace bpart::partition

@@ -1,0 +1,39 @@
+#include "partition/registry.hpp"
+
+#include <stdexcept>
+
+#include "partition/bisection.hpp"
+#include "partition/bpart.hpp"
+#include "partition/chunk.hpp"
+#include "partition/fennel.hpp"
+#include "partition/hash_partitioner.hpp"
+#include "partition/ldg.hpp"
+#include "partition/multilevel.hpp"
+
+namespace bpart::partition {
+
+std::unique_ptr<Partitioner> create(const std::string& name) {
+  if (name == "chunk-v") return std::make_unique<ChunkV>();
+  if (name == "chunk-e") return std::make_unique<ChunkE>();
+  if (name == "hash") return std::make_unique<HashPartitioner>();
+  if (name == "fennel") return std::make_unique<Fennel>();
+  if (name == "bpart") return std::make_unique<BPart>();
+  if (name == "ldg") return std::make_unique<Ldg>();
+  if (name == "bisect") return std::make_unique<RecursiveBisection>();
+  if (name == "multilevel") return std::make_unique<Multilevel>();
+  throw std::out_of_range("unknown partitioner: " + name);
+}
+
+const std::vector<std::string>& paper_algorithms() {
+  static const std::vector<std::string> names = {"chunk-v", "chunk-e",
+                                                 "fennel", "hash", "bpart"};
+  return names;
+}
+
+const std::vector<std::string>& all_algorithms() {
+  static const std::vector<std::string> names = {
+      "chunk-v", "chunk-e", "fennel", "hash", "bpart", "ldg", "bisect", "multilevel"};
+  return names;
+}
+
+}  // namespace bpart::partition

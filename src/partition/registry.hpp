@@ -1,0 +1,24 @@
+// Name-based partitioner factory, used by benches, examples and tests to
+// iterate "all the algorithms the paper compares".
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "partition/partitioner.hpp"
+
+namespace bpart::partition {
+
+/// Create a partitioner by name: "chunk-v", "chunk-e", "hash", "fennel",
+/// "bpart", "multilevel". Throws std::out_of_range for unknown names.
+std::unique_ptr<Partitioner> create(const std::string& name);
+
+/// Names of the streaming algorithms compared throughout §4, in the
+/// paper's order: chunk-v, chunk-e, fennel, hash, bpart.
+const std::vector<std::string>& paper_algorithms();
+
+/// All registered names (paper algorithms + multilevel).
+const std::vector<std::string>& all_algorithms();
+
+}  // namespace bpart::partition

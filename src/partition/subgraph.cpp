@@ -1,0 +1,105 @@
+#include "partition/subgraph.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "partition/metrics.hpp"
+#include "util/check.hpp"
+
+namespace bpart::partition {
+
+std::vector<Subgraph> build_subgraphs(const graph::Graph& g,
+                                      const Partition& p) {
+  BPART_CHECK(g.num_vertices() == p.num_vertices());
+  BPART_CHECK_MSG(p.fully_assigned(), "subgraphs need a full assignment");
+  const PartId k = p.num_parts();
+  const graph::VertexId n = g.num_vertices();
+
+  // Pass 1: owned vertices per part, ascending global id.
+  std::vector<std::vector<graph::VertexId>> owned(k);
+  for (graph::VertexId v = 0; v < n; ++v) owned[p[v]].push_back(v);
+
+  // Pass 2: ghost discovery per part (sorted unique remote targets).
+  std::vector<std::vector<graph::VertexId>> ghosts(k);
+  for (graph::VertexId v = 0; v < n; ++v) {
+    const PartId owner = p[v];
+    for (graph::VertexId u : g.out_neighbors(v))
+      if (p[u] != owner) ghosts[owner].push_back(u);
+  }
+  for (auto& list : ghosts) {
+    std::sort(list.begin(), list.end());
+    list.erase(std::unique(list.begin(), list.end()), list.end());
+  }
+
+  std::vector<Subgraph> subs(k);
+  for (PartId part = 0; part < k; ++part) {
+    Subgraph& sub = subs[part];
+    sub.num_local = static_cast<graph::VertexId>(owned[part].size());
+    sub.num_ghosts = static_cast<graph::VertexId>(ghosts[part].size());
+    sub.global_id = owned[part];
+    sub.global_id.insert(sub.global_id.end(), ghosts[part].begin(),
+                         ghosts[part].end());
+    sub.ghost_owner.reserve(sub.num_ghosts);
+    for (graph::VertexId ghost : ghosts[part])
+      sub.ghost_owner.push_back(p[ghost]);
+
+    // Global -> local map for this part.
+    std::unordered_map<graph::VertexId, graph::VertexId> local_of;
+    local_of.reserve(sub.global_id.size() * 2);
+    for (graph::VertexId lid = 0; lid < sub.global_id.size(); ++lid)
+      local_of.emplace(sub.global_id[lid], lid);
+
+    graph::EdgeList edges(static_cast<graph::VertexId>(sub.global_id.size()));
+    for (graph::VertexId lid = 0; lid < sub.num_local; ++lid) {
+      const graph::VertexId v = sub.global_id[lid];
+      for (graph::VertexId u : g.out_neighbors(v)) {
+        edges.add(lid, local_of.at(u));
+        if (p[u] != part) ++sub.cut_edges;
+      }
+    }
+    edges.set_num_vertices(
+        static_cast<graph::VertexId>(sub.global_id.size()));
+    sub.local = graph::Graph::from_edges(edges);
+  }
+  return subs;
+}
+
+bool verify_subgraphs(const graph::Graph& g, const Partition& p,
+                      const std::vector<Subgraph>& subs) {
+  if (subs.size() != p.num_parts()) return false;
+
+  std::uint64_t total_edges = 0;
+  std::uint64_t total_owned = 0;
+  std::uint64_t total_cut = 0;
+  for (PartId part = 0; part < subs.size(); ++part) {
+    const Subgraph& sub = subs[part];
+    if (sub.global_id.size() !=
+        static_cast<std::size_t>(sub.num_local) + sub.num_ghosts)
+      return false;
+    if (sub.ghost_owner.size() != sub.num_ghosts) return false;
+    total_owned += sub.num_local;
+    total_cut += sub.cut_edges;
+
+    for (graph::VertexId lid = 0; lid < sub.global_id.size(); ++lid) {
+      const graph::VertexId global = sub.global_id[lid];
+      if (global >= g.num_vertices()) return false;
+      const bool ghost = sub.is_ghost(lid);
+      if (!ghost && p[global] != part) return false;
+      if (ghost && p[global] == part) return false;
+      if (ghost && sub.ghost_owner[lid - sub.num_local] != p[global])
+        return false;
+      // Ghosts hold no out-edges locally.
+      if (ghost && sub.local.out_degree(lid) != 0) return false;
+      // Owned vertices carry their full global adjacency.
+      if (!ghost && sub.local.out_degree(lid) != g.out_degree(global))
+        return false;
+      total_edges += sub.local.out_degree(lid);
+    }
+  }
+  if (total_owned != g.num_vertices()) return false;
+  if (total_edges != g.num_edges()) return false;
+  if (total_cut != edge_cut_count(g, p)) return false;
+  return true;
+}
+
+}  // namespace bpart::partition

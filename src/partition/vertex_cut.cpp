@@ -1,0 +1,198 @@
+#include "partition/vertex_cut.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace bpart::partition {
+
+void EdgePartition::assign(graph::EdgeId e, PartId p) {
+  BPART_CHECK(e < assign_.size());
+  BPART_CHECK(p < num_parts_);
+  assign_[e] = p;
+}
+
+bool EdgePartition::fully_assigned() const {
+  return std::none_of(assign_.begin(), assign_.end(),
+                      [](PartId p) { return p == kUnassigned; });
+}
+
+std::vector<std::uint64_t> EdgePartition::edge_counts() const {
+  std::vector<std::uint64_t> counts(num_parts_, 0);
+  for (PartId p : assign_)
+    if (p != kUnassigned) ++counts[p];
+  return counts;
+}
+
+ReplicationReport replication_report(const graph::Graph& g,
+                                     const EdgePartition& ep) {
+  BPART_CHECK(ep.num_edges() == g.num_edges());
+  const graph::VertexId n = g.num_vertices();
+  const PartId k = ep.num_parts();
+  ReplicationReport r;
+  r.copies.assign(n, 0);
+
+  // Replica bitmap per vertex; k is small (<= a few hundred), a byte-mask
+  // vector per vertex would be heavy, so reuse one bitmap row at a time per
+  // vertex over its incident edges (out first, then in via the reverse
+  // index is unnecessary: every directed edge names both endpoints).
+  std::vector<std::vector<bool>> present(
+      n, std::vector<bool>());  // lazily sized on first touch
+  auto mark = [&](graph::VertexId v, PartId p) {
+    auto& row = present[v];
+    if (row.empty()) row.assign(k, false);
+    row[p] = true;
+  };
+  for (graph::VertexId v = 0; v < n; ++v) {
+    const auto nbrs = g.out_neighbors(v);
+    for (graph::EdgeId i = 0; i < nbrs.size(); ++i) {
+      const PartId p = ep[g.out_edge_index(v, i)];
+      if (p == kUnassigned) continue;
+      mark(v, p);
+      mark(nbrs[i], p);
+    }
+  }
+
+  double total_copies = 0;
+  graph::VertexId counted = 0;
+  for (graph::VertexId v = 0; v < n; ++v) {
+    std::uint32_t copies = 0;
+    for (PartId p = 0; p < k && !present[v].empty(); ++p)
+      if (present[v][p]) ++copies;
+    r.copies[v] = copies;
+    if (copies > 0) {
+      total_copies += copies;
+      ++counted;
+      r.max_copies = std::max(r.max_copies, static_cast<double>(copies));
+    }
+  }
+  r.replication_factor = counted == 0 ? 0.0 : total_copies / counted;
+  r.edge_counts = ep.edge_counts();
+  r.edge_bias = stats::bias(stats::to_doubles(r.edge_counts));
+  return r;
+}
+
+EdgePartition RandomEdgePlacement::partition(const graph::Graph& g,
+                                             PartId k) const {
+  BPART_CHECK(k >= 1);
+  EdgePartition ep(g.num_edges(), k);
+  for (graph::VertexId v = 0; v < g.num_vertices(); ++v) {
+    const auto nbrs = g.out_neighbors(v);
+    for (graph::EdgeId i = 0; i < nbrs.size(); ++i) {
+      // Canonicalize so (u,v) and (v,u) land on the same part — a vertex-cut
+      // treats the two directions of a symmetric edge as one edge.
+      const auto a = std::min<graph::VertexId>(v, nbrs[i]);
+      const auto b = std::max<graph::VertexId>(v, nbrs[i]);
+      const std::uint64_t key =
+          (static_cast<std::uint64_t>(a) << 32) | b;
+      ep.assign(g.out_edge_index(v, i),
+                static_cast<PartId>(splitmix64(key ^ seed_) % k));
+    }
+  }
+  return ep;
+}
+
+EdgePartition DegreeBasedHashing::partition(const graph::Graph& g,
+                                            PartId k) const {
+  BPART_CHECK(k >= 1);
+  EdgePartition ep(g.num_edges(), k);
+  for (graph::VertexId v = 0; v < g.num_vertices(); ++v) {
+    const auto nbrs = g.out_neighbors(v);
+    for (graph::EdgeId i = 0; i < nbrs.size(); ++i) {
+      const graph::VertexId u = nbrs[i];
+      // Hash the LOWER-degree endpoint: the hub's edges spread over parts
+      // (replicating the hub), the leaf's stay together (one copy). Ties
+      // break on vertex id so both directions of a symmetric edge agree.
+      const auto dv = g.out_degree(v) + g.in_degree(v);
+      const auto du = g.out_degree(u) + g.in_degree(u);
+      const graph::VertexId anchor =
+          dv != du ? (dv < du ? v : u) : std::min(v, u);
+      ep.assign(g.out_edge_index(v, i),
+                static_cast<PartId>(
+                    splitmix64(static_cast<std::uint64_t>(anchor) ^ seed_) %
+                    k));
+    }
+  }
+  return ep;
+}
+
+EdgePartition Hdrf::partition(const graph::Graph& g, PartId k) const {
+  BPART_CHECK(k >= 1);
+  const graph::VertexId n = g.num_vertices();
+  EdgePartition ep(g.num_edges(), k);
+
+  // Streaming state: per-vertex replica bitmask (k <= 64 parts packed in a
+  // word; larger k falls back to modulo-spread blocks).
+  BPART_CHECK_MSG(k <= 64, "hdrf supports up to 64 parts");
+  std::vector<std::uint64_t> replicas(n, 0);
+  std::vector<std::uint64_t> partial_degree(n, 0);
+  std::vector<std::uint64_t> load(k, 0);
+  std::uint64_t max_load = 0, min_load = 0;
+
+  auto g_score = [&](graph::VertexId v, graph::VertexId other, PartId p) {
+    if ((replicas[v] & (1ULL << p)) == 0) return 0.0;
+    const double dv = static_cast<double>(partial_degree[v]) + 1.0;
+    const double doth = static_cast<double>(partial_degree[other]) + 1.0;
+    const double theta = dv / (dv + doth);
+    return 1.0 + (1.0 - theta);
+  };
+
+  for (graph::VertexId v = 0; v < n; ++v) {
+    const auto nbrs = g.out_neighbors(v);
+    for (graph::EdgeId i = 0; i < nbrs.size(); ++i) {
+      const graph::VertexId u = nbrs[i];
+      if (u < v) {
+        // The reverse direction was already placed; copy its assignment so
+        // both directions of a symmetric edge share a part.
+        const auto rev = g.out_neighbors(u);
+        const auto it = std::lower_bound(rev.begin(), rev.end(), v);
+        if (it != rev.end() && *it == v) {
+          const graph::EdgeId rev_idx =
+              g.out_edge_index(u, static_cast<graph::EdgeId>(it - rev.begin()));
+          const PartId p = ep[rev_idx];
+          if (p != kUnassigned) {
+            ep.assign(g.out_edge_index(v, i), p);
+            continue;
+          }
+        }
+      }
+      ++partial_degree[v];
+      ++partial_degree[u];
+      PartId best = 0;
+      double best_score = -std::numeric_limits<double>::infinity();
+      const double spread =
+          static_cast<double>(max_load - min_load) + cfg_.epsilon;
+      for (PartId p = 0; p < k; ++p) {
+        const double rep = g_score(v, u, p) + g_score(u, v, p);
+        const double bal = cfg_.lambda *
+                           static_cast<double>(max_load - load[p]) / spread;
+        const double score = rep + bal;
+        if (score > best_score) {
+          best_score = score;
+          best = p;
+        }
+      }
+      ep.assign(g.out_edge_index(v, i), best);
+      replicas[v] |= 1ULL << best;
+      replicas[u] |= 1ULL << best;
+      ++load[best];
+      max_load = *std::max_element(load.begin(), load.end());
+      min_load = *std::min_element(load.begin(), load.end());
+    }
+  }
+  return ep;
+}
+
+std::unique_ptr<EdgePartitioner> create_edge_partitioner(
+    const std::string& name) {
+  if (name == "random-edge") return std::make_unique<RandomEdgePlacement>();
+  if (name == "dbh") return std::make_unique<DegreeBasedHashing>();
+  if (name == "hdrf") return std::make_unique<Hdrf>();
+  throw std::out_of_range("unknown edge partitioner: " + name);
+}
+
+}  // namespace bpart::partition

@@ -1,0 +1,111 @@
+// Vertex-cut partitioning — the other partitioning family the paper's
+// related-work section contrasts with (§5): the *edge* set is split into
+// disjoint parts and vertices incident to several parts are replicated.
+// The cost metric is the replication factor (average copies per vertex),
+// which drives synchronization traffic in PowerGraph-style systems.
+//
+// Implemented placers:
+//  * RandomEdgePlacement — hash of the edge (the PowerGraph default).
+//  * DegreeBasedHashing (DBH) [Xie et al., NeurIPS'14] — hash of the
+//    lower-degree endpoint, replicating hubs preferentially.
+//  * HDRF [Petroni et al., CIKM'15] — streaming scores that replicate the
+//    highest-degree vertex first, with a balance term.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "partition/partition.hpp"
+
+namespace bpart::partition {
+
+/// Assignment of every directed edge (indexed by Graph::out_edge_index) to
+/// a part.
+class EdgePartition {
+ public:
+  EdgePartition() = default;
+  EdgePartition(graph::EdgeId num_edges, PartId num_parts)
+      : assign_(num_edges, kUnassigned), num_parts_(num_parts) {}
+
+  [[nodiscard]] graph::EdgeId num_edges() const { return assign_.size(); }
+  [[nodiscard]] PartId num_parts() const { return num_parts_; }
+  [[nodiscard]] PartId operator[](graph::EdgeId e) const { return assign_[e]; }
+  void assign(graph::EdgeId e, PartId p);
+  [[nodiscard]] bool fully_assigned() const;
+
+  /// Edges per part.
+  [[nodiscard]] std::vector<std::uint64_t> edge_counts() const;
+
+ private:
+  std::vector<PartId> assign_;
+  PartId num_parts_ = 0;
+};
+
+/// Per-vertex replica sets derived from an edge partition: vertex v is
+/// replicated on every part hosting one of its incident edges.
+struct ReplicationReport {
+  /// copies[v] = number of parts holding a replica of v (0 for isolated).
+  std::vector<std::uint32_t> copies;
+  double replication_factor = 0;  ///< mean copies over non-isolated vertices.
+  double max_copies = 0;
+  std::vector<std::uint64_t> edge_counts;  ///< per-part edge loads.
+  double edge_bias = 0;                    ///< (max-mean)/mean of the loads.
+};
+
+ReplicationReport replication_report(const graph::Graph& g,
+                                     const EdgePartition& ep);
+
+class EdgePartitioner {
+ public:
+  virtual ~EdgePartitioner() = default;
+  [[nodiscard]] virtual std::string name() const = 0;
+  [[nodiscard]] virtual EdgePartition partition(const graph::Graph& g,
+                                                PartId k) const = 0;
+};
+
+class RandomEdgePlacement final : public EdgePartitioner {
+ public:
+  explicit RandomEdgePlacement(std::uint64_t seed = 17) : seed_(seed) {}
+  [[nodiscard]] std::string name() const override { return "random-edge"; }
+  [[nodiscard]] EdgePartition partition(const graph::Graph& g,
+                                        PartId k) const override;
+
+ private:
+  std::uint64_t seed_;
+};
+
+class DegreeBasedHashing final : public EdgePartitioner {
+ public:
+  explicit DegreeBasedHashing(std::uint64_t seed = 17) : seed_(seed) {}
+  [[nodiscard]] std::string name() const override { return "dbh"; }
+  [[nodiscard]] EdgePartition partition(const graph::Graph& g,
+                                        PartId k) const override;
+
+ private:
+  std::uint64_t seed_;
+};
+
+struct HdrfConfig {
+  double lambda = 1.0;    ///< Weight of the balance term.
+  double epsilon = 1e-3;  ///< Stabilizer in the balance denominator.
+};
+
+class Hdrf final : public EdgePartitioner {
+ public:
+  explicit Hdrf(HdrfConfig cfg = {}) : cfg_(cfg) {}
+  [[nodiscard]] std::string name() const override { return "hdrf"; }
+  [[nodiscard]] EdgePartition partition(const graph::Graph& g,
+                                        PartId k) const override;
+
+ private:
+  HdrfConfig cfg_;
+};
+
+/// Factory: "random-edge", "dbh", "hdrf".
+std::unique_ptr<EdgePartitioner> create_edge_partitioner(
+    const std::string& name);
+
+}  // namespace bpart::partition

@@ -1,0 +1,52 @@
+// Lightweight runtime-check macros used across the BPart code base.
+//
+// BPART_CHECK is always on (even in release builds): partitioning bugs that
+// silently mis-assign vertices are far more expensive than a branch.
+// BPART_DCHECK compiles away in NDEBUG builds and is meant for hot loops.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace bpart {
+
+/// Thrown when a BPART_CHECK fails. Carries file/line context in what().
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "BPART_CHECK failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckError(os.str());
+}
+}  // namespace detail
+
+}  // namespace bpart
+
+#define BPART_CHECK(expr)                                                  \
+  do {                                                                     \
+    if (!(expr)) ::bpart::detail::check_failed(#expr, __FILE__, __LINE__, \
+                                               std::string{});             \
+  } while (0)
+
+#define BPART_CHECK_MSG(expr, msg)                                         \
+  do {                                                                     \
+    if (!(expr)) {                                                         \
+      std::ostringstream bpart_check_os_;                                  \
+      bpart_check_os_ << msg;                                              \
+      ::bpart::detail::check_failed(#expr, __FILE__, __LINE__,             \
+                                    bpart_check_os_.str());                \
+    }                                                                      \
+  } while (0)
+
+#ifdef NDEBUG
+#define BPART_DCHECK(expr) ((void)0)
+#else
+#define BPART_DCHECK(expr) BPART_CHECK(expr)
+#endif

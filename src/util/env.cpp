@@ -1,0 +1,46 @@
+#include "util/env.hpp"
+
+#include <cstdlib>
+#include <string>
+#include <thread>
+
+#include "util/logging.hpp"
+
+namespace bpart {
+
+double dataset_scale() {
+  static const double scale = [] {
+    const char* env = std::getenv("BPART_SCALE");
+    if (env == nullptr) return 1.0;
+    try {
+      const double s = std::stod(env);
+      if (s <= 0) {
+        LOG_WARN << "BPART_SCALE must be positive, got " << env;
+        return 1.0;
+      }
+      return s;
+    } catch (const std::exception&) {
+      LOG_WARN << "BPART_SCALE is not a number: " << env;
+      return 1.0;
+    }
+  }();
+  return scale;
+}
+
+unsigned worker_threads() {
+  static const unsigned n = [] {
+    if (const char* env = std::getenv("BPART_THREADS"); env != nullptr) {
+      try {
+        const long v = std::stol(env);
+        if (v >= 1) return static_cast<unsigned>(v);
+      } catch (const std::exception&) {
+        LOG_WARN << "BPART_THREADS is not a number: " << env;
+      }
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1u : hw;
+  }();
+  return n;
+}
+
+}  // namespace bpart

@@ -1,0 +1,17 @@
+// Experiment-scaling knobs shared by benches and tests.
+#pragma once
+
+#include <cstdint>
+
+namespace bpart {
+
+/// Global dataset scale multiplier, read once from $BPART_SCALE (default 1.0).
+/// Benches multiply synthetic dataset sizes by this so the same binaries can
+/// run a quick CI pass (scale 1) or a paper-scale sweep (scale >= 10).
+double dataset_scale();
+
+/// Worker threads to use for parallel sections: $BPART_THREADS, else
+/// std::thread::hardware_concurrency(), else 1.
+unsigned worker_threads();
+
+}  // namespace bpart

@@ -1,0 +1,64 @@
+#include "util/logging.hpp"
+
+#include <atomic>
+#include <cctype>
+#include <chrono>
+#include <cstdio>
+#include <ctime>
+
+namespace bpart::log {
+
+namespace {
+std::atomic<int> g_level{static_cast<int>(Level::kWarn)};
+std::mutex g_write_mutex;
+
+const char* level_tag(Level lvl) {
+  switch (lvl) {
+    case Level::kTrace: return "TRACE";
+    case Level::kDebug: return "DEBUG";
+    case Level::kInfo: return "INFO ";
+    case Level::kWarn: return "WARN ";
+    case Level::kError: return "ERROR";
+    case Level::kOff: return "OFF  ";
+  }
+  return "?????";
+}
+}  // namespace
+
+Level level() noexcept { return static_cast<Level>(g_level.load(std::memory_order_relaxed)); }
+
+void set_level(Level lvl) noexcept {
+  g_level.store(static_cast<int>(lvl), std::memory_order_relaxed);
+}
+
+Level parse_level(const std::string& name) noexcept {
+  std::string lower;
+  lower.reserve(name.size());
+  for (char c : name) lower.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  if (lower == "trace") return Level::kTrace;
+  if (lower == "debug") return Level::kDebug;
+  if (lower == "info") return Level::kInfo;
+  if (lower == "warn" || lower == "warning") return Level::kWarn;
+  if (lower == "error") return Level::kError;
+  if (lower == "off" || lower == "none") return Level::kOff;
+  return Level::kInfo;
+}
+
+void write(Level lvl, const std::string& msg) {
+  using clock = std::chrono::system_clock;
+  const auto now = clock::now();
+  const std::time_t secs = clock::to_time_t(now);
+  const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                      now.time_since_epoch())
+                      .count() %
+                  1000;
+  std::tm tm_buf{};
+  localtime_r(&secs, &tm_buf);
+  char stamp[32];
+  std::snprintf(stamp, sizeof(stamp), "%02d:%02d:%02d.%03d", tm_buf.tm_hour,
+                tm_buf.tm_min, tm_buf.tm_sec, static_cast<int>(ms));
+  std::lock_guard<std::mutex> lock(g_write_mutex);
+  std::fprintf(stderr, "[%s %s] %s\n", stamp, level_tag(lvl), msg.c_str());
+}
+
+}  // namespace bpart::log

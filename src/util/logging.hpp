@@ -1,0 +1,58 @@
+// Minimal leveled logger.
+//
+// The library never logs by default (level = kWarn); benches and examples
+// raise the level for progress reporting. Thread-safe: each log line is
+// formatted into a local buffer and written with a single mutex-guarded call.
+#pragma once
+
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace bpart::log {
+
+enum class Level : int { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Global threshold; messages below it are dropped.
+Level level() noexcept;
+void set_level(Level lvl) noexcept;
+
+/// Parse "trace" / "debug" / "info" / "warn" / "error" / "off"
+/// (case-insensitive). Unknown strings map to kInfo.
+Level parse_level(const std::string& name) noexcept;
+
+/// Emit one formatted line; used by the LOG macros below.
+void write(Level lvl, const std::string& msg);
+
+namespace detail {
+class LineStream {
+ public:
+  explicit LineStream(Level lvl) : lvl_(lvl) {}
+  ~LineStream() { write(lvl_, os_.str()); }
+  LineStream(const LineStream&) = delete;
+  LineStream& operator=(const LineStream&) = delete;
+
+  template <typename T>
+  LineStream& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  Level lvl_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+}  // namespace bpart::log
+
+#define BPART_LOG(lvl)                             \
+  if (static_cast<int>(lvl) >=                     \
+      static_cast<int>(::bpart::log::level()))     \
+  ::bpart::log::detail::LineStream(lvl)
+
+#define LOG_TRACE BPART_LOG(::bpart::log::Level::kTrace)
+#define LOG_DEBUG BPART_LOG(::bpart::log::Level::kDebug)
+#define LOG_INFO BPART_LOG(::bpart::log::Level::kInfo)
+#define LOG_WARN BPART_LOG(::bpart::log::Level::kWarn)
+#define LOG_ERROR BPART_LOG(::bpart::log::Level::kError)

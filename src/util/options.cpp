@@ -1,0 +1,92 @@
+#include "util/options.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <stdexcept>
+
+#include "util/logging.hpp"
+
+namespace bpart {
+
+namespace {
+std::string env_name(const std::string& key) {
+  std::string out = "BPART_";
+  for (char c : key) {
+    if (c == '-') out.push_back('_');
+    else out.push_back(static_cast<char>(std::toupper(static_cast<unsigned char>(c))));
+  }
+  return out;
+}
+}  // namespace
+
+Options::Options(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    arg.erase(0, 2);
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      values_[arg] = argv[++i];
+    } else {
+      values_[arg] = "true";
+    }
+  }
+}
+
+bool Options::has(const std::string& key) const {
+  return lookup(key).has_value();
+}
+
+std::optional<std::string> Options::lookup(const std::string& key) const {
+  if (const auto it = values_.find(key); it != values_.end()) return it->second;
+  if (const char* env = std::getenv(env_name(key).c_str()); env != nullptr)
+    return std::string(env);
+  return std::nullopt;
+}
+
+std::string Options::get(const std::string& key,
+                         const std::string& fallback) const {
+  return lookup(key).value_or(fallback);
+}
+
+std::int64_t Options::get_int(const std::string& key,
+                              std::int64_t fallback) const {
+  const auto v = lookup(key);
+  if (!v) return fallback;
+  try {
+    return std::stoll(*v);
+  } catch (const std::exception&) {
+    LOG_WARN << "option --" << key << "=" << *v << " is not an integer; "
+             << "using " << fallback;
+    return fallback;
+  }
+}
+
+double Options::get_double(const std::string& key, double fallback) const {
+  const auto v = lookup(key);
+  if (!v) return fallback;
+  try {
+    return std::stod(*v);
+  } catch (const std::exception&) {
+    LOG_WARN << "option --" << key << "=" << *v << " is not a number; using "
+             << fallback;
+    return fallback;
+  }
+}
+
+bool Options::get_bool(const std::string& key, bool fallback) const {
+  const auto v = lookup(key);
+  if (!v) return fallback;
+  return *v == "true" || *v == "1" || *v == "yes" || *v == "on";
+}
+
+void Options::set(const std::string& key, const std::string& value) {
+  values_[key] = value;
+}
+
+}  // namespace bpart

@@ -1,0 +1,151 @@
+// Deterministic, fast random number generation.
+//
+// Everything in this repository that involves randomness (graph generation,
+// hash partitioning, random walks) is seeded explicitly so experiments are
+// reproducible bit-for-bit across runs and machines. std::mt19937 is avoided
+// in hot loops: xoshiro256** is ~4x faster and passes BigCrush.
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+#include "util/check.hpp"
+
+namespace bpart {
+
+/// SplitMix64 — used to seed other generators and as a cheap stateless
+/// mixing function (e.g. vertex-id hashing for the Hash partitioner).
+constexpr std::uint64_t splitmix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// xoshiro256** by Blackman & Vigna. Satisfies UniformRandomBitGenerator.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256(std::uint64_t seed = 0x243f6a8885a308d3ULL) noexcept {
+    // Expand the 64-bit seed through SplitMix64 as the authors recommend.
+    std::uint64_t x = seed;
+    for (auto& s : state_) {
+      x = splitmix64(x);
+      s = x;
+    }
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Jump ahead 2^128 steps — gives each simulated machine / thread an
+  /// independent non-overlapping stream from one master seed.
+  void jump() noexcept {
+    static constexpr std::array<std::uint64_t, 4> kJump = {
+        0x180ec6d33cfd0abaULL, 0xd5a61266f0c9392cULL, 0xa9582618e03fc9aaULL,
+        0x39abdc4529b1661cULL};
+    std::array<std::uint64_t, 4> acc{0, 0, 0, 0};
+    for (std::uint64_t jump_word : kJump) {
+      for (int b = 0; b < 64; ++b) {
+        if (jump_word & (1ULL << b)) {
+          for (int i = 0; i < 4; ++i) acc[static_cast<std::size_t>(i)] ^= state_[static_cast<std::size_t>(i)];
+        }
+        (*this)();
+      }
+    }
+    state_ = acc;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform integer in [0, bound) without modulo bias (Lemire's method).
+  std::uint64_t bounded(std::uint64_t bound) noexcept {
+    BPART_DCHECK(bound > 0);
+    unsigned __int128 m =
+        static_cast<unsigned __int128>((*this)()) * bound;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < bound) {
+      const std::uint64_t threshold = (0 - bound) % bound;
+      while (lo < threshold) {
+        m = static_cast<unsigned __int128>((*this)()) * bound;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Bernoulli trial with success probability p.
+  bool chance(double p) noexcept { return uniform() < p; }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::array<std::uint64_t, 4> state_{};
+};
+
+/// Approximate Zipf(s) sampler over {0, .., n-1} via rejection-inversion
+/// (Hörmann & Derflinger). Used to synthesize power-law degree sequences.
+class ZipfSampler {
+ public:
+  ZipfSampler(std::uint64_t n, double s) : n_(n), s_(s) {
+    BPART_CHECK(n >= 1);
+    BPART_CHECK(s > 0.0);
+    h_x1_ = h(1.5) - 1.0;
+    h_n_ = h(static_cast<double>(n_) + 0.5);
+    dist_range_ = h_x1_ - h_n_;
+  }
+
+  std::uint64_t operator()(Xoshiro256& rng) const {
+    // Rejection-inversion sampling; expected < 1.2 iterations.
+    for (;;) {
+      const double u = h_n_ + rng.uniform() * dist_range_;
+      const double x = h_inv(u);
+      auto k = static_cast<std::uint64_t>(x + 0.5);
+      if (k < 1) k = 1;
+      if (k > n_) k = n_;
+      const double kd = static_cast<double>(k);
+      if (u >= h(kd + 0.5) - pow_neg_s(kd)) return k - 1;
+    }
+  }
+
+ private:
+  // h(x) = integral of x^-s; the two branches handle s == 1.
+  [[nodiscard]] double h(double x) const {
+    if (s_ == 1.0) return std::log(x);
+    return std::pow(x, 1.0 - s_) / (1.0 - s_);
+  }
+  [[nodiscard]] double h_inv(double u) const {
+    if (s_ == 1.0) return std::exp(u);
+    return std::pow(u * (1.0 - s_), 1.0 / (1.0 - s_));
+  }
+  [[nodiscard]] double pow_neg_s(double x) const { return std::pow(x, -s_); }
+
+  std::uint64_t n_;
+  double s_;
+  double h_x1_;
+  double h_n_;
+  double dist_range_;
+};
+
+}  // namespace bpart

@@ -1,0 +1,94 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+namespace bpart::stats {
+
+namespace {
+double sum_of(std::span<const double> xs) {
+  return std::accumulate(xs.begin(), xs.end(), 0.0);
+}
+}  // namespace
+
+double bias(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  const double mean = sum_of(xs) / static_cast<double>(xs.size());
+  if (mean == 0.0) return 0.0;
+  const double mx = *std::max_element(xs.begin(), xs.end());
+  return (mx - mean) / mean;
+}
+
+double jain_fairness(std::span<const double> xs) {
+  if (xs.empty()) return 1.0;
+  double sum = 0.0, sum_sq = 0.0;
+  for (double x : xs) {
+    const double a = std::abs(x);
+    sum += a;
+    sum_sq += a * a;
+  }
+  if (sum_sq == 0.0) return 1.0;
+  return (sum * sum) / (static_cast<double>(xs.size()) * sum_sq);
+}
+
+double coefficient_of_variation(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  const double n = static_cast<double>(xs.size());
+  const double mean = sum_of(xs) / n;
+  if (mean == 0.0) return 0.0;
+  double var = 0.0;
+  for (double x : xs) var += (x - mean) * (x - mean);
+  var /= n;
+  return std::sqrt(var) / mean;
+}
+
+double gini(std::span<const double> xs) {
+  if (xs.size() < 2) return 0.0;
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double n = static_cast<double>(sorted.size());
+  double cum_weighted = 0.0, total = 0.0;
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    cum_weighted += (static_cast<double>(i) + 1.0) * sorted[i];
+    total += sorted[i];
+  }
+  if (total == 0.0) return 0.0;
+  return (2.0 * cum_weighted) / (n * total) - (n + 1.0) / n;
+}
+
+double max_over_mean(std::span<const double> xs) {
+  if (xs.empty()) return 1.0;
+  const double mean = sum_of(xs) / static_cast<double>(xs.size());
+  if (mean == 0.0) return 1.0;
+  return *std::max_element(xs.begin(), xs.end()) / mean;
+}
+
+double max_over_min(std::span<const double> xs) {
+  if (xs.empty()) return 1.0;
+  const auto [mn_it, mx_it] = std::minmax_element(xs.begin(), xs.end());
+  if (*mn_it == 0.0) {
+    return *mx_it == 0.0 ? 1.0 : std::numeric_limits<double>::infinity();
+  }
+  return *mx_it / *mn_it;
+}
+
+Summary summarize(std::span<const double> xs) {
+  Summary s;
+  s.n = xs.size();
+  if (xs.empty()) return s;
+  const auto [mn_it, mx_it] = std::minmax_element(xs.begin(), xs.end());
+  s.min = *mn_it;
+  s.max = *mx_it;
+  const double n = static_cast<double>(xs.size());
+  s.mean = sum_of(xs) / n;
+  double var = 0.0;
+  for (double x : xs) var += (x - s.mean) * (x - s.mean);
+  s.stddev = std::sqrt(var / n);
+  s.bias = bias(xs);
+  s.fairness = jain_fairness(xs);
+  return s;
+}
+
+}  // namespace bpart::stats

@@ -1,0 +1,64 @@
+// Balance / dispersion statistics used throughout the evaluation.
+//
+// The two headline metrics come straight from the paper (§4.1):
+//   Bias      B = (max - mean) / mean
+//   Fairness  F = (Σ|x_i|)^2 / (n · Σ x_i^2)      (Jain's fairness index)
+// plus a few auxiliary dispersion measures used by tests and ablations.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace bpart::stats {
+
+/// Summary of a sample: min / max / mean / stddev and the paper's metrics.
+struct Summary {
+  double min = 0;
+  double max = 0;
+  double mean = 0;
+  double stddev = 0;
+  double bias = 0;      ///< (max - mean) / mean; 0 when mean == 0.
+  double fairness = 1;  ///< Jain's index in [1/n, 1]; 1 when all equal.
+  std::size_t n = 0;
+};
+
+/// Paper metric: (max(x) - mean(x)) / mean(x). Returns 0 for empty input or
+/// zero mean (a degenerate partition where every bucket is empty is "balanced").
+double bias(std::span<const double> xs);
+
+/// Jain's fairness index: (Σx)^2 / (n·Σx^2) in [1/n, 1]. Returns 1 for empty
+/// input (vacuously fair) and for all-zero input.
+double jain_fairness(std::span<const double> xs);
+
+/// Coefficient of variation: stddev / mean (population stddev).
+double coefficient_of_variation(std::span<const double> xs);
+
+/// Gini coefficient in [0, 1); 0 = perfectly equal.
+double gini(std::span<const double> xs);
+
+/// max(x) / mean(x) — "imbalance factor" common in partitioning literature.
+double max_over_mean(std::span<const double> xs);
+
+/// max(x) / min(x) — the "gap" the paper quotes (8x, 13x). Returns +inf when
+/// min == 0 and max > 0; 1 for empty input.
+double max_over_min(std::span<const double> xs);
+
+Summary summarize(std::span<const double> xs);
+
+/// Convenience: convert an integral vector (partition sizes, step counts)
+/// into doubles for the metric functions above.
+template <typename T>
+std::vector<double> to_doubles(std::span<const T> xs) {
+  std::vector<double> out;
+  out.reserve(xs.size());
+  for (const T& x : xs) out.push_back(static_cast<double>(x));
+  return out;
+}
+
+template <typename T>
+std::vector<double> to_doubles(const std::vector<T>& xs) {
+  return to_doubles(std::span<const T>(xs));
+}
+
+}  // namespace bpart::stats

@@ -1,0 +1,160 @@
+#include "util/table.hpp"
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+
+#include "util/check.hpp"
+#include "util/logging.hpp"
+
+namespace bpart {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  BPART_CHECK_MSG(!headers_.empty(), "table needs at least one column");
+}
+
+void Table::add_row(std::vector<Cell> cells) {
+  BPART_CHECK_MSG(cells.size() == headers_.size(),
+                  "row has " << cells.size() << " cells, expected "
+                             << headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+Table::RowBuilder::~RowBuilder() { table_.add_row(std::move(cells_)); }
+Table::RowBuilder& Table::RowBuilder::cell(std::string v) {
+  cells_.emplace_back(std::move(v));
+  return *this;
+}
+Table::RowBuilder& Table::RowBuilder::cell(const char* v) {
+  cells_.emplace_back(std::string(v));
+  return *this;
+}
+Table::RowBuilder& Table::RowBuilder::cell(std::int64_t v) {
+  cells_.emplace_back(v);
+  return *this;
+}
+Table::RowBuilder& Table::RowBuilder::cell(std::uint64_t v) {
+  cells_.emplace_back(static_cast<std::int64_t>(v));
+  return *this;
+}
+Table::RowBuilder& Table::RowBuilder::cell(int v) {
+  cells_.emplace_back(static_cast<std::int64_t>(v));
+  return *this;
+}
+Table::RowBuilder& Table::RowBuilder::cell(unsigned v) {
+  cells_.emplace_back(static_cast<std::int64_t>(v));
+  return *this;
+}
+Table::RowBuilder& Table::RowBuilder::cell(double v) {
+  cells_.emplace_back(v);
+  return *this;
+}
+
+const Table::Cell& Table::at(std::size_t r, std::size_t c) const {
+  BPART_CHECK(r < rows_.size() && c < headers_.size());
+  return rows_[r][c];
+}
+
+std::string Table::format_cell(const Cell& c) const {
+  if (const auto* s = std::get_if<std::string>(&c)) return *s;
+  if (const auto* i = std::get_if<std::int64_t>(&c)) return std::to_string(*i);
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision_) << std::get<double>(c);
+  return os.str();
+}
+
+std::string Table::to_ascii() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    widths[c] = headers_[c].size();
+  std::vector<std::vector<std::string>> cells;
+  cells.reserve(rows_.size());
+  for (const auto& row : rows_) {
+    std::vector<std::string> formatted;
+    formatted.reserve(row.size());
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      formatted.push_back(format_cell(row[c]));
+      widths[c] = std::max(widths[c], formatted.back().size());
+    }
+    cells.push_back(std::move(formatted));
+  }
+  std::ostringstream os;
+  auto rule = [&] {
+    os << '+';
+    for (auto w : widths) os << std::string(w + 2, '-') << '+';
+    os << '\n';
+  };
+  auto line = [&](const std::vector<std::string>& vals) {
+    os << '|';
+    for (std::size_t c = 0; c < vals.size(); ++c)
+      os << ' ' << std::left << std::setw(static_cast<int>(widths[c]))
+         << vals[c] << " |";
+    os << '\n';
+  };
+  rule();
+  line(headers_);
+  rule();
+  for (const auto& row : cells) line(row);
+  rule();
+  return os.str();
+}
+
+namespace {
+std::string csv_escape(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string out = "\"";
+  for (char ch : s) {
+    if (ch == '"') out += "\"\"";
+    else out += ch;
+  }
+  out += '"';
+  return out;
+}
+}  // namespace
+
+std::string Table::to_csv() const {
+  std::ostringstream os;
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    if (c) os << ',';
+    os << csv_escape(headers_[c]);
+  }
+  os << '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) os << ',';
+      os << csv_escape(format_cell(row[c]));
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+void Table::print(std::ostream& os) const { os << to_ascii(); }
+
+bool Table::write_csv(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) {
+    LOG_WARN << "cannot write CSV to " << path;
+    return false;
+  }
+  f << to_csv();
+  return static_cast<bool>(f);
+}
+
+std::string bench_output_dir() {
+  const char* env = std::getenv("BPART_OUT_DIR");
+  std::filesystem::path dir = env != nullptr ? env : "bench_out";
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    LOG_WARN << "cannot create bench output dir " << dir.string() << ": "
+             << ec.message();
+    return {};
+  }
+  return dir.string();
+}
+
+}  // namespace bpart

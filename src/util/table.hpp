@@ -1,0 +1,71 @@
+// ASCII table and CSV writers used by the benchmark harness to print the
+// same rows/series the paper's tables and figures report.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace bpart {
+
+/// A typed table: column headers plus rows of string/integer/double cells.
+/// Renders as an aligned ASCII table (for stdout) and as CSV (for plotting).
+class Table {
+ public:
+  using Cell = std::variant<std::string, std::int64_t, double>;
+
+  explicit Table(std::vector<std::string> headers);
+
+  /// Number of cells must match the header count.
+  void add_row(std::vector<Cell> cells);
+
+  /// Fluent row builder: tbl.row().cell("x").cell(1).cell(2.5);
+  class RowBuilder {
+   public:
+    explicit RowBuilder(Table& t) : table_(t) {}
+    ~RowBuilder();
+    RowBuilder(const RowBuilder&) = delete;
+    RowBuilder& operator=(const RowBuilder&) = delete;
+    RowBuilder& cell(std::string v);
+    RowBuilder& cell(const char* v);
+    RowBuilder& cell(std::int64_t v);
+    RowBuilder& cell(std::uint64_t v);
+    RowBuilder& cell(int v);
+    RowBuilder& cell(unsigned v);
+    RowBuilder& cell(double v);
+
+   private:
+    Table& table_;
+    std::vector<Cell> cells_;
+  };
+  RowBuilder row() { return RowBuilder(*this); }
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+  [[nodiscard]] std::size_t cols() const { return headers_.size(); }
+  [[nodiscard]] const Cell& at(std::size_t r, std::size_t c) const;
+
+  /// Number of fraction digits for double cells (default 4).
+  void set_precision(int digits) { precision_ = digits; }
+
+  [[nodiscard]] std::string to_ascii() const;
+  [[nodiscard]] std::string to_csv() const;
+  void print(std::ostream& os) const;
+
+  /// Write CSV to `path`; returns false (and logs a warning) on IO failure.
+  bool write_csv(const std::string& path) const;
+
+ private:
+  [[nodiscard]] std::string format_cell(const Cell& c) const;
+
+  std::vector<std::string> headers_;
+  std::vector<std::vector<Cell>> rows_;
+  int precision_ = 4;
+};
+
+/// Resolve the output directory for bench CSVs: $BPART_OUT_DIR if set,
+/// otherwise "bench_out". Creates the directory; returns "" on failure.
+std::string bench_output_dir();
+
+}  // namespace bpart

@@ -1,0 +1,64 @@
+// Wall-clock timing helpers.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace bpart {
+
+/// Monotonic stopwatch. Starts running on construction.
+class Timer {
+ public:
+  using clock = std::chrono::steady_clock;
+
+  Timer() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  /// Elapsed seconds since construction or last reset().
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  [[nodiscard]] double millis() const { return seconds() * 1e3; }
+  [[nodiscard]] std::int64_t nanos() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(clock::now() -
+                                                                start_)
+        .count();
+  }
+
+ private:
+  clock::time_point start_;
+};
+
+/// Accumulates elapsed time across multiple start/stop intervals; used for
+/// phase accounting (e.g. "time spent in combining across all layers").
+class AccumTimer {
+ public:
+  void start() {
+    if (!running_) {
+      t_.reset();
+      running_ = true;
+    }
+  }
+  void stop() {
+    if (running_) {
+      total_ += t_.seconds();
+      running_ = false;
+    }
+  }
+  [[nodiscard]] double seconds() const {
+    return running_ ? total_ + t_.seconds() : total_;
+  }
+  void reset() {
+    total_ = 0;
+    running_ = false;
+  }
+
+ private:
+  Timer t_;
+  double total_ = 0;
+  bool running_ = false;
+};
+
+}  // namespace bpart

@@ -1,0 +1,62 @@
+#include "walk/alias.hpp"
+
+#include <numeric>
+
+#include "util/check.hpp"
+
+namespace bpart::walk {
+
+AliasTable::AliasTable(std::span<const double> weights) {
+  BPART_CHECK_MSG(!weights.empty(), "alias table needs at least one weight");
+  const std::size_t n = weights.size();
+  double total = 0;
+  for (double w : weights) {
+    BPART_CHECK_MSG(w >= 0.0, "alias weights must be non-negative");
+    total += w;
+  }
+  BPART_CHECK_MSG(total > 0.0, "alias weights must not all be zero");
+
+  weight_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) weight_[i] = weights[i] / total;
+
+  // Vose's algorithm: scale to mean 1 and split into small/large stacks.
+  prob_.assign(n, 0.0);
+  alias_.assign(n, 0);
+  std::vector<double> scaled(n);
+  for (std::size_t i = 0; i < n; ++i)
+    scaled[i] = weight_[i] * static_cast<double>(n);
+
+  std::vector<std::uint32_t> small, large;
+  small.reserve(n);
+  large.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    (scaled[i] < 1.0 ? small : large).push_back(static_cast<std::uint32_t>(i));
+
+  while (!small.empty() && !large.empty()) {
+    const std::uint32_t s = small.back();
+    small.pop_back();
+    const std::uint32_t l = large.back();
+    prob_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] -= 1.0 - scaled[s];
+    if (scaled[l] < 1.0) {
+      large.pop_back();
+      small.push_back(l);
+    }
+  }
+  for (std::uint32_t i : large) prob_[i] = 1.0;
+  for (std::uint32_t i : small) prob_[i] = 1.0;  // numerical leftovers
+}
+
+std::size_t AliasTable::sample(Xoshiro256& rng) const {
+  BPART_DCHECK(!prob_.empty());
+  const std::size_t bucket = rng.bounded(prob_.size());
+  return rng.uniform() < prob_[bucket] ? bucket : alias_[bucket];
+}
+
+double AliasTable::probability(std::size_t i) const {
+  BPART_CHECK(i < weight_.size());
+  return weight_[i];
+}
+
+}  // namespace bpart::walk

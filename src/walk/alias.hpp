@@ -1,0 +1,39 @@
+// Alias-method sampler: O(n) construction, O(1) weighted draws.
+//
+// KnightKing builds alias tables for static per-edge weights; here the
+// graphs are unweighted so neighbor draws are uniform, but the walk engine
+// still uses alias tables for degree-proportional start-vertex sampling,
+// and the structure is exposed as a library component.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace bpart::walk {
+
+class AliasTable {
+ public:
+  AliasTable() = default;
+
+  /// Builds from non-negative weights; at least one must be positive.
+  explicit AliasTable(std::span<const double> weights);
+
+  [[nodiscard]] std::size_t size() const { return prob_.size(); }
+  [[nodiscard]] bool empty() const { return prob_.empty(); }
+
+  /// Draws an index with probability weight[i] / Σweights.
+  [[nodiscard]] std::size_t sample(Xoshiro256& rng) const;
+
+  /// Exact sampling probability of index i (for tests).
+  [[nodiscard]] double probability(std::size_t i) const;
+
+ private:
+  std::vector<double> prob_;         // acceptance threshold per bucket
+  std::vector<std::uint32_t> alias_; // fallback index per bucket
+  std::vector<double> weight_;       // normalized weights (for probability())
+};
+
+}  // namespace bpart::walk

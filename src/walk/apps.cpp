@@ -1,0 +1,134 @@
+#include "walk/apps.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/check.hpp"
+
+namespace bpart::walk {
+
+namespace {
+
+/// Uniform out-neighbor; invalid if the vertex is a dead end.
+graph::VertexId uniform_neighbor(const graph::Graph& g, graph::VertexId v,
+                                 Xoshiro256& rng) {
+  const auto degree = g.out_degree(v);
+  if (degree == 0) return graph::kInvalidVertex;
+  return g.out_neighbor(v, rng.bounded(degree));
+}
+
+}  // namespace
+
+StepDecision SimpleRandomWalk::step(const WalkerState& state,
+                                    const graph::Graph& g,
+                                    Xoshiro256& rng) const {
+  if (state.steps_taken >= length_) return StepDecision::stop();
+  const graph::VertexId next = uniform_neighbor(g, state.current, rng);
+  if (next == graph::kInvalidVertex) return StepDecision::stop();
+  return StepDecision::move_to(next);
+}
+
+StepDecision PersonalizedPageRank::step(const WalkerState& state,
+                                        const graph::Graph& g,
+                                        Xoshiro256& rng) const {
+  (void)state;
+  if (rng.chance(stop_prob_)) return StepDecision::stop();
+  const graph::VertexId next = uniform_neighbor(g, state.current, rng);
+  if (next == graph::kInvalidVertex) return StepDecision::stop();
+  return StepDecision::move_to(next);
+}
+
+StepDecision RandomWalkWithJump::step(const WalkerState& state,
+                                      const graph::Graph& g,
+                                      Xoshiro256& rng) const {
+  if (state.steps_taken >= length_) return StepDecision::stop();
+  if (rng.chance(jump_prob_)) {
+    return StepDecision::move_to(
+        static_cast<graph::VertexId>(rng.bounded(g.num_vertices())));
+  }
+  const graph::VertexId next = uniform_neighbor(g, state.current, rng);
+  if (next == graph::kInvalidVertex) return StepDecision::stop();
+  return StepDecision::move_to(next);
+}
+
+StepDecision RandomWalkWithDomination::step(const WalkerState& state,
+                                            const graph::Graph& g,
+                                            Xoshiro256& rng) const {
+  if (state.steps_taken >= length_) return StepDecision::stop();
+  const auto degree = g.out_degree(state.current);
+  if (degree == 0) return StepDecision::stop();
+  // Prefer fresh ground: try a couple of draws avoiding an immediate
+  // backtrack, then take whatever comes (keeps the step O(1)).
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    const graph::VertexId cand =
+        g.out_neighbor(state.current, rng.bounded(degree));
+    if (cand != state.previous) return StepDecision::move_to(cand);
+  }
+  return StepDecision::move_to(
+      g.out_neighbor(state.current, rng.bounded(degree)));
+}
+
+StepDecision DeepWalk::step(const WalkerState& state, const graph::Graph& g,
+                            Xoshiro256& rng) const {
+  if (state.steps_taken >= length_) return StepDecision::stop();
+  const graph::VertexId next = uniform_neighbor(g, state.current, rng);
+  if (next == graph::kInvalidVertex) return StepDecision::stop();
+  return StepDecision::move_to(next);
+}
+
+Node2Vec::Node2Vec(double p, double q, unsigned length)
+    : p_(p), q_(q), length_(length) {
+  BPART_CHECK(p > 0.0 && q > 0.0);
+  max_weight_ = std::max({1.0 / p_, 1.0, 1.0 / q_});
+}
+
+StepDecision Node2Vec::step(const WalkerState& state, const graph::Graph& g,
+                            Xoshiro256& rng) const {
+  if (state.steps_taken >= length_) return StepDecision::stop();
+  const auto degree = g.out_degree(state.current);
+  if (degree == 0) return StepDecision::stop();
+
+  // First step has no previous vertex: plain uniform draw.
+  if (state.previous == graph::kInvalidVertex) {
+    return StepDecision::move_to(
+        g.out_neighbor(state.current, rng.bounded(degree)));
+  }
+
+  const auto prev_nbrs = g.out_neighbors(state.previous);
+  // Rejection sampling; expected iterations <= w_max / E[w] (small for the
+  // usual p, q ranges). Bounded to keep adversarial inputs from spinning.
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    const graph::VertexId cand =
+        g.out_neighbor(state.current, rng.bounded(degree));
+    double w;
+    if (cand == state.previous) {
+      w = 1.0 / p_;
+    } else if (std::binary_search(prev_nbrs.begin(), prev_nbrs.end(), cand)) {
+      w = 1.0;
+    } else {
+      w = 1.0 / q_;
+    }
+    if (rng.uniform() * max_weight_ < w) return StepDecision::move_to(cand);
+  }
+  // Pathological acceptance rate: fall back to uniform.
+  return StepDecision::move_to(
+      g.out_neighbor(state.current, rng.bounded(degree)));
+}
+
+std::unique_ptr<WalkApp> create_walk_app(const std::string& name) {
+  if (name == "simple-rw") return std::make_unique<SimpleRandomWalk>();
+  if (name == "ppr") return std::make_unique<PersonalizedPageRank>();
+  if (name == "rwj") return std::make_unique<RandomWalkWithJump>();
+  if (name == "rwd") return std::make_unique<RandomWalkWithDomination>();
+  if (name == "deepwalk") return std::make_unique<DeepWalk>();
+  if (name == "node2vec") return std::make_unique<Node2Vec>();
+  throw std::out_of_range("unknown walk app: " + name);
+}
+
+const std::vector<std::string>& paper_walk_apps() {
+  static const std::vector<std::string> names = {"ppr", "rwj", "rwd",
+                                                 "deepwalk", "node2vec"};
+  return names;
+}
+
+}  // namespace bpart::walk

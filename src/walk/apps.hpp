@@ -1,0 +1,118 @@
+// The five random-walk applications of the paper's evaluation (§4.1):
+// personalized PageRank (PPR), random walk with jump (RWJ), random walk
+// with domination (RWD), DeepWalk and node2vec — plus the plain
+// fixed-length simple random walk used in §2's motivating experiments.
+#pragma once
+
+#include <memory>
+
+#include "walk/walk_engine.hpp"
+
+namespace bpart::walk {
+
+/// Uniform out-neighbor walk of fixed length. Dead ends terminate early.
+/// §2.3/§4.3 of the paper start 5|V| of these and run four steps.
+class SimpleRandomWalk final : public WalkApp {
+ public:
+  explicit SimpleRandomWalk(unsigned length = 4) : length_(length) {}
+  [[nodiscard]] std::string name() const override { return "simple-rw"; }
+  [[nodiscard]] StepDecision step(const WalkerState& state,
+                                  const graph::Graph& g,
+                                  Xoshiro256& rng) const override;
+
+ private:
+  unsigned length_;
+};
+
+/// Personalized PageRank sampling: terminate with probability `stop_prob`
+/// at each step, otherwise move to a uniform out-neighbor (paper setting:
+/// stop probability 0.1).
+class PersonalizedPageRank final : public WalkApp {
+ public:
+  explicit PersonalizedPageRank(double stop_prob = 0.1)
+      : stop_prob_(stop_prob) {}
+  [[nodiscard]] std::string name() const override { return "ppr"; }
+  [[nodiscard]] StepDecision step(const WalkerState& state,
+                                  const graph::Graph& g,
+                                  Xoshiro256& rng) const override;
+
+ private:
+  double stop_prob_;
+};
+
+/// Random walk with jump: with probability `jump_prob` teleport to a
+/// uniformly random vertex, else a uniform out-neighbor; fixed length
+/// (paper setting: jump probability 0.2, four steps).
+class RandomWalkWithJump final : public WalkApp {
+ public:
+  RandomWalkWithJump(double jump_prob = 0.2, unsigned length = 4)
+      : jump_prob_(jump_prob), length_(length) {}
+  [[nodiscard]] std::string name() const override { return "rwj"; }
+  [[nodiscard]] StepDecision step(const WalkerState& state,
+                                  const graph::Graph& g,
+                                  Xoshiro256& rng) const override;
+
+ private:
+  double jump_prob_;
+  unsigned length_;
+};
+
+/// Random walk with domination (Li et al. [34]): a fixed-length walk whose
+/// purpose is covering (dominating) vertices; it prefers stepping to a
+/// neighbor not yet visited by this walker's recent history, falling back
+/// to uniform. Coverage comes out of WalkReport::visits.
+class RandomWalkWithDomination final : public WalkApp {
+ public:
+  explicit RandomWalkWithDomination(unsigned length = 4) : length_(length) {}
+  [[nodiscard]] std::string name() const override { return "rwd"; }
+  [[nodiscard]] StepDecision step(const WalkerState& state,
+                                  const graph::Graph& g,
+                                  Xoshiro256& rng) const override;
+
+ private:
+  unsigned length_;
+};
+
+/// DeepWalk: uniform out-neighbor truncated walk (longer than the simple
+/// walk; the corpus of paths feeds skip-gram training downstream).
+class DeepWalk final : public WalkApp {
+ public:
+  explicit DeepWalk(unsigned length = 10) : length_(length) {}
+  [[nodiscard]] std::string name() const override { return "deepwalk"; }
+  [[nodiscard]] StepDecision step(const WalkerState& state,
+                                  const graph::Graph& g,
+                                  Xoshiro256& rng) const override;
+
+ private:
+  unsigned length_;
+};
+
+/// node2vec: second-order biased walk with return parameter p and in-out
+/// parameter q, sampled by rejection (KnightKing's technique): draw a
+/// uniform neighbor x of the current vertex and accept with probability
+/// w(x)/w_max where w(x) is 1/p if x is the previous vertex, 1 if x
+/// neighbors the previous vertex, 1/q otherwise.
+class Node2Vec final : public WalkApp {
+ public:
+  Node2Vec(double p = 2.0, double q = 0.5, unsigned length = 10);
+  [[nodiscard]] std::string name() const override { return "node2vec"; }
+  [[nodiscard]] StepDecision step(const WalkerState& state,
+                                  const graph::Graph& g,
+                                  Xoshiro256& rng) const override;
+
+ private:
+  double p_;
+  double q_;
+  unsigned length_;
+  double max_weight_;
+};
+
+/// Factory over the paper's five random-walk applications (by the names
+/// used in Fig. 14): "ppr", "rwj", "rwd", "deepwalk", "node2vec", plus
+/// "simple-rw". Throws std::out_of_range on unknown names.
+std::unique_ptr<WalkApp> create_walk_app(const std::string& name);
+
+/// The Fig. 14 application list in paper order.
+const std::vector<std::string>& paper_walk_apps();
+
+}  // namespace bpart::walk

@@ -1,0 +1,84 @@
+#include "walk/ppr_estimate.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+#include "walk/apps.hpp"
+#include "walk/walk_engine.hpp"
+
+namespace bpart::walk {
+
+PprScores estimate_ppr(const graph::Graph& g,
+                       const partition::Partition& parts,
+                       graph::VertexId source, const PprConfig& cfg) {
+  BPART_CHECK(source < g.num_vertices());
+  BPART_CHECK(cfg.num_walks >= 1);
+  BPART_CHECK(cfg.stop_prob > 0.0 && cfg.stop_prob < 1.0);
+
+  WalkConfig wcfg;
+  wcfg.sources.assign(cfg.num_walks, source);
+  wcfg.seed = cfg.seed;
+  const WalkReport report =
+      run_walks(g, parts, PersonalizedPageRank(cfg.stop_prob), wcfg);
+
+  // PPR(v) is the probability a terminating walk ends *anywhere along its
+  // trajectory* at v weighted geometrically — visit frequency across all
+  // steps (including starts) is the standard unbiased estimator.
+  std::uint64_t total = 0;
+  for (auto c : report.visits) total += c;
+
+  PprScores scores;
+  scores.total_visits = total;
+  scores.run = report.run;
+  std::vector<graph::VertexId> order;
+  for (graph::VertexId v = 0; v < g.num_vertices(); ++v)
+    if (report.visits[v] > 0) order.push_back(v);
+  const std::size_t keep = std::min(cfg.top_k, order.size());
+  std::partial_sort(order.begin(), order.begin() + static_cast<long>(keep),
+                    order.end(), [&](graph::VertexId a, graph::VertexId b) {
+                      return report.visits[a] > report.visits[b];
+                    });
+  order.resize(keep);
+  for (graph::VertexId v : order)
+    scores.top.push_back({v, static_cast<double>(report.visits[v]) /
+                                 static_cast<double>(total)});
+  return scores;
+}
+
+std::vector<double> exact_ppr(const graph::Graph& g, graph::VertexId source,
+                              double stop_prob, double tolerance,
+                              unsigned max_iterations) {
+  BPART_CHECK(source < g.num_vertices());
+  const graph::VertexId n = g.num_vertices();
+  const double damping = 1.0 - stop_prob;
+
+  // Stationary distribution of the "walk with restart-as-termination"
+  // estimator: pi = stop_prob * sum_t damping^t P^t e_source, normalized.
+  std::vector<double> pi(n, 0.0), walk_mass(n, 0.0), next(n, 0.0);
+  walk_mass[source] = 1.0;
+  double weight = stop_prob;  // geometric mass of length-t prefixes
+  double norm = 0.0;
+  for (unsigned t = 0; t < max_iterations; ++t) {
+    for (graph::VertexId v = 0; v < n; ++v) pi[v] += weight * walk_mass[v];
+    norm += weight;
+    if (weight < tolerance) break;
+    std::fill(next.begin(), next.end(), 0.0);
+    for (graph::VertexId v = 0; v < n; ++v) {
+      if (walk_mass[v] == 0.0) continue;
+      const auto degree = g.out_degree(v);
+      if (degree == 0) continue;  // dead end: walk terminates
+      const double share = walk_mass[v] / static_cast<double>(degree);
+      for (graph::VertexId u : g.out_neighbors(v)) next[u] += share;
+    }
+    walk_mass.swap(next);
+    weight *= damping;
+  }
+  // Visit-frequency estimator normalization: divide by expected visits.
+  double total = 0;
+  for (double x : pi) total += x;
+  if (total > 0)
+    for (double& x : pi) x /= total;
+  return pi;
+}
+
+}  // namespace bpart::walk

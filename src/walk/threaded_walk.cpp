@@ -1,0 +1,105 @@
+#include "walk/threaded_walk.hpp"
+
+#include <atomic>
+#include <vector>
+
+#include "cluster/threaded.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace bpart::walk {
+
+namespace {
+
+// payload = walker_id(24) | steps_taken(8) | current_vertex(32).
+std::uint64_t pack(std::uint32_t walker, std::uint32_t steps,
+                   graph::VertexId vertex) {
+  return (static_cast<std::uint64_t>(walker) << 40) |
+         (static_cast<std::uint64_t>(steps & 0xffu) << 32) | vertex;
+}
+std::uint32_t packed_steps(std::uint64_t payload) {
+  return static_cast<std::uint32_t>((payload >> 32) & 0xffu);
+}
+graph::VertexId packed_vertex(std::uint64_t payload) {
+  return static_cast<graph::VertexId>(payload);
+}
+std::uint32_t packed_walker(std::uint64_t payload) {
+  return static_cast<std::uint32_t>(payload >> 40);
+}
+
+}  // namespace
+
+ThreadedWalkReport run_simple_walks_threaded(
+    const graph::Graph& g, const partition::Partition& parts,
+    const ThreadedWalkConfig& cfg) {
+  BPART_CHECK(g.num_vertices() == parts.num_vertices());
+  BPART_CHECK(parts.fully_assigned());
+  BPART_CHECK_MSG(cfg.length <= 255, "packed step counter is 8 bits");
+  const graph::VertexId n = g.num_vertices();
+  const std::uint64_t num_walkers =
+      static_cast<std::uint64_t>(n) * cfg.walks_per_vertex;
+  BPART_CHECK_MSG(num_walkers < (1ULL << 24),
+                  "packed walker id is 24 bits");
+  const cluster::MachineId machines = parts.num_parts();
+
+  // Per-machine working state. A machine's queue holds the packed walkers
+  // it currently owns; each superstep it drains the queue, refilling it
+  // only via the inbox.
+  std::vector<std::vector<std::uint64_t>> queue(machines);
+  for (unsigned r = 0; r < cfg.walks_per_vertex; ++r)
+    for (graph::VertexId v = 0; v < n; ++v) {
+      const auto walker = static_cast<std::uint32_t>(
+          static_cast<std::uint64_t>(r) * n + v);
+      queue[parts[v]].push_back(pack(walker, 0, v));
+    }
+
+  // One independent RNG stream per machine (jump() spacing).
+  std::vector<Xoshiro256> rng;
+  rng.reserve(machines);
+  Xoshiro256 master(cfg.seed);
+  for (cluster::MachineId m = 0; m < machines; ++m) {
+    rng.push_back(master);
+    master.jump();
+  }
+
+  std::atomic<std::uint64_t> total_steps{0};
+  std::atomic<std::uint64_t> message_walks{0};
+
+  const std::size_t supersteps = cluster::ThreadedBsp::run(
+      machines, cfg.max_supersteps,
+      [&](cluster::MachineContext& ctx, std::size_t) {
+        auto& mine = queue[ctx.self()];
+        for (const cluster::Envelope& e : ctx.inbox())
+          mine.push_back(e.payload);
+
+        std::uint64_t steps = 0;
+        for (std::uint64_t payload : mine) {
+          std::uint32_t taken = packed_steps(payload);
+          graph::VertexId at = packed_vertex(payload);
+          const std::uint32_t walker = packed_walker(payload);
+          // Greedy local phase: advance until done, dead end, or crossing.
+          while (taken < cfg.length) {
+            const auto degree = g.out_degree(at);
+            if (degree == 0) break;
+            const graph::VertexId next =
+                g.out_neighbor(at, rng[ctx.self()].bounded(degree));
+            ++taken;
+            ++steps;
+            if (parts[next] != ctx.self()) {
+              ctx.send(parts[next], pack(walker, taken, next));
+              message_walks.fetch_add(1, std::memory_order_relaxed);
+              break;
+            }
+            at = next;
+          }
+        }
+        mine.clear();
+        total_steps.fetch_add(steps, std::memory_order_relaxed);
+        return cluster::Vote::kHalt;  // in-flight walkers keep the run alive
+      });
+
+  return ThreadedWalkReport{total_steps.load(), message_walks.load(),
+                            supersteps};
+}
+
+}  // namespace bpart::walk

@@ -1,0 +1,43 @@
+// Genuinely distributed simple random walks over the message-passing BSP
+// executor — the walk-engine counterpart of engine::pagerank_threaded.
+//
+// Each machine thread owns the walkers currently on its vertices and
+// advances them greedily (KnightKing's compute phase); a walker crossing a
+// partition boundary is shipped as one datagram. Walker state is packed
+// into the 64-bit payload: walker id (24 bits) | steps taken (8 bits) |
+// current vertex (32 bits) — sufficient for fixed-length first-order walks,
+// which is exactly the workload of the paper's §2/§4.3 experiments.
+//
+// Exists to validate the accounting engine: on dead-end-free graphs the
+// step totals must match run_walks() exactly and the message-walk counts
+// statistically (trajectories differ: each machine draws from its own
+// stream).
+#pragma once
+
+#include <cstdint>
+
+#include "graph/csr.hpp"
+#include "partition/partition.hpp"
+
+namespace bpart::walk {
+
+struct ThreadedWalkConfig {
+  unsigned length = 4;           ///< Steps per walker (max 255).
+  unsigned walks_per_vertex = 1;
+  std::uint64_t seed = 1;
+  std::size_t max_supersteps = 100000;
+};
+
+struct ThreadedWalkReport {
+  std::uint64_t total_steps = 0;
+  std::uint64_t message_walks = 0;  ///< Walkers shipped across machines.
+  std::size_t supersteps = 0;
+};
+
+/// Runs walks_per_vertex × |V| fixed-length uniform walks on one thread per
+/// partition. Requires <= 2^24 walkers and length <= 255.
+ThreadedWalkReport run_simple_walks_threaded(const graph::Graph& g,
+                                             const partition::Partition& parts,
+                                             const ThreadedWalkConfig& cfg = {});
+
+}  // namespace bpart::walk

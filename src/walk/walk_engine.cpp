@@ -1,0 +1,97 @@
+#include "walk/walk_engine.hpp"
+
+#include "util/check.hpp"
+
+namespace bpart::walk {
+
+WalkReport run_walks(const graph::Graph& g, const partition::Partition& parts,
+                     const WalkApp& app, const WalkConfig& cfg,
+                     cluster::CostModel model) {
+  BPART_CHECK_MSG(g.num_vertices() == parts.num_vertices(),
+                  "graph/partition size mismatch");
+  BPART_CHECK_MSG(parts.fully_assigned(),
+                  "walk engine requires a fully assigned partition");
+  BPART_CHECK(cfg.walks_per_vertex >= 1);
+
+  const graph::VertexId n = g.num_vertices();
+  cluster::BspSimulation sim(parts.num_parts(), model);
+
+  WalkReport report;
+  report.visits.assign(n, 0);
+
+  // Materialize walkers: walks_per_vertex per start vertex, in vertex order
+  // (the KnightKing initialization). An explicit source list overrides the
+  // default every-vertex start set.
+  const std::uint64_t starts =
+      cfg.sources.empty() ? n : cfg.sources.size();
+  const std::uint64_t num_walkers = starts * cfg.walks_per_vertex;
+  std::vector<WalkerState> walkers;
+  walkers.reserve(num_walkers);
+  std::vector<bool> alive(num_walkers, true);
+  for (unsigned r = 0; r < cfg.walks_per_vertex; ++r) {
+    for (std::uint64_t i = 0; i < starts; ++i) {
+      const graph::VertexId v =
+          cfg.sources.empty() ? static_cast<graph::VertexId>(i)
+                              : cfg.sources[i];
+      BPART_CHECK_MSG(v < n, "walk source " << v << " outside the graph");
+      WalkerState w;
+      w.source = v;
+      w.current = v;
+      walkers.push_back(w);
+      ++report.visits[v];
+    }
+  }
+  if (cfg.record_paths) {
+    report.paths.resize(num_walkers);
+    for (std::uint64_t i = 0; i < num_walkers; ++i)
+      report.paths[i].push_back(walkers[i].current);
+  }
+
+  // One RNG stream per walker would be ideal; a single stream consumed in
+  // walker order is equally deterministic and much cheaper.
+  Xoshiro256 rng(cfg.seed);
+
+  std::uint64_t active = num_walkers;
+  for (unsigned iter = 0; iter < cfg.max_iterations && active > 0; ++iter) {
+    sim.begin_iteration();
+    for (std::uint64_t i = 0; i < num_walkers; ++i) {
+      if (!alive[i]) continue;
+      WalkerState& w = walkers[i];
+      // Greedy compute phase: the hosting machine advances this walker
+      // until it terminates or leaves the machine (one step per iteration
+      // when greedy_local is off).
+      for (;;) {
+        const cluster::MachineId here = parts[w.current];
+        // Taking (or attempting) a step is one unit of computing load on
+        // the machine currently hosting the walker.
+        sim.add_work(here, 1);
+        const StepDecision d = app.step(w, g, rng);
+        if (d.terminate) {
+          alive[i] = false;
+          --active;
+          break;
+        }
+        BPART_CHECK_MSG(d.next < n, "walk app stepped outside the graph");
+        const cluster::MachineId there = parts[d.next];
+        w.previous = w.current;
+        w.current = d.next;
+        ++w.steps_taken;
+        ++report.total_steps;
+        ++report.visits[d.next];
+        if (cfg.record_paths) report.paths[i].push_back(d.next);
+        if (there != here) {
+          sim.add_message(here, there);
+          ++report.message_walks;
+          break;  // shipped: resumes on `there` next iteration
+        }
+        if (!cfg.greedy_local) break;
+      }
+    }
+    sim.end_iteration();
+  }
+
+  report.run = sim.finish();
+  return report;
+}
+
+}  // namespace bpart::walk

@@ -1,0 +1,91 @@
+// KnightKing-like distributed random-walk engine.
+//
+// Walkers live on the machine owning their current vertex. Every BSP
+// iteration each active walker takes one step; a walker whose next vertex
+// is owned by another machine is shipped there as a "message walk" — the
+// paper's traffic metric (Fig. 5b). A machine's computing load is the
+// number of walking steps it executes (Fig. 4), so per-iteration balance
+// and waiting time (Figs. 12/13) fall straight out of the accounting.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/bsp.hpp"
+#include "graph/csr.hpp"
+#include "partition/partition.hpp"
+#include "util/rng.hpp"
+
+namespace bpart::walk {
+
+/// Immutable view of one walker handed to the application policy.
+struct WalkerState {
+  graph::VertexId source = 0;    ///< Start vertex.
+  graph::VertexId current = 0;
+  graph::VertexId previous = graph::kInvalidVertex;  ///< For 2nd-order apps.
+  unsigned steps_taken = 0;
+};
+
+/// One step's outcome.
+struct StepDecision {
+  bool terminate = false;
+  graph::VertexId next = graph::kInvalidVertex;
+
+  static StepDecision stop() { return {true, graph::kInvalidVertex}; }
+  static StepDecision move_to(graph::VertexId v) { return {false, v}; }
+};
+
+/// A random-walk application: decides each walker's next step.
+class WalkApp {
+ public:
+  virtual ~WalkApp() = default;
+  [[nodiscard]] virtual std::string name() const = 0;
+  /// Called once per active walker per iteration. Implementations must be
+  /// deterministic given (state, rng).
+  [[nodiscard]] virtual StepDecision step(const WalkerState& state,
+                                          const graph::Graph& g,
+                                          Xoshiro256& rng) const = 0;
+};
+
+struct WalkConfig {
+  /// Walkers started per vertex (the paper uses 1 or 5 per vertex).
+  unsigned walks_per_vertex = 1;
+  /// When non-empty, walkers start at these vertices (with multiplicity,
+  /// walks_per_vertex copies each) instead of at every vertex — the
+  /// single-source / seeded mode used by PPR estimation.
+  std::vector<graph::VertexId> sources;
+  std::uint64_t seed = 1;
+  /// Hard iteration cap (a safety net for apps with probabilistic
+  /// termination).
+  unsigned max_iterations = 10000;
+  /// KnightKing's greedy compute phase (§2.1 of the paper): within one
+  /// iteration a walker keeps stepping while it stays on its current
+  /// machine, pausing only when it crosses a partition boundary (it is
+  /// then shipped and resumes next iteration). This is what ties a
+  /// machine's per-iteration load to its *edge* mass, the paper's central
+  /// imbalance mechanism. false = one synchronous step per iteration.
+  bool greedy_local = true;
+  /// Record every walker's full path (memory: walkers × length). Off by
+  /// default; the embeddings example turns it on.
+  bool record_paths = false;
+};
+
+struct WalkReport {
+  cluster::RunReport run;
+  std::uint64_t total_steps = 0;
+  /// Walkers shipped across machines — the paper's "message walks".
+  std::uint64_t message_walks = 0;
+  /// Per-vertex visit counts over all walks (including the start visit).
+  std::vector<std::uint64_t> visits;
+  /// Full walk paths when WalkConfig::record_paths is set.
+  std::vector<std::vector<graph::VertexId>> paths;
+};
+
+/// Run `app` over all walkers to completion (or max_iterations).
+WalkReport run_walks(const graph::Graph& g, const partition::Partition& parts,
+                     const WalkApp& app, const WalkConfig& cfg = {},
+                     cluster::CostModel model = {});
+
+}  // namespace bpart::walk

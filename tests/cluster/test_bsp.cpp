@@ -1,0 +1,133 @@
+#include "cluster/bsp.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/check.hpp"
+
+namespace bpart::cluster {
+namespace {
+
+CostModel unit_model() {
+  CostModel m;
+  m.seconds_per_work_item = 1.0;
+  m.seconds_per_message = 0.5;
+  m.barrier_latency = 0.0;
+  return m;
+}
+
+TEST(BspSimulation, SingleIterationAccounting) {
+  BspSimulation sim(2, unit_model());
+  sim.begin_iteration();
+  sim.add_work(0, 10);
+  sim.add_work(1, 4);
+  sim.add_message(0, 1, 2);
+  sim.end_iteration();
+  const RunReport r = sim.finish();
+
+  ASSERT_EQ(r.iterations.size(), 1u);
+  const IterationReport& it = r.iterations[0];
+  EXPECT_DOUBLE_EQ(it.machines[0].compute_seconds, 10.0);
+  EXPECT_DOUBLE_EQ(it.machines[0].comm_seconds, 1.0);
+  EXPECT_DOUBLE_EQ(it.machines[1].compute_seconds, 4.0);
+  // Machine 0 is slowest (11s); machine 1 waits 11 - 4 = 7.
+  EXPECT_DOUBLE_EQ(it.machines[0].wait_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(it.machines[1].wait_seconds, 7.0);
+  EXPECT_DOUBLE_EQ(it.duration_seconds, 11.0);
+}
+
+TEST(BspSimulation, LocalMessagesAreFree) {
+  BspSimulation sim(2, unit_model());
+  sim.begin_iteration();
+  sim.add_message(0, 0, 100);
+  sim.end_iteration();
+  const RunReport r = sim.finish();
+  EXPECT_EQ(r.total_messages(), 0u);
+}
+
+TEST(BspSimulation, MessageCountsBothSides) {
+  BspSimulation sim(3, unit_model());
+  sim.begin_iteration();
+  sim.add_message(0, 2, 5);
+  sim.end_iteration();
+  const RunReport r = sim.finish();
+  EXPECT_EQ(r.iterations[0].machines[0].messages_sent, 5u);
+  EXPECT_EQ(r.iterations[0].machines[2].messages_received, 5u);
+  EXPECT_EQ(r.total_messages(), 5u);
+}
+
+TEST(BspSimulation, WaitRatioBalancedIsZero) {
+  BspSimulation sim(4, unit_model());
+  for (int iter = 0; iter < 3; ++iter) {
+    sim.begin_iteration();
+    for (MachineId m = 0; m < 4; ++m) sim.add_work(m, 100);
+    sim.end_iteration();
+  }
+  EXPECT_DOUBLE_EQ(sim.finish().wait_ratio(), 0.0);
+}
+
+TEST(BspSimulation, WaitRatioSkewedApproachesLimit) {
+  // One machine does all the work: the other k-1 machines wait the whole
+  // iteration, so wait_ratio -> (k-1)/k.
+  BspSimulation sim(4, unit_model());
+  sim.begin_iteration();
+  sim.add_work(0, 1000);
+  sim.end_iteration();
+  EXPECT_NEAR(sim.finish().wait_ratio(), 0.75, 1e-9);
+}
+
+TEST(BspSimulation, BarrierLatencyAddsPerIteration) {
+  CostModel m = unit_model();
+  m.barrier_latency = 2.0;
+  BspSimulation sim(1, m);
+  for (int i = 0; i < 5; ++i) {
+    sim.begin_iteration();
+    sim.end_iteration();
+  }
+  EXPECT_DOUBLE_EQ(sim.finish().total_seconds(), 10.0);
+}
+
+TEST(BspSimulation, WorkPerMachineAggregates) {
+  BspSimulation sim(2, unit_model());
+  for (int i = 0; i < 3; ++i) {
+    sim.begin_iteration();
+    sim.add_work(0, 1);
+    sim.add_work(1, 2);
+    sim.end_iteration();
+  }
+  const auto work = sim.finish().work_per_machine();
+  EXPECT_EQ(work[0], 3u);
+  EXPECT_EQ(work[1], 6u);
+}
+
+TEST(BspSimulation, ComputeSecondsPerMachineSeries) {
+  BspSimulation sim(2, unit_model());
+  sim.begin_iteration();
+  sim.add_work(1, 7);
+  sim.end_iteration();
+  const RunReport r = sim.finish();
+  const auto series = r.iterations[0].compute_seconds_per_machine();
+  EXPECT_DOUBLE_EQ(series[0], 0.0);
+  EXPECT_DOUBLE_EQ(series[1], 7.0);
+}
+
+TEST(BspSimulation, ProtocolViolationsThrow) {
+  BspSimulation sim(2, unit_model());
+  EXPECT_THROW(sim.add_work(0, 1), CheckError);      // outside iteration
+  EXPECT_THROW(sim.end_iteration(), CheckError);     // not begun
+  sim.begin_iteration();
+  EXPECT_THROW(sim.begin_iteration(), CheckError);   // double begin
+  EXPECT_THROW(sim.add_work(5, 1), CheckError);      // bad machine
+  EXPECT_THROW(sim.add_message(0, 9), CheckError);   // bad destination
+  EXPECT_THROW(sim.finish(), CheckError);            // finish mid-iteration
+}
+
+TEST(BspSimulation, EmptyRunReport) {
+  BspSimulation sim(3, unit_model());
+  const RunReport r = sim.finish();
+  EXPECT_DOUBLE_EQ(r.total_seconds(), 0.0);
+  EXPECT_DOUBLE_EQ(r.wait_ratio(), 0.0);
+  EXPECT_EQ(r.total_work(), 0u);
+}
+
+}  // namespace
+}  // namespace bpart::cluster

@@ -1,0 +1,101 @@
+#include "cluster/threaded.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+namespace bpart::cluster {
+namespace {
+
+TEST(ThreadedBsp, HaltsWhenAllVoteHalt) {
+  std::atomic<int> calls{0};
+  const std::size_t steps = ThreadedBsp::run(
+      4, 100, [&](MachineContext&, std::size_t) {
+        ++calls;
+        return Vote::kHalt;
+      });
+  EXPECT_EQ(steps, 1u);
+  EXPECT_EQ(calls.load(), 4);
+}
+
+TEST(ThreadedBsp, RunsUntilMaxSupersteps) {
+  const std::size_t steps = ThreadedBsp::run(
+      2, 7, [](MachineContext&, std::size_t) { return Vote::kContinue; });
+  EXPECT_EQ(steps, 7u);
+}
+
+TEST(ThreadedBsp, MessagesArriveNextSuperstep) {
+  // Machine 0 sends its superstep number to machine 1; machine 1 verifies
+  // it reads s-1 at superstep s.
+  std::atomic<bool> ok{true};
+  ThreadedBsp::run(2, 4, [&](MachineContext& ctx, std::size_t s) {
+    if (ctx.self() == 0) {
+      ctx.send(1, s);
+    } else {
+      if (s == 0 && !ctx.inbox().empty()) ok = false;
+      if (s > 0) {
+        if (ctx.inbox().size() != 1 || ctx.inbox()[0].payload != s - 1)
+          ok = false;
+        if (ctx.inbox()[0].from != 0) ok = false;
+      }
+    }
+    return s + 1 < 4 ? Vote::kContinue : Vote::kHalt;
+  });
+  EXPECT_TRUE(ok.load());
+}
+
+TEST(ThreadedBsp, InFlightMessagesKeepRunAlive) {
+  // Everyone votes halt immediately, but machine 0 sends one message in
+  // superstep 0 — the run must execute superstep 1 to deliver it.
+  std::atomic<int> delivered{0};
+  const std::size_t steps =
+      ThreadedBsp::run(2, 100, [&](MachineContext& ctx, std::size_t s) {
+        if (ctx.self() == 0 && s == 0) ctx.send(1, 42);
+        if (ctx.self() == 1 && !ctx.inbox().empty())
+          delivered += static_cast<int>(ctx.inbox().size());
+        return Vote::kHalt;
+      });
+  EXPECT_EQ(steps, 2u);
+  EXPECT_EQ(delivered.load(), 1);
+}
+
+TEST(ThreadedBsp, TokenRing) {
+  // Pass a token around a ring of machines; each machine increments it.
+  constexpr MachineId kMachines = 5;
+  std::atomic<std::uint64_t> final_token{0};
+  ThreadedBsp::run(kMachines, 50, [&](MachineContext& ctx, std::size_t s) {
+    if (s == 0 && ctx.self() == 0) {
+      ctx.send(1, 1);
+      return Vote::kHalt;
+    }
+    for (const Envelope& e : ctx.inbox()) {
+      const std::uint64_t token = e.payload + 1;
+      if (token >= 10) {
+        final_token = token;
+      } else {
+        ctx.send((ctx.self() + 1) % kMachines, token);
+      }
+    }
+    return Vote::kHalt;
+  });
+  EXPECT_EQ(final_token.load(), 10u);
+}
+
+TEST(ThreadedBsp, SingleMachine) {
+  int count = 0;
+  const std::size_t steps =
+      ThreadedBsp::run(1, 10, [&](MachineContext& ctx, std::size_t s) {
+        ++count;
+        if (s < 2) {
+          ctx.send(0, s);  // self-messages also keep the run alive
+          return Vote::kHalt;
+        }
+        return Vote::kHalt;
+      });
+  EXPECT_EQ(steps, 3u);  // 0 sends, 1 delivers+sends, 2 delivers
+  EXPECT_EQ(count, 3);
+}
+
+}  // namespace
+}  // namespace bpart::cluster

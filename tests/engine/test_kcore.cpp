@@ -1,0 +1,92 @@
+#include "engine/kcore.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "partition/chunk.hpp"
+#include "partition/hash_partitioner.hpp"
+
+namespace bpart::engine {
+namespace {
+
+using graph::EdgeList;
+using graph::Graph;
+
+TEST(KCore, CliquePlusTail) {
+  // K4 {0,1,2,3} with a tail 3-4-5: clique vertices are 3-core, tail 1-core.
+  EdgeList el;
+  for (graph::VertexId a = 0; a < 4; ++a)
+    for (graph::VertexId b = a + 1; b < 4; ++b) el.add_undirected(a, b);
+  el.add_undirected(3, 4);
+  el.add_undirected(4, 5);
+  const Graph g = Graph::from_edges(el);
+  const auto res = kcore(g, partition::ChunkV().partition(g, 2));
+  EXPECT_EQ(res.core[0], 3u);
+  EXPECT_EQ(res.core[1], 3u);
+  EXPECT_EQ(res.core[2], 3u);
+  EXPECT_EQ(res.core[3], 3u);
+  EXPECT_EQ(res.core[4], 1u);
+  EXPECT_EQ(res.core[5], 1u);
+  EXPECT_EQ(res.max_core, 3u);
+}
+
+TEST(KCore, RingIsTwoCore) {
+  EdgeList el;
+  for (graph::VertexId v = 0; v < 10; ++v) el.add_undirected(v, (v + 1) % 10);
+  const Graph g = Graph::from_edges(el);
+  const auto res = kcore(g, partition::ChunkV().partition(g, 2));
+  for (graph::VertexId v = 0; v < 10; ++v) EXPECT_EQ(res.core[v], 2u);
+}
+
+TEST(KCore, IsolatedVerticesAreZeroCore) {
+  EdgeList el;
+  el.add_undirected(0, 1);
+  el.set_num_vertices(4);
+  const Graph g = Graph::from_edges(el);
+  const auto res = kcore(g, partition::ChunkV().partition(g, 1));
+  EXPECT_EQ(res.core[2], 0u);
+  EXPECT_EQ(res.core[3], 0u);
+  EXPECT_EQ(res.core[0], 1u);
+}
+
+TEST(KCore, CoreNumbersSatisfyDefinition) {
+  // Every vertex with core number c must have >= c neighbors of core >= c.
+  graph::CommunityGraphConfig cfg;
+  cfg.num_vertices = 2048;
+  cfg.avg_degree = 12;
+  cfg.num_communities = 16;
+  cfg.seed = 8;
+  const Graph g =
+      Graph::from_edges_symmetric(graph::community_scale_free(cfg));
+  const auto res = kcore(g, partition::HashPartitioner().partition(g, 4));
+  for (graph::VertexId v = 0; v < g.num_vertices(); ++v) {
+    std::uint32_t strong = 0;
+    for (graph::VertexId u : g.out_neighbors(v))
+      if (res.core[u] >= res.core[v]) ++strong;
+    ASSERT_GE(strong, res.core[v]) << "vertex " << v;
+  }
+}
+
+TEST(KCore, ResultIndependentOfPartition) {
+  graph::RmatConfig cfg;
+  cfg.scale = 9;
+  const Graph g = Graph::from_edges_symmetric(graph::rmat(cfg));
+  const auto a = kcore(g, partition::ChunkV().partition(g, 2));
+  const auto b = kcore(g, partition::HashPartitioner().partition(g, 8));
+  EXPECT_EQ(a.core, b.core);
+}
+
+TEST(KCore, MaxCoreBoundedByMaxDegree) {
+  graph::RmatConfig cfg;
+  cfg.scale = 9;
+  const Graph g = Graph::from_edges_symmetric(graph::rmat(cfg));
+  const auto res = kcore(g, partition::ChunkV().partition(g, 2));
+  graph::EdgeId max_deg = 0;
+  for (graph::VertexId v = 0; v < g.num_vertices(); ++v)
+    max_deg = std::max(max_deg, g.out_degree(v));
+  EXPECT_LE(res.max_core, max_deg);
+  EXPECT_GE(res.max_core, 1u);
+}
+
+}  // namespace
+}  // namespace bpart::engine

@@ -1,0 +1,104 @@
+#include "engine/label_propagation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "partition/chunk.hpp"
+
+namespace bpart::engine {
+namespace {
+
+using graph::EdgeList;
+using graph::Graph;
+
+Graph two_cliques_with_bridge() {
+  EdgeList el;
+  for (graph::VertexId a = 0; a < 5; ++a)
+    for (graph::VertexId b = a + 1; b < 5; ++b) el.add_undirected(a, b);
+  for (graph::VertexId a = 5; a < 10; ++a)
+    for (graph::VertexId b = a + 1; b < 10; ++b) el.add_undirected(a, b);
+  el.add_undirected(4, 5);  // bridge
+  return Graph::from_edges(el);
+}
+
+TEST(Modularity, PerfectSplitOfTwoCliques) {
+  const Graph g = two_cliques_with_bridge();
+  std::vector<graph::VertexId> label(10);
+  for (graph::VertexId v = 0; v < 10; ++v) label[v] = v < 5 ? 0 : 1;
+  // Near-ideal two-community split: high modularity.
+  EXPECT_GT(modularity(g, label), 0.35);
+}
+
+TEST(Modularity, SingleCommunityIsZero) {
+  const Graph g = two_cliques_with_bridge();
+  const std::vector<graph::VertexId> label(10, 0);
+  EXPECT_NEAR(modularity(g, label), 0.0, 1e-12);
+}
+
+TEST(Modularity, SingletonCommunitiesAreNegative) {
+  const Graph g = two_cliques_with_bridge();
+  std::vector<graph::VertexId> label(10);
+  for (graph::VertexId v = 0; v < 10; ++v) label[v] = v;
+  EXPECT_LT(modularity(g, label), 0.0);
+}
+
+TEST(Modularity, EmptyGraphIsZero) {
+  EXPECT_DOUBLE_EQ(modularity(Graph{}, {}), 0.0);
+}
+
+TEST(LabelPropagation, SeparatesTwoCliques) {
+  const Graph g = two_cliques_with_bridge();
+  const auto res = label_propagation_communities(
+      g, partition::ChunkV().partition(g, 2));
+  // All of clique 1 shares a label, all of clique 2 shares a label.
+  for (graph::VertexId v = 1; v < 5; ++v) EXPECT_EQ(res.label[v], res.label[0]);
+  for (graph::VertexId v = 6; v < 10; ++v)
+    EXPECT_EQ(res.label[v], res.label[5]);
+  EXPECT_GE(res.num_communities, 2u);
+}
+
+TEST(LabelPropagation, FindsPlantedCommunities) {
+  graph::CommunityGraphConfig cfg;
+  cfg.num_vertices = 4096;
+  cfg.avg_degree = 16;
+  cfg.num_communities = 16;
+  cfg.mixing = 0.15;  // strong communities
+  cfg.seed = 12;
+  const Graph g =
+      Graph::from_edges_symmetric(graph::community_scale_free(cfg));
+  const auto res = label_propagation_communities(
+      g, partition::ChunkV().partition(g, 4));
+  // Strong planted structure: LP should find a high-modularity cover with
+  // a community count in the right ballpark.
+  EXPECT_GT(res.modularity, 0.3);
+  EXPECT_GE(res.num_communities, 4u);
+  EXPECT_LE(res.num_communities, 400u);
+}
+
+TEST(LabelPropagation, LabelsAreDense) {
+  const Graph g = two_cliques_with_bridge();
+  const auto res = label_propagation_communities(
+      g, partition::ChunkV().partition(g, 2));
+  for (graph::VertexId lbl : res.label) EXPECT_LT(lbl, res.num_communities);
+}
+
+TEST(LabelPropagation, DeterministicForSeed) {
+  const Graph g = two_cliques_with_bridge();
+  const auto parts = partition::ChunkV().partition(g, 2);
+  const auto a = label_propagation_communities(g, parts);
+  const auto b = label_propagation_communities(g, parts);
+  EXPECT_EQ(a.label, b.label);
+  EXPECT_DOUBLE_EQ(a.modularity, b.modularity);
+}
+
+TEST(LabelPropagation, RespectsIterationCap) {
+  const Graph g = two_cliques_with_bridge();
+  LabelPropagationConfig cfg;
+  cfg.max_iterations = 2;
+  const auto res = label_propagation_communities(
+      g, partition::ChunkV().partition(g, 2), cfg);
+  EXPECT_LE(res.run.iterations.size(), 2u);
+}
+
+}  // namespace
+}  // namespace bpart::engine

@@ -1,0 +1,133 @@
+#include "engine/pagerank.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "graph/generators.hpp"
+#include "partition/chunk.hpp"
+#include "partition/hash_partitioner.hpp"
+#include "partition/registry.hpp"
+
+namespace bpart::engine {
+namespace {
+
+using graph::EdgeList;
+using graph::Graph;
+using partition::Partition;
+
+Graph small_social() {
+  graph::CommunityGraphConfig cfg;
+  cfg.num_vertices = 4096;
+  cfg.avg_degree = 12;
+  cfg.num_communities = 32;
+  cfg.seed = 3;
+  return Graph::from_edges_symmetric(graph::community_scale_free(cfg));
+}
+
+Partition chunkv(const Graph& g, partition::PartId k) {
+  return partition::ChunkV().partition(g, k);
+}
+
+TEST(PageRank, RanksSumToOne) {
+  const Graph g = small_social();
+  const auto res = pagerank(g, chunkv(g, 4));
+  const double sum =
+      std::accumulate(res.rank.begin(), res.rank.end(), 0.0);
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(PageRank, UniformOnRegularRing) {
+  // On a vertex-transitive graph PageRank is uniform.
+  graph::WattsStrogatzConfig cfg;
+  cfg.num_vertices = 100;
+  cfg.k = 2;
+  cfg.beta = 0.0;
+  const Graph g = Graph::from_edges(graph::watts_strogatz(cfg));
+  const auto res = pagerank(g, chunkv(g, 2));
+  for (double r : res.rank) EXPECT_NEAR(r, 0.01, 1e-12);
+}
+
+TEST(PageRank, HubOutranksLeaves) {
+  // Star with back edges: the hub must collect the highest rank.
+  EdgeList el;
+  for (graph::VertexId v = 1; v <= 20; ++v) el.add_undirected(0, v);
+  const Graph g = Graph::from_edges(el);
+  const auto res = pagerank(g, chunkv(g, 2));
+  for (graph::VertexId v = 1; v <= 20; ++v)
+    EXPECT_GT(res.rank[0], res.rank[v]);
+}
+
+TEST(PageRank, KnownTwoVertexFixedPoint) {
+  // 0 <-> 1 is symmetric: rank (0.5, 0.5) is the exact fixed point.
+  EdgeList el;
+  el.add_undirected(0, 1);
+  const Graph g = Graph::from_edges(el);
+  const auto res = pagerank(g, chunkv(g, 1));
+  EXPECT_NEAR(res.rank[0], 0.5, 1e-12);
+  EXPECT_NEAR(res.rank[1], 0.5, 1e-12);
+}
+
+TEST(PageRank, DanglingMassRedistributed) {
+  // 0 -> 1, 1 dangling: rank must still sum to 1.
+  EdgeList el;
+  el.add(0, 1);
+  const Graph g = Graph::from_edges(el);
+  const auto res = pagerank(g, chunkv(g, 1));
+  EXPECT_NEAR(res.rank[0] + res.rank[1], 1.0, 1e-9);
+  EXPECT_GT(res.rank[1], res.rank[0]);  // 1 receives from 0
+}
+
+TEST(PageRank, RunsRequestedIterations) {
+  const Graph g = small_social();
+  PageRankConfig cfg;
+  cfg.iterations = 7;
+  const auto res = pagerank(g, chunkv(g, 4), cfg);
+  EXPECT_EQ(res.run.iterations.size(), 7u);
+}
+
+TEST(PageRank, ResultIndependentOfPartition) {
+  // The partition affects accounting, never the numeric result.
+  const Graph g = small_social();
+  const auto a = pagerank(g, chunkv(g, 2));
+  const auto b =
+      pagerank(g, partition::HashPartitioner().partition(g, 8));
+  for (graph::VertexId v = 0; v < g.num_vertices(); v += 53)
+    EXPECT_DOUBLE_EQ(a.rank[v], b.rank[v]);
+}
+
+TEST(PageRank, WorkEqualsEdgesPlusDanglingPerIteration) {
+  const Graph g = small_social();
+  const auto res = pagerank(g, chunkv(g, 4));
+  std::uint64_t dangling = 0;
+  for (graph::VertexId v = 0; v < g.num_vertices(); ++v)
+    if (g.out_degree(v) == 0) ++dangling;
+  for (const auto& it : res.run.iterations)
+    EXPECT_EQ(it.total_work(), g.num_edges() + dangling);
+}
+
+TEST(PageRank, MessagesMatchCutEdges) {
+  // Push PageRank sends exactly one message per cut edge per iteration.
+  const Graph g = small_social();
+  const Partition p = partition::HashPartitioner().partition(g, 4);
+  std::uint64_t cut = 0;
+  for (graph::VertexId v = 0; v < g.num_vertices(); ++v)
+    for (graph::VertexId u : g.out_neighbors(v))
+      if (p[v] != p[u]) ++cut;
+  const auto res = pagerank(g, p);
+  for (const auto& it : res.run.iterations)
+    EXPECT_EQ(it.total_messages(), cut);
+}
+
+TEST(PageRank, BalancedPartitionReducesWaitRatio) {
+  // The paper's core system claim, in miniature: 2D-balanced partitions
+  // wait less than edge-skewed ones.
+  const Graph g = small_social();
+  const auto chunk = pagerank(g, chunkv(g, 8));
+  const auto bpart = pagerank(
+      g, partition::create("bpart")->partition(g, 8));
+  EXPECT_LT(bpart.run.wait_ratio(), chunk.run.wait_ratio());
+}
+
+}  // namespace
+}  // namespace bpart::engine

@@ -1,0 +1,173 @@
+// Tests for community_scale_free — the dataset stand-in generator whose
+// structural knobs carry the whole evaluation (see DESIGN.md §2).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "graph/analysis.hpp"
+#include "graph/generators.hpp"
+#include "util/check.hpp"
+#include "util/stats.hpp"
+
+namespace bpart::graph {
+namespace {
+
+CommunityGraphConfig base_config() {
+  CommunityGraphConfig cfg;
+  cfg.num_vertices = 8192;
+  cfg.avg_degree = 16;
+  cfg.num_communities = 32;
+  cfg.seed = 5;
+  return cfg;
+}
+
+TEST(CommunityGraph, HitsTargetSize) {
+  const auto cfg = base_config();
+  const EdgeList el = community_scale_free(cfg);
+  EXPECT_EQ(el.num_vertices(), cfg.num_vertices);
+  // Undirected pair count = n * avg / 2 (exact by construction).
+  EXPECT_EQ(el.size(), static_cast<std::size_t>(cfg.num_vertices) * 8);
+}
+
+TEST(CommunityGraph, SymmetrizedAverageDegreeMatches) {
+  const auto cfg = base_config();
+  const Graph g = Graph::from_edges_symmetric(community_scale_free(cfg));
+  EXPECT_NEAR(g.avg_degree(), cfg.avg_degree, 0.01);
+}
+
+TEST(CommunityGraph, EdgesAreDistinctCanonicalPairs) {
+  const EdgeList el = community_scale_free(base_config());
+  std::vector<Edge> sorted(el.edges().begin(), el.edges().end());
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(std::adjacent_find(sorted.begin(), sorted.end()), sorted.end());
+  for (const Edge& e : el.edges()) {
+    EXPECT_LT(e.src, e.dst);  // canonical direction, no self-loops
+  }
+}
+
+TEST(CommunityGraph, Deterministic) {
+  const EdgeList a = community_scale_free(base_config());
+  const EdgeList b = community_scale_free(base_config());
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); i += 131) EXPECT_EQ(a[i], b[i]);
+}
+
+TEST(CommunityGraph, SeedChangesEdges) {
+  auto cfg = base_config();
+  const EdgeList a = community_scale_free(cfg);
+  cfg.seed = 6;
+  const EdgeList b = community_scale_free(cfg);
+  std::size_t diff = 0;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    if (a[i] != b[i]) ++diff;
+  EXPECT_GT(diff, a.size() / 2);
+}
+
+TEST(CommunityGraph, ScaleFreeDegrees) {
+  const Graph g = Graph::from_edges_symmetric(
+      community_scale_free(base_config()));
+  const auto degrees = stats::to_doubles(g.out_degrees());
+  EXPECT_GT(stats::gini(degrees), 0.4);
+  EXPECT_GT(stats::max_over_mean(degrees), 5.0);
+}
+
+TEST(CommunityGraph, MinDegreeFloorHolds) {
+  auto cfg = base_config();
+  cfg.min_degree = 2;
+  const Graph g = Graph::from_edges_symmetric(community_scale_free(cfg));
+  std::uint64_t below = 0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v)
+    if (g.out_degree(v) < cfg.min_degree) ++below;
+  // The floor is best-effort (8 dedup attempts per edge) but must cover
+  // essentially everyone.
+  EXPECT_LT(below, g.num_vertices() / 100);
+  const GraphStats s = analyze(g);
+  EXPECT_EQ(s.isolated_vertices, 0u);
+}
+
+TEST(CommunityGraph, MixingControlsCommunityCut) {
+  // The edge-cut achievable by cutting along communities tracks `mixing`.
+  // Communities are laid out contiguously, so a contiguous 8-way split
+  // approximates a community-aligned cut; its ratio must rise with mixing.
+  auto measure = [](double mixing) {
+    auto cfg = base_config();
+    cfg.mixing = mixing;
+    cfg.id_noise = 0.0;  // pure community layout
+    cfg.degree_position_corr = 0.0;
+    const Graph g = Graph::from_edges_symmetric(community_scale_free(cfg));
+    // Count edges crossing the 8 contiguous blocks.
+    const VertexId block = g.num_vertices() / 8;
+    std::uint64_t cut = 0;
+    for (VertexId v = 0; v < g.num_vertices(); ++v)
+      for (VertexId u : g.out_neighbors(v))
+        if (v / block != u / block) ++cut;
+    return static_cast<double>(cut) / static_cast<double>(g.num_edges());
+  };
+  const double lo = measure(0.1);
+  const double hi = measure(0.7);
+  EXPECT_LT(lo, 0.4);
+  EXPECT_GT(hi, lo + 0.25);
+}
+
+TEST(CommunityGraph, DegreePositionCorrelationSlopesEdgeMass) {
+  // With corr = 1 the first id quartile must hold far more edge mass than
+  // the last; with corr = 0 they should be comparable.
+  auto first_over_last = [](double corr) {
+    auto cfg = base_config();
+    cfg.degree_position_corr = corr;
+    const Graph g = Graph::from_edges_symmetric(community_scale_free(cfg));
+    const VertexId q = g.num_vertices() / 4;
+    EdgeId first = 0, last = 0;
+    for (VertexId v = 0; v < q; ++v) first += g.out_degree(v);
+    for (VertexId v = g.num_vertices() - q; v < g.num_vertices(); ++v)
+      last += g.out_degree(v);
+    return static_cast<double>(first) / static_cast<double>(last);
+  };
+  EXPECT_GT(first_over_last(1.0), 3.0);
+  EXPECT_LT(first_over_last(0.0), 1.5);
+}
+
+TEST(CommunityGraph, CommunitySizeCapRespected) {
+  auto cfg = base_config();
+  cfg.max_community_factor = 2.0;
+  cfg.id_noise = 0.0;
+  cfg.degree_position_corr = 0.0;
+  // With a hard cap, no community exceeds cap = factor * n / C. We can't
+  // observe communities directly, but with zero noise the layout is
+  // community-contiguous, so the largest homogeneous block is bounded.
+  // Proxy check: generation completes and the graph is intact.
+  const EdgeList el = community_scale_free(cfg);
+  EXPECT_EQ(el.num_vertices(), cfg.num_vertices);
+  EXPECT_GT(el.size(), 0u);
+}
+
+TEST(CommunityGraph, MixingZeroWithSingletonCommunitiesTerminates) {
+  // Regression guard: singleton communities with mixing = 0 must not
+  // live-lock the generator.
+  CommunityGraphConfig cfg;
+  cfg.num_vertices = 256;
+  cfg.num_communities = 256;  // all singletons
+  cfg.avg_degree = 4;
+  cfg.mixing = 0.0;
+  const EdgeList el = community_scale_free(cfg);
+  EXPECT_GT(el.size(), 0u);
+}
+
+TEST(CommunityGraph, ValidatesConfig) {
+  CommunityGraphConfig cfg;
+  cfg.mixing = 1.5;
+  EXPECT_THROW(community_scale_free(cfg), CheckError);
+  cfg = CommunityGraphConfig{};
+  cfg.id_noise = -0.1;
+  EXPECT_THROW(community_scale_free(cfg), CheckError);
+  cfg = CommunityGraphConfig{};
+  cfg.degree_position_corr = 2.0;
+  EXPECT_THROW(community_scale_free(cfg), CheckError);
+  cfg = CommunityGraphConfig{};
+  cfg.num_vertices = 2;
+  EXPECT_THROW(community_scale_free(cfg), CheckError);
+}
+
+}  // namespace
+}  // namespace bpart::graph

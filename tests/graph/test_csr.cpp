@@ -1,0 +1,132 @@
+#include "graph/csr.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+namespace bpart::graph {
+namespace {
+
+EdgeList triangle_plus_tail() {
+  // 0 -> 1 -> 2 -> 0 (directed triangle) plus 2 -> 3.
+  EdgeList el;
+  el.add(0, 1);
+  el.add(1, 2);
+  el.add(2, 0);
+  el.add(2, 3);
+  return el;
+}
+
+TEST(Graph, CountsMatchEdgeList) {
+  const Graph g = Graph::from_edges(triangle_plus_tail());
+  EXPECT_EQ(g.num_vertices(), 4u);
+  EXPECT_EQ(g.num_edges(), 4u);
+  EXPECT_DOUBLE_EQ(g.avg_degree(), 1.0);
+}
+
+TEST(Graph, OutAdjacency) {
+  const Graph g = Graph::from_edges(triangle_plus_tail());
+  EXPECT_EQ(g.out_degree(0), 1u);
+  EXPECT_EQ(g.out_degree(2), 2u);
+  EXPECT_EQ(g.out_degree(3), 0u);
+  const auto n2 = g.out_neighbors(2);
+  ASSERT_EQ(n2.size(), 2u);
+  EXPECT_EQ(n2[0], 0u);  // sorted
+  EXPECT_EQ(n2[1], 3u);
+}
+
+TEST(Graph, InAdjacency) {
+  const Graph g = Graph::from_edges(triangle_plus_tail());
+  EXPECT_EQ(g.in_degree(0), 1u);
+  EXPECT_EQ(g.in_degree(3), 1u);
+  const auto in0 = g.in_neighbors(0);
+  ASSERT_EQ(in0.size(), 1u);
+  EXPECT_EQ(in0[0], 2u);
+}
+
+TEST(Graph, OutNeighborIndexAccess) {
+  const Graph g = Graph::from_edges(triangle_plus_tail());
+  EXPECT_EQ(g.out_neighbor(2, 0), 0u);
+  EXPECT_EQ(g.out_neighbor(2, 1), 3u);
+  EXPECT_EQ(g.out_edge_index(2, 1), g.out_edge_index(2, 0) + 1);
+}
+
+TEST(Graph, NeighborsAreSortedRegardlessOfInsertOrder) {
+  EdgeList el;
+  el.add(0, 9);
+  el.add(0, 3);
+  el.add(0, 7);
+  el.add(0, 1);
+  const Graph g = Graph::from_edges(el);
+  const auto nbrs = g.out_neighbors(0);
+  EXPECT_TRUE(std::is_sorted(nbrs.begin(), nbrs.end()));
+}
+
+TEST(Graph, ParallelEdgesPreserved) {
+  EdgeList el;
+  el.add(0, 1);
+  el.add(0, 1);
+  const Graph g = Graph::from_edges(el);
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_EQ(g.out_degree(0), 2u);
+}
+
+TEST(Graph, EmptyGraph) {
+  const Graph g = Graph::from_edges(EdgeList{});
+  EXPECT_EQ(g.num_vertices(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_DOUBLE_EQ(g.avg_degree(), 0.0);
+}
+
+TEST(Graph, IsolatedVerticesKeepZeroDegrees) {
+  EdgeList el;
+  el.add(0, 1);
+  el.set_num_vertices(5);
+  const Graph g = Graph::from_edges(el);
+  EXPECT_EQ(g.num_vertices(), 5u);
+  EXPECT_EQ(g.out_degree(4), 0u);
+  EXPECT_EQ(g.in_degree(4), 0u);
+  EXPECT_TRUE(g.out_neighbors(4).empty());
+}
+
+TEST(Graph, SymmetricDetection) {
+  EdgeList sym;
+  sym.add(0, 1);
+  sym.add(1, 0);
+  EXPECT_TRUE(Graph::from_edges(sym).is_symmetric());
+  EdgeList asym;
+  asym.add(0, 1);
+  EXPECT_FALSE(Graph::from_edges(asym).is_symmetric());
+}
+
+TEST(Graph, FromEdgesSymmetricCleansInput) {
+  EdgeList el;
+  el.add(0, 0);  // self-loop: removed
+  el.add(0, 1);  // reverse added
+  el.add(1, 0);  // duplicate after symmetrize: collapsed
+  const Graph g = Graph::from_edges_symmetric(el);
+  EXPECT_TRUE(g.is_symmetric());
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_EQ(g.out_degree(0), 1u);
+  EXPECT_EQ(g.out_degree(1), 1u);
+}
+
+TEST(Graph, OutDegreesVector) {
+  const Graph g = Graph::from_edges(triangle_plus_tail());
+  const auto deg = g.out_degrees();
+  const std::vector<EdgeId> expect{1, 1, 2, 0};
+  EXPECT_EQ(deg, expect);
+}
+
+TEST(Graph, SumOfDegreesEqualsEdges) {
+  const Graph g = Graph::from_edges(triangle_plus_tail());
+  EdgeId total = 0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    total += g.out_degree(v);
+  }
+  EXPECT_EQ(total, g.num_edges());
+}
+
+}  // namespace
+}  // namespace bpart::graph

@@ -1,0 +1,68 @@
+#include "graph/datasets.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/analysis.hpp"
+#include "util/stats.hpp"
+
+namespace bpart::graph {
+namespace {
+
+TEST(Datasets, RegistryHasThreePaperGraphs) {
+  const auto& specs = dataset_specs();
+  ASSERT_EQ(specs.size(), 3u);
+  EXPECT_EQ(specs[0].name, "livejournal");
+  EXPECT_EQ(specs[1].name, "twitter");
+  EXPECT_EQ(specs[2].name, "friendster");
+}
+
+TEST(Datasets, LookupByName) {
+  EXPECT_EQ(dataset_spec("twitter").name, "twitter");
+  EXPECT_THROW(dataset_spec("facebook"), std::out_of_range);
+}
+
+TEST(Datasets, AverageDegreesOrderedLikePaper) {
+  // Paper: d̄(LiveJournal)=30 < d̄(Twitter)=35.7 < d̄(Friendster)=54.9.
+  const Graph lj = livejournal_like();
+  const Graph tw = twitter_like();
+  const Graph fr = friendster_like();
+  EXPECT_LT(lj.avg_degree(), tw.avg_degree());
+  EXPECT_LT(tw.avg_degree(), fr.avg_degree());
+  // And approximately matching (symmetrization dedup loses a little).
+  EXPECT_NEAR(lj.avg_degree(), 30.0, 6.0);
+  EXPECT_NEAR(tw.avg_degree(), 35.7, 7.0);
+  EXPECT_NEAR(fr.avg_degree(), 54.9, 11.0);
+}
+
+TEST(Datasets, GraphsAreSymmetricSocialNetworks) {
+  const Graph g = livejournal_like();
+  EXPECT_TRUE(g.is_symmetric());
+}
+
+TEST(Datasets, GraphsAreScaleFree) {
+  // The scale-free property drives every result in the paper; assert the
+  // stand-ins actually have it.
+  const Graph g = twitter_like();
+  const auto degrees = stats::to_doubles(g.out_degrees());
+  EXPECT_GT(stats::gini(degrees), 0.45);
+  EXPECT_GT(stats::max_over_mean(degrees), 8.0);
+}
+
+TEST(Datasets, DeterministicAcrossBuilds) {
+  const Graph a = twitter_like();
+  const Graph b = twitter_like();
+  ASSERT_EQ(a.num_vertices(), b.num_vertices());
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  for (VertexId v = 0; v < a.num_vertices(); v += 997)
+    EXPECT_EQ(a.out_degree(v), b.out_degree(v));
+}
+
+TEST(Datasets, SizesAreDistinct) {
+  const Graph lj = livejournal_like();
+  const Graph fr = friendster_like();
+  EXPECT_LT(lj.num_vertices(), fr.num_vertices());
+  EXPECT_LT(lj.num_edges(), fr.num_edges());
+}
+
+}  // namespace
+}  // namespace bpart::graph

@@ -1,0 +1,123 @@
+#include "graph/io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "graph/generators.hpp"
+
+namespace bpart::graph {
+namespace {
+
+class IoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() / "bpart_io_test";
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  [[nodiscard]] std::string path(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(IoTest, TextRoundTrip) {
+  EdgeList el;
+  el.add(0, 1);
+  el.add(3, 2);
+  el.add(1, 0);
+  save_text_edges(el, path("g.txt"));
+  const EdgeList loaded = load_text_edges(path("g.txt"));
+  ASSERT_EQ(loaded.size(), el.size());
+  for (std::size_t i = 0; i < el.size(); ++i) EXPECT_EQ(loaded[i], el[i]);
+  EXPECT_EQ(loaded.num_vertices(), el.num_vertices());
+}
+
+TEST_F(IoTest, TextParsesCommentsAndBlanks) {
+  std::ofstream f(path("c.txt"));
+  f << "# comment\n\n% another comment\n 0 1\n2\t3\n4,5\n";
+  f.close();
+  const EdgeList el = load_text_edges(path("c.txt"));
+  ASSERT_EQ(el.size(), 3u);
+  EXPECT_EQ(el[0], (Edge{0, 1}));
+  EXPECT_EQ(el[1], (Edge{2, 3}));
+  EXPECT_EQ(el[2], (Edge{4, 5}));
+}
+
+TEST_F(IoTest, TextHandlesTrailingWhitespaceAndCrlf) {
+  std::ofstream f(path("w.txt"), std::ios::binary);
+  f << "7 8 \r\n9 10\r\n";
+  f.close();
+  const EdgeList el = load_text_edges(path("w.txt"));
+  ASSERT_EQ(el.size(), 2u);
+  EXPECT_EQ(el[0], (Edge{7, 8}));
+  EXPECT_EQ(el[1], (Edge{9, 10}));
+}
+
+TEST_F(IoTest, TextRejectsMalformedLine) {
+  std::ofstream f(path("bad.txt"));
+  f << "0 1\nnot_an_edge\n";
+  f.close();
+  try {
+    load_text_edges(path("bad.txt"));
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find(":2"), std::string::npos)
+        << "error should cite line 2: " << e.what();
+  }
+}
+
+TEST_F(IoTest, TextRejectsMissingDst) {
+  std::ofstream f(path("half.txt"));
+  f << "42\n";
+  f.close();
+  EXPECT_THROW(load_text_edges(path("half.txt")), std::runtime_error);
+}
+
+TEST_F(IoTest, TextMissingFileThrows) {
+  EXPECT_THROW(load_text_edges(path("nope.txt")), std::runtime_error);
+}
+
+TEST_F(IoTest, BinaryRoundTripLargeGraph) {
+  RmatConfig cfg;
+  cfg.scale = 10;
+  cfg.edge_factor = 8;
+  const EdgeList el = rmat(cfg);
+  save_binary_edges(el, path("g.bin"));
+  const EdgeList loaded = load_binary_edges(path("g.bin"));
+  ASSERT_EQ(loaded.size(), el.size());
+  EXPECT_EQ(loaded.num_vertices(), el.num_vertices());
+  for (std::size_t i = 0; i < el.size(); i += 97) EXPECT_EQ(loaded[i], el[i]);
+}
+
+TEST_F(IoTest, BinaryPreservesIsolatedVertices) {
+  EdgeList el;
+  el.add(0, 1);
+  el.set_num_vertices(100);
+  save_binary_edges(el, path("iso.bin"));
+  EXPECT_EQ(load_binary_edges(path("iso.bin")).num_vertices(), 100u);
+}
+
+TEST_F(IoTest, BinaryRejectsGarbage) {
+  std::ofstream f(path("junk.bin"), std::ios::binary);
+  f << "this is not a graph file at all, padded to header size.....";
+  f.close();
+  EXPECT_THROW(load_binary_edges(path("junk.bin")), std::runtime_error);
+}
+
+TEST_F(IoTest, BinaryRejectsTruncatedFile) {
+  EdgeList el;
+  for (VertexId v = 0; v < 100; ++v) el.add(v, (v + 1) % 100);
+  save_binary_edges(el, path("t.bin"));
+  // Chop the file in half.
+  const auto full = std::filesystem::file_size(path("t.bin"));
+  std::filesystem::resize_file(path("t.bin"), full / 2);
+  EXPECT_THROW(load_binary_edges(path("t.bin")), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace bpart::graph

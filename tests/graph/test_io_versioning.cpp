@@ -1,0 +1,51 @@
+// Binary-format versioning: a future-version file must fail loudly, not
+// load garbage.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+
+#include "graph/io.hpp"
+
+namespace bpart::graph {
+namespace {
+
+TEST(BinaryVersioning, FutureVersionRejectedWithClearError) {
+  const auto dir = std::filesystem::temp_directory_path() / "bpart_io_ver";
+  std::filesystem::create_directories(dir);
+  const std::string path = (dir / "v.bin").string();
+
+  // Write a valid file, then bump the version field in place (offset 8,
+  // right after the 64-bit magic).
+  EdgeList el;
+  el.add(0, 1);
+  save_binary_edges(el, path);
+  {
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(8);
+    const std::uint32_t future = 999;
+    f.write(reinterpret_cast<const char*>(&future), sizeof(future));
+  }
+  try {
+    load_binary_edges(path);
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("version"), std::string::npos);
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(BinaryVersioning, HeaderSmallerThanFileIsCaught) {
+  const auto dir = std::filesystem::temp_directory_path() / "bpart_io_ver2";
+  std::filesystem::create_directories(dir);
+  const std::string path = (dir / "tiny.bin").string();
+  std::ofstream f(path, std::ios::binary);
+  f << "xx";  // far smaller than the header
+  f.close();
+  EXPECT_THROW(load_binary_edges(path), std::runtime_error);
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace bpart::graph

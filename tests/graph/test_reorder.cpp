@@ -1,0 +1,119 @@
+#include "graph/reorder.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "graph/analysis.hpp"
+#include "graph/generators.hpp"
+#include "util/check.hpp"
+
+namespace bpart::graph {
+namespace {
+
+Graph test_graph() {
+  CommunityGraphConfig cfg;
+  cfg.num_vertices = 2048;
+  cfg.avg_degree = 12;
+  cfg.num_communities = 16;
+  cfg.seed = 19;
+  return Graph::from_edges_symmetric(community_scale_free(cfg));
+}
+
+TEST(IsPermutation, Detects) {
+  EXPECT_TRUE(is_permutation({2, 0, 1}));
+  EXPECT_FALSE(is_permutation({0, 0, 1}));  // duplicate
+  EXPECT_FALSE(is_permutation({0, 3, 1}));  // out of range
+  EXPECT_TRUE(is_permutation({}));
+}
+
+TEST(ApplyPermutation, IdentityIsNoop) {
+  const Graph g = test_graph();
+  std::vector<VertexId> id(g.num_vertices());
+  std::iota(id.begin(), id.end(), VertexId{0});
+  const Graph h = apply_permutation(g, id);
+  for (VertexId v = 0; v < g.num_vertices(); v += 61)
+    EXPECT_EQ(g.out_degree(v), h.out_degree(v));
+}
+
+TEST(ApplyPermutation, RelabelsEdges) {
+  EdgeList el;
+  el.add(0, 1);
+  el.add(1, 2);
+  const Graph g = Graph::from_edges(el);
+  // perm: 0->2, 1->0, 2->1
+  const Graph h = apply_permutation(g, {2, 0, 1});
+  EXPECT_EQ(h.out_degree(2), 1u);  // old 0
+  EXPECT_EQ(h.out_neighbors(2)[0], 0u);  // old 1
+  EXPECT_EQ(h.out_neighbors(0)[0], 1u);  // old 1 -> old 2
+}
+
+TEST(ApplyPermutation, PreservesStructure) {
+  const Graph g = test_graph();
+  const Graph h = apply_permutation(g, random_order(g.num_vertices(), 5));
+  EXPECT_EQ(h.num_edges(), g.num_edges());
+  // Degree multiset invariant.
+  auto dg = g.out_degrees();
+  auto dh = h.out_degrees();
+  std::sort(dg.begin(), dg.end());
+  std::sort(dh.begin(), dh.end());
+  EXPECT_EQ(dg, dh);
+  // Component count invariant.
+  EXPECT_EQ(count_components(connected_components(g)),
+            count_components(connected_components(h)));
+}
+
+TEST(ApplyPermutation, ValidatesInput) {
+  const Graph g = Graph::from_edges([] {
+    EdgeList el;
+    el.add(0, 1);
+    return el;
+  }());
+  EXPECT_THROW(apply_permutation(g, {0}), CheckError);      // wrong size
+  EXPECT_THROW(apply_permutation(g, {0, 0}), CheckError);   // not a perm
+}
+
+TEST(DegreeOrder, SortsHubsFirst) {
+  const Graph g = test_graph();
+  const auto perm = degree_order(g);
+  ASSERT_TRUE(is_permutation(perm));
+  const Graph h = apply_permutation(g, perm);
+  for (VertexId v = 1; v < h.num_vertices(); ++v)
+    ASSERT_GE(h.out_degree(v - 1), h.out_degree(v)) << "rank " << v;
+}
+
+TEST(BfsOrder, SourceIsFirstAndNeighborsEarly) {
+  const Graph g = test_graph();
+  const auto perm = bfs_order(g, 7);
+  ASSERT_TRUE(is_permutation(perm));
+  EXPECT_EQ(perm[7], 0u);
+  // All of 7's neighbors must receive ranks below the frontier of the
+  // second BFS level — conservatively, below 1 + deg(7) + 1.
+  for (VertexId u : g.out_neighbors(7))
+    EXPECT_LE(perm[u], g.out_degree(7) + 1);
+}
+
+TEST(BfsOrder, UnreachedVerticesGetTailRanks) {
+  EdgeList el;
+  el.add_undirected(0, 1);
+  el.set_num_vertices(4);
+  const Graph g = Graph::from_edges(el);
+  const auto perm = bfs_order(g, 0);
+  ASSERT_TRUE(is_permutation(perm));
+  EXPECT_LT(perm[1], 2u);
+  EXPECT_GE(perm[2], 2u);
+  EXPECT_GE(perm[3], 2u);
+}
+
+TEST(RandomOrder, IsSeededPermutation) {
+  const auto a = random_order(1000, 3);
+  const auto b = random_order(1000, 3);
+  const auto c = random_order(1000, 4);
+  EXPECT_TRUE(is_permutation(a));
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+}  // namespace
+}  // namespace bpart::graph

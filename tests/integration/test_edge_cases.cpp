@@ -1,0 +1,147 @@
+// Cross-module edge cases: tiny, empty and degenerate inputs flowing
+// through the whole stack. These are the inputs a downstream user hits
+// first when wiring the library into their own system.
+#include <gtest/gtest.h>
+
+#include "engine/components.hpp"
+#include "engine/kcore.hpp"
+#include "engine/pagerank.hpp"
+#include "engine/triangles.hpp"
+#include "graph/analysis.hpp"
+#include "graph/generators.hpp"
+#include "partition/metrics.hpp"
+#include "partition/registry.hpp"
+#include "walk/apps.hpp"
+#include "walk/walk_engine.hpp"
+
+namespace bpart {
+namespace {
+
+using graph::EdgeList;
+using graph::Graph;
+
+TEST(EdgeCases, EmptyGraphThroughEveryPartitioner) {
+  const Graph g;
+  for (const auto& algo : partition::all_algorithms()) {
+    const auto p = partition::create(algo)->partition(g, 4);
+    EXPECT_EQ(p.num_vertices(), 0u) << algo;
+    const auto q = partition::evaluate(g, p);
+    EXPECT_DOUBLE_EQ(q.edge_cut_ratio, 0.0) << algo;
+  }
+}
+
+TEST(EdgeCases, SingleVertexGraph) {
+  EdgeList el;
+  el.set_num_vertices(1);
+  const Graph g = Graph::from_edges(el);
+  for (const auto& algo : partition::all_algorithms()) {
+    const auto p = partition::create(algo)->partition(g, 2);
+    EXPECT_TRUE(p.fully_assigned()) << algo;
+  }
+  // Apps still run.
+  const auto parts = partition::create("chunk-v")->partition(g, 1);
+  EXPECT_NEAR(engine::pagerank(g, parts).rank[0], 1.0, 1e-9);
+  EXPECT_EQ(engine::connected_components(g, parts).num_components, 1u);
+  EXPECT_EQ(engine::kcore(g, parts).max_core, 0u);
+  EXPECT_EQ(engine::count_triangles(g, parts).total_triangles, 0u);
+}
+
+TEST(EdgeCases, SelfLoopOnlyGraph) {
+  EdgeList el;
+  el.add(0, 0);
+  el.add(1, 1);
+  const Graph g = Graph::from_edges(el);
+  const auto parts = partition::create("hash")->partition(g, 2);
+  // A self-loop is never a cut edge.
+  EXPECT_DOUBLE_EQ(partition::edge_cut_ratio(g, parts), 0.0);
+  // Walkers on self-loops spin until their length runs out.
+  const auto report =
+      walk::run_walks(g, parts, walk::SimpleRandomWalk(3), {});
+  EXPECT_EQ(report.total_steps, 2u * 3u);
+  EXPECT_EQ(report.message_walks, 0u);
+}
+
+TEST(EdgeCases, StarGraphAllPartitioners) {
+  // One hub, 63 leaves: the most skewed input there is.
+  EdgeList el;
+  for (graph::VertexId v = 1; v < 64; ++v) el.add_undirected(0, v);
+  const Graph g = Graph::from_edges(el);
+  for (const auto& algo : partition::all_algorithms()) {
+    const auto p = partition::create(algo)->partition(g, 4);
+    EXPECT_TRUE(p.fully_assigned()) << algo;
+    // Nobody can balance edges here (the hub owns half of them); the run
+    // must still be valid and metrics finite.
+    const auto q = partition::evaluate(g, p);
+    EXPECT_GE(q.edge_summary.fairness, 0.25 - 1e-9) << algo;
+  }
+}
+
+TEST(EdgeCases, MorePartsThanVertices) {
+  EdgeList el;
+  el.add_undirected(0, 1);
+  el.add_undirected(1, 2);
+  const Graph g = Graph::from_edges(el);
+  for (const auto& algo : partition::all_algorithms()) {
+    const auto p = partition::create(algo)->partition(g, 16);
+    EXPECT_TRUE(p.fully_assigned()) << algo;
+    EXPECT_EQ(p.num_parts(), 16u) << algo;
+  }
+}
+
+TEST(EdgeCases, DisconnectedGraphApps) {
+  EdgeList el;
+  el.add_undirected(0, 1);
+  el.add_undirected(2, 3);
+  el.set_num_vertices(6);  // 4, 5 isolated
+  const Graph g = Graph::from_edges(el);
+  const auto parts = partition::create("chunk-v")->partition(g, 2);
+  EXPECT_EQ(engine::connected_components(g, parts).num_components, 4u);
+  const auto pr = engine::pagerank(g, parts);
+  double sum = 0;
+  for (double r : pr.rank) sum += r;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(EdgeCases, WalkEngineIterationCapStopsRunaways) {
+  // PPR with a vanishing stop probability would walk for ~1e6 steps;
+  // max_iterations must bound the run.
+  graph::WattsStrogatzConfig cfg;
+  cfg.num_vertices = 64;
+  cfg.k = 2;
+  const Graph g = Graph::from_edges(graph::watts_strogatz(cfg));
+  const auto parts = partition::create("chunk-v")->partition(g, 2);
+  walk::WalkConfig wcfg;
+  wcfg.max_iterations = 5;
+  wcfg.greedy_local = false;  // one step per iteration: cap == 5 steps each
+  const auto report = walk::run_walks(
+      g, parts, walk::PersonalizedPageRank(1e-9), wcfg);
+  EXPECT_LE(report.run.iterations.size(), 5u);
+  EXPECT_LE(report.total_steps, 5u * 64u);
+}
+
+TEST(EdgeCases, ComponentsIterationCap) {
+  // A long path needs ~n rounds; the cap must cut it off cleanly.
+  EdgeList el;
+  for (graph::VertexId v = 0; v + 1 < 64; ++v) el.add_undirected(v, v + 1);
+  const Graph g = Graph::from_edges(el);
+  const auto parts = partition::create("chunk-v")->partition(g, 2);
+  const auto res = engine::connected_components(g, parts, {}, 3);
+  EXPECT_LE(res.run.iterations.size(), 3u);
+  // Labels are only partially propagated — more than one label remains.
+  EXPECT_GT(res.num_components, 1u);
+}
+
+TEST(EdgeCases, AnalysisOnDegenerateGraphs) {
+  const auto empty_stats = graph::analyze(Graph{});
+  EXPECT_EQ(empty_stats.num_vertices, 0u);
+  EXPECT_TRUE(empty_stats.symmetric);
+
+  EdgeList lone;
+  lone.set_num_vertices(3);
+  const auto iso_stats = graph::analyze(Graph::from_edges(lone));
+  EXPECT_EQ(iso_stats.isolated_vertices, 3u);
+  EXPECT_DOUBLE_EQ(iso_stats.avg_degree, 0.0);
+}
+
+}  // namespace
+}  // namespace bpart

@@ -1,0 +1,110 @@
+// End-to-end integration: dataset -> partition -> distributed apps,
+// asserting the paper's qualitative system-level claims hold in the
+// simulator (the same claims the benches quantify).
+#include <gtest/gtest.h>
+
+#include "engine/components.hpp"
+#include "engine/pagerank.hpp"
+#include "graph/datasets.hpp"
+#include "graph/generators.hpp"
+#include "partition/metrics.hpp"
+#include "partition/registry.hpp"
+#include "walk/apps.hpp"
+#include "walk/walk_engine.hpp"
+
+namespace bpart {
+namespace {
+
+class PipelineTest : public ::testing::Test {
+ protected:
+  static const graph::Graph& shared_graph() {
+    static const graph::Graph g = [] {
+      graph::CommunityGraphConfig cfg;
+      cfg.num_vertices = 8192;
+      cfg.avg_degree = 16;
+      cfg.num_communities = 48;
+      cfg.mixing = 0.3;
+      cfg.seed = 41;
+      return graph::Graph::from_edges_symmetric(
+          graph::community_scale_free(cfg));
+    }();
+    return g;
+  }
+};
+
+TEST_F(PipelineTest, EveryPaperAlgorithmDrivesEveryApp) {
+  const auto& g = shared_graph();
+  for (const auto& algo : partition::paper_algorithms()) {
+    const auto parts = partition::create(algo)->partition(g, 4);
+    const auto walk_report =
+        walk::run_walks(g, parts, walk::SimpleRandomWalk(4), {});
+    EXPECT_GT(walk_report.total_steps, 0u) << algo;
+    const auto pr = engine::pagerank(g, parts, {.damping = 0.85,
+                                                .iterations = 3});
+    EXPECT_EQ(pr.run.iterations.size(), 3u) << algo;
+  }
+}
+
+TEST_F(PipelineTest, BPartWaitsLessThanOneDimensionalSchemes) {
+  // Fig. 13's claim: 2D balance slashes the waiting-time ratio for random
+  // walks vs Chunk-V / Chunk-E / Fennel.
+  const auto& g = shared_graph();
+  walk::WalkConfig cfg;
+  cfg.walks_per_vertex = 5;
+  auto wait_ratio = [&](const std::string& algo) {
+    const auto parts = partition::create(algo)->partition(g, 8);
+    return walk::run_walks(g, parts, walk::SimpleRandomWalk(4), cfg)
+        .run.wait_ratio();
+  };
+  const double bpart = wait_ratio("bpart");
+  EXPECT_LT(bpart, wait_ratio("chunk-v"));
+  EXPECT_LT(bpart, wait_ratio("chunk-e"));
+  EXPECT_LT(bpart, wait_ratio("fennel"));
+}
+
+TEST_F(PipelineTest, BPartOutrunsHashOnIterationApps) {
+  // Fig. 15's claim: against Hash (balanced but cut-heavy), BPart wins on
+  // PR/CC because it moves far fewer messages.
+  const auto& g = shared_graph();
+  const auto bpart = partition::create("bpart")->partition(g, 8);
+  const auto hash = partition::create("hash")->partition(g, 8);
+  const auto pr_bpart = engine::pagerank(g, bpart);
+  const auto pr_hash = engine::pagerank(g, hash);
+  EXPECT_LT(pr_bpart.run.total_seconds(), pr_hash.run.total_seconds());
+  EXPECT_LT(pr_bpart.run.total_messages(), pr_hash.run.total_messages());
+}
+
+TEST_F(PipelineTest, MessageWalksFollowEdgeCuts) {
+  // Fig. 5's claim: message-walk traffic tracks the edge-cut ratio.
+  const auto& g = shared_graph();
+  double last_cut = -1;
+  std::uint64_t last_messages = 0;
+  // fennel < bpart < hash in cut ratio on this graph; traffic must agree.
+  for (const auto& algo : {"fennel", "bpart", "hash"}) {
+    const auto parts = partition::create(algo)->partition(g, 8);
+    const double cut = partition::edge_cut_ratio(g, parts);
+    walk::WalkConfig cfg;
+    cfg.walks_per_vertex = 5;
+    const auto report =
+        walk::run_walks(g, parts, walk::SimpleRandomWalk(4), cfg);
+    if (last_cut >= 0 && cut > last_cut) {
+      EXPECT_GT(report.message_walks, last_messages) << algo;
+    }
+    last_cut = cut;
+    last_messages = report.message_walks;
+  }
+}
+
+TEST_F(PipelineTest, DatasetsBuildAndPartitionAtScale) {
+  // Smoke the real dataset registry end to end (the benches' exact path).
+  const auto g = graph::livejournal_like();
+  const auto parts = partition::create("bpart")->partition(g, 8);
+  const auto q = partition::evaluate(g, parts);
+  EXPECT_LT(q.vertex_summary.bias, 0.15);
+  EXPECT_LT(q.edge_summary.bias, 0.15);
+  const auto cc = engine::connected_components(g, parts);
+  EXPECT_GE(cc.num_components, 1u);
+}
+
+}  // namespace
+}  // namespace bpart

@@ -1,0 +1,104 @@
+// Cross-cutting RunReport invariants: whatever application runs on
+// whatever partition, the cluster accounting must be internally
+// consistent. Parameterized over (application, partitioner).
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "engine/components.hpp"
+#include "engine/kcore.hpp"
+#include "engine/pagerank.hpp"
+#include "engine/triangles.hpp"
+#include "graph/generators.hpp"
+#include "partition/registry.hpp"
+#include "walk/apps.hpp"
+#include "walk/walk_engine.hpp"
+
+namespace bpart {
+namespace {
+
+const graph::Graph& shared_graph() {
+  static const graph::Graph g = [] {
+    graph::CommunityGraphConfig cfg;
+    cfg.num_vertices = 4096;
+    cfg.avg_degree = 12;
+    cfg.num_communities = 32;
+    cfg.seed = 61;
+    return graph::Graph::from_edges_symmetric(
+        graph::community_scale_free(cfg));
+  }();
+  return g;
+}
+
+cluster::RunReport run_app(const std::string& app,
+                           const partition::Partition& parts) {
+  const auto& g = shared_graph();
+  if (app == "pagerank") return engine::pagerank(g, parts).run;
+  if (app == "cc") return engine::connected_components(g, parts).run;
+  if (app == "kcore") return engine::kcore(g, parts).run;
+  if (app == "triangles") return engine::count_triangles(g, parts).run;
+  return walk::run_walks(g, parts, *walk::create_walk_app(app), {}).run;
+}
+
+using Param = std::tuple<std::string, std::string>;
+class RunReportInvariants : public ::testing::TestWithParam<Param> {};
+
+TEST_P(RunReportInvariants, AccountingIsConsistent) {
+  const auto& [app, algo] = GetParam();
+  const auto parts = partition::create(algo)->partition(shared_graph(), 4);
+  const cluster::RunReport run = run_app(app, parts);
+
+  ASSERT_EQ(run.num_machines, 4u);
+  ASSERT_FALSE(run.iterations.empty());
+
+  double total_seconds = 0;
+  std::uint64_t sent = 0, received = 0;
+  for (const auto& iter : run.iterations) {
+    ASSERT_EQ(iter.machines.size(), 4u);
+    double slowest = 0;
+    for (const auto& m : iter.machines) {
+      EXPECT_GE(m.wait_seconds, -1e-12);
+      EXPECT_GE(m.compute_seconds, 0.0);
+      slowest = std::max(slowest, m.compute_seconds + m.comm_seconds);
+      sent += m.messages_sent;
+      received += m.messages_received;
+    }
+    // Iteration duration = slowest machine + barrier; every machine's
+    // busy + wait time equals the slowest machine's busy time.
+    EXPECT_GE(iter.duration_seconds, slowest);
+    for (const auto& m : iter.machines)
+      EXPECT_NEAR(m.compute_seconds + m.comm_seconds + m.wait_seconds,
+                  slowest, 1e-9);
+    total_seconds += iter.duration_seconds;
+  }
+  EXPECT_EQ(sent, received);  // conservation of messages
+  EXPECT_NEAR(run.total_seconds(), total_seconds, 1e-9);
+  EXPECT_GE(run.wait_ratio(), 0.0);
+  EXPECT_LT(run.wait_ratio(), 1.0);
+  EXPECT_GT(run.total_work(), 0u);
+}
+
+std::string param_name(const ::testing::TestParamInfo<Param>& info) {
+  std::string name =
+      std::get<0>(info.param) + "_" + std::get<1>(info.param);
+  for (char& c : name)
+    if (c == '-') c = '_';
+  return name;
+}
+
+std::vector<Param> params() {
+  std::vector<Param> out;
+  const std::vector<std::string> apps = {"pagerank", "cc",       "kcore",
+                                         "triangles", "ppr",     "rwj",
+                                         "deepwalk", "node2vec"};
+  for (const auto& app : apps)
+    for (const std::string algo : {"chunk-v", "hash", "bpart"})
+      out.emplace_back(app, algo);
+  return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(AppsTimesPartitioners, RunReportInvariants,
+                         ::testing::ValuesIn(params()), param_name);
+
+}  // namespace
+}  // namespace bpart

@@ -1,0 +1,176 @@
+#include "partition/bpart.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "graph/datasets.hpp"
+#include "graph/generators.hpp"
+#include "test_graphs.hpp"
+#include "partition/fennel.hpp"
+#include "partition/hash_partitioner.hpp"
+#include "partition/metrics.hpp"
+#include "util/check.hpp"
+#include "util/stats.hpp"
+
+namespace bpart::partition {
+namespace {
+
+using graph::Graph;
+
+using testing::social_graph;
+
+TEST(BPartAlgo, FullyAssignedWithExactParts) {
+  const Graph g = social_graph();
+  const Partition p = BPart().partition(g, 8);
+  EXPECT_TRUE(p.fully_assigned());
+  EXPECT_EQ(p.num_parts(), 8u);
+  for (auto c : p.vertex_counts()) EXPECT_GT(c, 0u);
+}
+
+TEST(BPartAlgo, Deterministic) {
+  const Graph g = social_graph();
+  const Partition a = BPart().partition(g, 8);
+  const Partition b = BPart().partition(g, 8);
+  for (graph::VertexId v = 0; v < g.num_vertices(); v += 173)
+    EXPECT_EQ(a[v], b[v]);
+}
+
+TEST(BPartAlgo, TwoDimensionalBalance) {
+  // The headline claim (Fig. 10): BOTH biases below ~0.1.
+  const Graph g = social_graph();
+  const QualityReport r = evaluate(g, BPart().partition(g, 8));
+  EXPECT_LT(r.vertex_summary.bias, 0.15);
+  EXPECT_LT(r.edge_summary.bias, 0.15);
+  EXPECT_GT(r.vertex_summary.fairness, 0.98);
+  EXPECT_GT(r.edge_summary.fairness, 0.98);
+}
+
+TEST(BPartAlgo, BothDimensionsBeatOneDimensionalBaselines) {
+  const Graph g = social_graph();
+  const QualityReport bp = evaluate(g, BPart().partition(g, 8));
+  const QualityReport fe = evaluate(g, Fennel().partition(g, 8));
+  // Fennel balances vertices but not edges; BPart must beat it on edges
+  // without giving up much on vertices.
+  EXPECT_LT(bp.edge_summary.bias, fe.edge_summary.bias / 2);
+}
+
+TEST(BPartAlgo, CutsFewerEdgesThanHash) {
+  // Table 3: BPart ~0.5-0.73 vs Hash ~0.875.
+  const Graph g = social_graph();
+  const double bpart_cut = edge_cut_ratio(g, BPart().partition(g, 8));
+  const double hash_cut = edge_cut_ratio(g, HashPartitioner().partition(g, 8));
+  EXPECT_LT(bpart_cut, hash_cut - 0.1);
+}
+
+TEST(BPartAlgo, TraceShowsMultiLayerBehaviour) {
+  const Graph g = social_graph();
+  BPartTrace trace;
+  const Partition p = BPart().partition_traced(g, 8, &trace);
+  ASSERT_GE(trace.layers.size(), 1u);
+  EXPECT_EQ(trace.layers[0].pieces, 16u);  // 2 x N over-split
+  EXPECT_EQ(trace.layers[0].combine_rounds, 1u);
+  // Layer outputs must account for all 8 parts.
+  unsigned accepted = 0;
+  for (const auto& l : trace.layers) accepted += l.accepted;
+  EXPECT_EQ(trace.layers.back().remaining, 8u - accepted);
+  EXPECT_TRUE(p.fully_assigned());
+}
+
+TEST(BPartAlgo, LaterLayersDoubleOversplit) {
+  // Force multiple layers with an unreachable threshold; use the paper's
+  // rank pairing so the Fig. 9 round structure (sort + pair extremes,
+  // doubling rounds per layer) is what is being verified.
+  BPartConfig cfg;
+  cfg.pairing = PairingRule::kRank;
+  cfg.balance_threshold = 1e-9;
+  cfg.max_layers = 3;
+  const Graph g = social_graph();
+  BPartTrace trace;
+  (void)BPart(cfg).partition_traced(g, 4, &trace);
+  ASSERT_EQ(trace.layers.size(), 3u);
+  EXPECT_EQ(trace.layers[0].pieces, 8u);    // 2 x 4
+  EXPECT_EQ(trace.layers[1].pieces, 16u);   // 4 x 4
+  EXPECT_EQ(trace.layers[1].combine_rounds, 2u);
+  EXPECT_EQ(trace.layers[2].pieces, 32u);   // 8 x 4
+  EXPECT_EQ(trace.layers[2].remaining, 0u); // last layer accepts everything
+}
+
+TEST(BPartAlgo, SinglePartTrivial) {
+  const Graph g = social_graph();
+  const Partition p = BPart().partition(g, 1);
+  EXPECT_TRUE(p.fully_assigned());
+  EXPECT_EQ(p.num_parts(), 1u);
+}
+
+TEST(BPartAlgo, TinyGraphMoreVerticesThanParts) {
+  graph::EdgeList el;
+  el.add_undirected(0, 1);
+  el.add_undirected(1, 2);
+  el.add_undirected(2, 3);
+  const Graph g = Graph::from_edges(el);
+  const Partition p = BPart().partition(g, 2);
+  EXPECT_TRUE(p.fully_assigned());
+}
+
+TEST(BPartAlgo, DegeneratePartsExceedVertices) {
+  graph::EdgeList el;
+  el.add_undirected(0, 1);
+  const Graph g = Graph::from_edges(el);
+  const Partition p = BPart().partition(g, 8);
+  EXPECT_TRUE(p.fully_assigned());  // empty parts are legal here
+}
+
+TEST(BPartAlgo, EmptyGraph) {
+  const Graph g;
+  const Partition p = BPart().partition(g, 4);
+  EXPECT_EQ(p.num_vertices(), 0u);
+}
+
+TEST(BPartAlgo, ConfigValidation) {
+  BPartConfig bad;
+  bad.oversplit_factor = 3;  // not a power of two
+  EXPECT_THROW(BPart{bad}, CheckError);
+  bad = BPartConfig{};
+  bad.balance_threshold = 0.0;
+  EXPECT_THROW(BPart{bad}, CheckError);
+  bad = BPartConfig{};
+  bad.max_layers = 0;
+  EXPECT_THROW(BPart{bad}, CheckError);
+}
+
+TEST(BPartAlgo, InverseProportionalityAfterPhaseOne) {
+  // §3.2's key mechanism: with c=1/2, pieces with fewer vertices must have
+  // more edges. Check the correlation of (V_i, E_i) over pieces is negative.
+  const Graph g = social_graph();
+  std::vector<graph::VertexId> all(g.num_vertices());
+  std::iota(all.begin(), all.end(), graph::VertexId{0});
+  StreamConfig cfg;
+  cfg.balance_weight_c = 0.5;
+  const Partition pieces = greedy_stream_partition(g, all, 16, cfg);
+  const auto vc = pieces.vertex_counts();
+  const auto ec = pieces.edge_counts(g);
+  double mean_v = 0, mean_e = 0;
+  for (std::size_t i = 0; i < vc.size(); ++i) {
+    mean_v += static_cast<double>(vc[i]);
+    mean_e += static_cast<double>(ec[i]);
+  }
+  mean_v /= static_cast<double>(vc.size());
+  mean_e /= static_cast<double>(ec.size());
+  double cov = 0;
+  for (std::size_t i = 0; i < vc.size(); ++i)
+    cov += (static_cast<double>(vc[i]) - mean_v) *
+           (static_cast<double>(ec[i]) - mean_e);
+  EXPECT_LT(cov, 0.0);
+}
+
+TEST(BPartAlgo, ScalesToManyParts) {
+  // Fig. 11: balance holds as the part count grows.
+  const Graph g = graph::twitter_like();
+  const QualityReport r = evaluate(g, BPart().partition(g, 64));
+  EXPECT_GT(r.vertex_summary.fairness, 0.97);
+  EXPECT_GT(r.edge_summary.fairness, 0.97);
+}
+
+}  // namespace
+}  // namespace bpart::partition

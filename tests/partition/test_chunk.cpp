@@ -1,0 +1,128 @@
+#include "partition/chunk.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "partition/metrics.hpp"
+#include "util/stats.hpp"
+
+namespace bpart::partition {
+namespace {
+
+using graph::EdgeList;
+using graph::Graph;
+
+Graph star_graph(graph::VertexId leaves) {
+  // Vertex 0 is a hub with `leaves` out-edges — the extreme power-law case.
+  EdgeList el;
+  for (graph::VertexId v = 1; v <= leaves; ++v) el.add(0, v);
+  return Graph::from_edges(el);
+}
+
+TEST(ChunkV, BalancesVerticesExactly) {
+  const Graph g = star_graph(99);  // 100 vertices
+  const Partition p = ChunkV().partition(g, 4);
+  const auto counts = p.vertex_counts();
+  for (auto c : counts) EXPECT_EQ(c, 25u);
+}
+
+TEST(ChunkV, AssignsContiguousRanges) {
+  const Graph g = star_graph(7);
+  const Partition p = ChunkV().partition(g, 2);
+  for (graph::VertexId v = 1; v < 8; ++v) EXPECT_GE(p[v], p[v - 1]);
+}
+
+TEST(ChunkV, UnevenDivisionSpreadsRemainder) {
+  const Graph g = star_graph(9);  // 10 vertices into 3 parts
+  const Partition p = ChunkV().partition(g, 3);
+  const auto counts = p.vertex_counts();
+  std::uint64_t total = 0;
+  for (auto c : counts) {
+    EXPECT_GE(c, 3u);
+    EXPECT_LE(c, 4u);
+    total += c;
+  }
+  EXPECT_EQ(total, 10u);
+}
+
+TEST(ChunkV, EdgesHighlySkewedOnStar) {
+  // The hub part gets ALL edges — the paper's Limitation #1 in miniature.
+  const Graph g = star_graph(99);
+  const Partition p = ChunkV().partition(g, 4);
+  const auto ec = p.edge_counts(g);
+  EXPECT_EQ(ec[0], 99u);
+  EXPECT_EQ(ec[1], 0u);
+}
+
+TEST(ChunkE, BalancesEdges) {
+  const Graph g = star_graph(99);
+  const Partition p = ChunkE().partition(g, 4);
+  const auto ec = p.edge_counts(g);
+  // Star: all edges belong to vertex 0, so part 0 takes them all — but on a
+  // graph with spread degrees the split is even; tested below with R-MAT.
+  EXPECT_EQ(ec[0], 99u);
+}
+
+TEST(ChunkE, EvenEdgeSplitOnRealisticGraph) {
+  graph::RmatConfig cfg;
+  cfg.scale = 12;
+  cfg.edge_factor = 16;
+  const Graph g = Graph::from_edges(graph::rmat(cfg));
+  const Partition p = ChunkE().partition(g, 8);
+  const auto ec = p.edge_counts(g);
+  // Every part within a few percent of the ideal 1/8 share: bias small.
+  EXPECT_LT(stats::bias(stats::to_doubles(ec)), 0.05);
+}
+
+TEST(ChunkE, VerticesSkewedOnPowerLawGraph) {
+  graph::RmatConfig cfg;
+  cfg.scale = 12;
+  cfg.edge_factor = 16;
+  const Graph g = Graph::from_edges(graph::rmat(cfg));
+  const Partition p = ChunkE().partition(g, 8);
+  // Paper Fig. 3/6: edge-balanced chunking leaves vertices imbalanced.
+  EXPECT_GT(stats::bias(stats::to_doubles(p.vertex_counts())), 0.2);
+}
+
+TEST(ChunkE, ContiguousRanges) {
+  graph::RmatConfig cfg;
+  cfg.scale = 8;
+  const Graph g = Graph::from_edges(graph::rmat(cfg));
+  const Partition p = ChunkE().partition(g, 4);
+  for (graph::VertexId v = 1; v < g.num_vertices(); ++v)
+    EXPECT_GE(p[v], p[v - 1]);
+}
+
+TEST(ChunkBoth, FullyAssignedAndExactPartCount) {
+  graph::RmatConfig cfg;
+  cfg.scale = 10;
+  const Graph g = Graph::from_edges(graph::rmat(cfg));
+  for (const auto* algo : {"v", "e"}) {
+    const Partition p = algo[0] == 'v' ? ChunkV().partition(g, 7)
+                                       : ChunkE().partition(g, 7);
+    EXPECT_TRUE(p.fully_assigned());
+    EXPECT_EQ(p.num_parts(), 7u);
+    // Every part must be non-empty on a graph with n >> k.
+    for (auto c : p.vertex_counts()) EXPECT_GT(c, 0u);
+  }
+}
+
+TEST(ChunkBoth, SinglePartTrivial) {
+  const Graph g = star_graph(10);
+  EXPECT_TRUE(ChunkV().partition(g, 1).fully_assigned());
+  EXPECT_TRUE(ChunkE().partition(g, 1).fully_assigned());
+}
+
+TEST(ChunkBoth, LowCutOnContiguousCommunityGraph) {
+  // Watts–Strogatz ring: neighbors have adjacent ids, so chunking cuts
+  // almost nothing — the redeeming quality of chunk partitions.
+  graph::WattsStrogatzConfig cfg;
+  cfg.num_vertices = 1000;
+  cfg.k = 4;
+  cfg.beta = 0.0;
+  const Graph g = Graph::from_edges(graph::watts_strogatz(cfg));
+  EXPECT_LT(edge_cut_ratio(g, ChunkV().partition(g, 4)), 0.05);
+}
+
+}  // namespace
+}  // namespace bpart::partition

@@ -1,0 +1,76 @@
+#include "partition/hash_partitioner.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "partition/metrics.hpp"
+#include "util/stats.hpp"
+
+namespace bpart::partition {
+namespace {
+
+using graph::Graph;
+
+Graph test_graph() {
+  graph::RmatConfig cfg;
+  cfg.scale = 12;
+  cfg.edge_factor = 16;
+  return Graph::from_edges(graph::rmat(cfg));
+}
+
+TEST(Hash, FullyAssigned) {
+  const Partition p = HashPartitioner().partition(test_graph(), 8);
+  EXPECT_TRUE(p.fully_assigned());
+  EXPECT_EQ(p.num_parts(), 8u);
+}
+
+TEST(Hash, DeterministicForSeed) {
+  const Graph g = test_graph();
+  const Partition a = HashPartitioner(5).partition(g, 4);
+  const Partition b = HashPartitioner(5).partition(g, 4);
+  for (graph::VertexId v = 0; v < g.num_vertices(); v += 101)
+    EXPECT_EQ(a[v], b[v]);
+}
+
+TEST(Hash, SeedChangesAssignment) {
+  const Graph g = test_graph();
+  const Partition a = HashPartitioner(1).partition(g, 4);
+  const Partition b = HashPartitioner(2).partition(g, 4);
+  std::size_t diff = 0;
+  for (graph::VertexId v = 0; v < g.num_vertices(); ++v)
+    if (a[v] != b[v]) ++diff;
+  EXPECT_GT(diff, g.num_vertices() / 2);
+}
+
+TEST(Hash, BalancesBothDimensions) {
+  // The paper's observation: hash balances vertices AND edges...
+  const Graph g = test_graph();
+  const QualityReport r = evaluate(g, HashPartitioner().partition(g, 8));
+  EXPECT_LT(r.vertex_summary.bias, 0.10);
+  EXPECT_LT(r.edge_summary.bias, 0.25);  // looser: edge mass is heavy-tailed
+  EXPECT_GT(r.vertex_summary.fairness, 0.99);
+  EXPECT_GT(r.edge_summary.fairness, 0.95);
+}
+
+TEST(Hash, CutsAlmostEverything) {
+  // ...but cuts ~ (k-1)/k of the edges (paper: 87.5% at k=8).
+  const Graph g = test_graph();
+  const double cut = edge_cut_ratio(g, HashPartitioner().partition(g, 8));
+  EXPECT_NEAR(cut, 7.0 / 8.0, 0.02);
+}
+
+TEST(Hash, CutScalesWithPartCount) {
+  const Graph g = test_graph();
+  const double cut4 = edge_cut_ratio(g, HashPartitioner().partition(g, 4));
+  const double cut16 = edge_cut_ratio(g, HashPartitioner().partition(g, 16));
+  EXPECT_NEAR(cut4, 3.0 / 4.0, 0.02);
+  EXPECT_NEAR(cut16, 15.0 / 16.0, 0.02);
+}
+
+TEST(Hash, SinglePartCutsNothing) {
+  const Graph g = test_graph();
+  EXPECT_DOUBLE_EQ(edge_cut_ratio(g, HashPartitioner().partition(g, 1)), 0.0);
+}
+
+}  // namespace
+}  // namespace bpart::partition

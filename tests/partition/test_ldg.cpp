@@ -1,0 +1,81 @@
+#include "partition/ldg.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/generators.hpp"
+#include "partition/hash_partitioner.hpp"
+#include "partition/metrics.hpp"
+#include "test_graphs.hpp"
+#include "util/check.hpp"
+#include "util/stats.hpp"
+
+namespace bpart::partition {
+namespace {
+
+using graph::Graph;
+using testing::social_graph;
+
+TEST(Ldg, FullyAssignedWithExactParts) {
+  const Graph g = social_graph();
+  const Partition p = Ldg().partition(g, 8);
+  EXPECT_TRUE(p.fully_assigned());
+  EXPECT_EQ(p.num_parts(), 8u);
+  for (auto c : p.vertex_counts()) EXPECT_GT(c, 0u);
+}
+
+TEST(Ldg, StrictCapacityBoundsVertices) {
+  const Graph g = social_graph();
+  const Partition p = Ldg(1.0).partition(g, 8);
+  const auto counts = p.vertex_counts();
+  const auto cap = static_cast<std::uint64_t>(
+      std::ceil(static_cast<double>(g.num_vertices()) / 8.0));
+  for (auto c : counts) EXPECT_LE(c, cap + 1);
+}
+
+TEST(Ldg, Deterministic) {
+  const Graph g = social_graph();
+  const Partition a = Ldg().partition(g, 4);
+  const Partition b = Ldg().partition(g, 4);
+  for (graph::VertexId v = 0; v < g.num_vertices(); v += 97)
+    EXPECT_EQ(a[v], b[v]);
+}
+
+TEST(Ldg, CutsFewerEdgesThanHash) {
+  const Graph g = social_graph();
+  const double ldg_cut = edge_cut_ratio(g, Ldg().partition(g, 8));
+  const double hash_cut =
+      edge_cut_ratio(g, HashPartitioner().partition(g, 8));
+  EXPECT_LT(ldg_cut, 0.85 * hash_cut);
+}
+
+TEST(Ldg, EdgesRemainImbalanced) {
+  // LDG, like Fennel, balances vertices only.
+  const Graph g = social_graph();
+  const Partition p = Ldg().partition(g, 8);
+  const double edge_bias = stats::bias(stats::to_doubles(p.edge_counts(g)));
+  const double vertex_bias =
+      stats::bias(stats::to_doubles(p.vertex_counts()));
+  EXPECT_LT(vertex_bias, 0.1);
+  EXPECT_GT(edge_bias, 0.5);
+}
+
+TEST(Ldg, SinglePart) {
+  const Graph g = social_graph();
+  const Partition p = Ldg().partition(g, 1);
+  EXPECT_TRUE(p.fully_assigned());
+}
+
+TEST(Ldg, RejectsSubUnitSlack) {
+  const Graph g = social_graph();
+  EXPECT_THROW(Ldg(0.5).partition(g, 2), CheckError);
+}
+
+TEST(Ldg, EmptyGraph) {
+  const Partition p = Ldg().partition(Graph{}, 4);
+  EXPECT_EQ(p.num_vertices(), 0u);
+}
+
+}  // namespace
+}  // namespace bpart::partition

@@ -1,0 +1,95 @@
+#include "partition/multilevel.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "test_graphs.hpp"
+#include "partition/hash_partitioner.hpp"
+#include "partition/metrics.hpp"
+#include "util/stats.hpp"
+
+namespace bpart::partition {
+namespace {
+
+using graph::Graph;
+
+using testing::social_graph;
+
+TEST(Multilevel, FullyAssignedWithExactParts) {
+  const Graph g = social_graph();
+  const Partition p = Multilevel().partition(g, 8);
+  EXPECT_TRUE(p.fully_assigned());
+  EXPECT_EQ(p.num_parts(), 8u);
+  for (auto c : p.vertex_counts()) EXPECT_GT(c, 0u);
+}
+
+TEST(Multilevel, Deterministic) {
+  const Graph g = social_graph();
+  const Partition a = Multilevel().partition(g, 4);
+  const Partition b = Multilevel().partition(g, 4);
+  for (graph::VertexId v = 0; v < g.num_vertices(); v += 211)
+    EXPECT_EQ(a[v], b[v]);
+}
+
+TEST(Multilevel, VertexBalanceWithinEpsilon) {
+  // §4.2: Mt-KaHIP's vertex bias is ~0.03 — tight vertex balance.
+  const Graph g = social_graph();
+  MultilevelConfig cfg;
+  cfg.epsilon = 0.03;
+  const Partition p = Multilevel(cfg).partition(g, 8);
+  EXPECT_LT(stats::bias(stats::to_doubles(p.vertex_counts())), 0.10);
+}
+
+TEST(Multilevel, EdgesRemainImbalanced) {
+  // §4.2's point: even offline multilevel partitioners leave the edge
+  // dimension skewed on power-law graphs.
+  const Graph g = social_graph();
+  const Partition p = Multilevel().partition(g, 8);
+  const double edge_bias = stats::bias(stats::to_doubles(p.edge_counts(g)));
+  const double vertex_bias =
+      stats::bias(stats::to_doubles(p.vertex_counts()));
+  EXPECT_GT(edge_bias, 3 * vertex_bias);
+}
+
+TEST(Multilevel, CutsFarFewerEdgesThanHash) {
+  // A multilevel partitioner's whole point is cut quality.
+  const Graph g = social_graph();
+  const double ml_cut = edge_cut_ratio(g, Multilevel().partition(g, 8));
+  const double hash_cut =
+      edge_cut_ratio(g, HashPartitioner().partition(g, 8));
+  EXPECT_LT(ml_cut, 0.7 * hash_cut);
+}
+
+TEST(Multilevel, CommunityGraphIsNearlyUncut) {
+  // Ring lattice: an ideal input where refinement should find a near-
+  // minimal cut.
+  graph::WattsStrogatzConfig cfg;
+  cfg.num_vertices = 2048;
+  cfg.k = 4;
+  cfg.beta = 0.01;
+  const Graph g = Graph::from_edges(graph::watts_strogatz(cfg));
+  EXPECT_LT(edge_cut_ratio(g, Multilevel().partition(g, 4)), 0.2);
+}
+
+TEST(Multilevel, SinglePart) {
+  const Graph g = social_graph();
+  const Partition p = Multilevel().partition(g, 1);
+  EXPECT_TRUE(p.fully_assigned());
+}
+
+TEST(Multilevel, TinyGraph) {
+  graph::EdgeList el;
+  el.add_undirected(0, 1);
+  el.add_undirected(1, 2);
+  const Graph g = Graph::from_edges(el);
+  const Partition p = Multilevel().partition(g, 2);
+  EXPECT_TRUE(p.fully_assigned());
+}
+
+TEST(Multilevel, EmptyGraph) {
+  const Partition p = Multilevel().partition(Graph{}, 4);
+  EXPECT_EQ(p.num_vertices(), 0u);
+}
+
+}  // namespace
+}  // namespace bpart::partition

@@ -1,0 +1,117 @@
+#include "partition/partition.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/csr.hpp"
+#include "util/check.hpp"
+
+namespace bpart::partition {
+namespace {
+
+using graph::EdgeList;
+using graph::Graph;
+
+Graph path_graph(graph::VertexId n) {
+  EdgeList el;
+  for (graph::VertexId v = 0; v + 1 < n; ++v) el.add(v, v + 1);
+  el.set_num_vertices(n);
+  return Graph::from_edges(el);
+}
+
+TEST(Partition, StartsUnassigned) {
+  const Partition p(4, 2);
+  EXPECT_EQ(p.num_vertices(), 4u);
+  EXPECT_EQ(p.num_parts(), 2u);
+  EXPECT_FALSE(p.fully_assigned());
+  EXPECT_EQ(p[0], kUnassigned);
+}
+
+TEST(Partition, AssignAndRead) {
+  Partition p(3, 2);
+  p.assign(0, 0);
+  p.assign(1, 1);
+  p.assign(2, 1);
+  EXPECT_TRUE(p.fully_assigned());
+  EXPECT_EQ(p[0], 0u);
+  EXPECT_EQ(p[2], 1u);
+}
+
+TEST(Partition, AssignValidatesRanges) {
+  Partition p(3, 2);
+  EXPECT_THROW(p.assign(5, 0), CheckError);
+  EXPECT_THROW(p.assign(0, 2), CheckError);
+}
+
+TEST(Partition, WrapConstructorValidates) {
+  EXPECT_NO_THROW(Partition({0, 1, kUnassigned}, 2));
+  EXPECT_THROW(Partition({0, 3}, 2), CheckError);
+}
+
+TEST(Partition, VertexCounts) {
+  Partition p(5, 3);
+  p.assign(0, 0);
+  p.assign(1, 0);
+  p.assign(2, 1);
+  p.assign(3, 1);
+  p.assign(4, 1);
+  const auto counts = p.vertex_counts();
+  ASSERT_EQ(counts.size(), 3u);
+  EXPECT_EQ(counts[0], 2u);
+  EXPECT_EQ(counts[1], 3u);
+  EXPECT_EQ(counts[2], 0u);
+}
+
+TEST(Partition, VertexCountsIgnoreUnassigned) {
+  Partition p(3, 2);
+  p.assign(0, 1);
+  const auto counts = p.vertex_counts();
+  EXPECT_EQ(counts[0], 0u);
+  EXPECT_EQ(counts[1], 1u);
+}
+
+TEST(Partition, EdgeCountsAreOwnedOutDegrees) {
+  // Path 0-1-2-3: out-degrees 1,1,1,0.
+  const Graph g = path_graph(4);
+  Partition p(4, 2);
+  p.assign(0, 0);
+  p.assign(1, 0);
+  p.assign(2, 1);
+  p.assign(3, 1);
+  const auto ec = p.edge_counts(g);
+  EXPECT_EQ(ec[0], 2u);
+  EXPECT_EQ(ec[1], 1u);
+}
+
+TEST(Partition, EdgeCountsRejectMismatchedGraph) {
+  const Graph g = path_graph(4);
+  const Partition p(3, 2);
+  EXPECT_THROW(p.edge_counts(g), CheckError);
+}
+
+TEST(Partition, RemappedMergesParts) {
+  Partition p(4, 4);
+  for (graph::VertexId v = 0; v < 4; ++v) p.assign(v, v);
+  // Merge 0+3 -> 0 and 1+2 -> 1 (the BPart pairing pattern).
+  const Partition merged = p.remapped({0, 1, 1, 0});
+  EXPECT_EQ(merged.num_parts(), 2u);
+  EXPECT_EQ(merged[0], 0u);
+  EXPECT_EQ(merged[3], 0u);
+  EXPECT_EQ(merged[1], 1u);
+  EXPECT_EQ(merged[2], 1u);
+}
+
+TEST(Partition, RemappedPreservesUnassigned) {
+  Partition p(2, 2);
+  p.assign(0, 1);
+  const Partition m = p.remapped({0, 0});
+  EXPECT_EQ(m[0], 0u);
+  EXPECT_EQ(m[1], kUnassigned);
+}
+
+TEST(Partition, RemappedValidatesTableSize) {
+  const Partition p(2, 3);
+  EXPECT_THROW(p.remapped({0, 1}), CheckError);
+}
+
+}  // namespace
+}  // namespace bpart::partition

@@ -1,0 +1,94 @@
+#include "partition/rebalance.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "graph/generators.hpp"
+#include "partition/fennel.hpp"
+#include "partition/chunk.hpp"
+#include "partition/metrics.hpp"
+#include "partition/registry.hpp"
+#include "test_graphs.hpp"
+#include "util/check.hpp"
+
+namespace bpart::partition {
+namespace {
+
+using graph::Graph;
+using testing::social_graph;
+
+TEST(Rebalance, FixesFennelEdgeImbalance) {
+  const Graph g = social_graph();
+  Partition p = Fennel().partition(g, 8);
+  const auto before = evaluate(g, p);
+  ASSERT_GT(before.edge_summary.bias, 0.3);  // Fennel's known skew
+
+  const RebalanceStats stats = rebalance(g, p);
+  const auto after = evaluate(g, p);
+  EXPECT_TRUE(stats.converged);
+  EXPECT_LE(after.vertex_summary.bias, 0.11);
+  EXPECT_LE(after.edge_summary.bias, 0.11);
+  EXPECT_GT(stats.moves, 0u);
+  EXPECT_DOUBLE_EQ(stats.final_edge_bias, after.edge_summary.bias);
+}
+
+TEST(Rebalance, PreservesAssignmentValidity) {
+  const Graph g = social_graph();
+  Partition p = ChunkE().partition(g, 8);
+  rebalance(g, p);
+  EXPECT_TRUE(p.fully_assigned());
+  const auto vc = p.vertex_counts();
+  EXPECT_EQ(std::accumulate(vc.begin(), vc.end(), std::uint64_t{0}),
+            g.num_vertices());
+}
+
+TEST(Rebalance, AlreadyBalancedIsNoop) {
+  const Graph g = social_graph();
+  Partition p = create("bpart")->partition(g, 8);
+  const auto before = p.vertex_counts();
+  const RebalanceStats stats = rebalance(g, p);
+  EXPECT_TRUE(stats.converged);
+  EXPECT_EQ(stats.moves, 0u);
+  EXPECT_EQ(p.vertex_counts(), before);
+}
+
+TEST(Rebalance, CutGrowsButStaysBelowHashLevel) {
+  // Moving boundary vertices costs cut, but the overlap-aware destination
+  // choice must keep the damage well under random placement.
+  const Graph g = social_graph();
+  Partition p = Fennel().partition(g, 8);
+  const double cut_before = edge_cut_ratio(g, p);
+  rebalance(g, p);
+  const double cut_after = edge_cut_ratio(g, p);
+  EXPECT_GE(cut_after, cut_before);  // no free lunch
+  EXPECT_LT(cut_after, 0.875);       // far from hash's 7/8
+}
+
+TEST(Rebalance, RespectsMoveBudget) {
+  const Graph g = social_graph();
+  Partition p = ChunkE().partition(g, 8);
+  RebalanceConfig cfg;
+  cfg.max_moves = 10;
+  const RebalanceStats stats = rebalance(g, p, cfg);
+  EXPECT_LE(stats.moves, 10u);
+}
+
+TEST(Rebalance, RejectsPartialAssignment) {
+  const Graph g = social_graph();
+  Partition p(g.num_vertices(), 4);
+  EXPECT_THROW(rebalance(g, p), CheckError);
+}
+
+TEST(Rebalance, DeterministicAcrossRuns) {
+  const Graph g = social_graph();
+  Partition a = Fennel().partition(g, 8);
+  Partition b = Fennel().partition(g, 8);
+  rebalance(g, a);
+  rebalance(g, b);
+  for (graph::VertexId v = 0; v < g.num_vertices(); v += 71)
+    EXPECT_EQ(a[v], b[v]);
+}
+
+}  // namespace
+}  // namespace bpart::partition

@@ -1,0 +1,76 @@
+// Parameterized rebalance properties: for every base algorithm and part
+// count, rebalancing must preserve validity, never lose vertices or edges,
+// and never worsen the overload criterion it optimizes.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <tuple>
+
+#include "partition/metrics.hpp"
+#include "partition/rebalance.hpp"
+#include "partition/registry.hpp"
+#include "test_graphs.hpp"
+
+namespace bpart::partition {
+namespace {
+
+using Param = std::tuple<std::string, PartId>;
+
+class RebalanceProperty : public ::testing::TestWithParam<Param> {};
+
+TEST_P(RebalanceProperty, PreservesValidityAndImproves) {
+  const auto& [algo, k] = GetParam();
+  const graph::Graph g = testing::social_graph();
+  Partition p = create(algo)->partition(g, k);
+  const auto before = evaluate(g, p);
+
+  const RebalanceStats stats = rebalance(g, p);
+
+  // Validity and conservation.
+  EXPECT_TRUE(p.fully_assigned());
+  EXPECT_EQ(p.num_parts(), k);
+  const auto vc = p.vertex_counts();
+  const auto ec = p.edge_counts(g);
+  EXPECT_EQ(std::accumulate(vc.begin(), vc.end(), std::uint64_t{0}),
+            g.num_vertices());
+  EXPECT_EQ(std::accumulate(ec.begin(), ec.end(), std::uint64_t{0}),
+            g.num_edges());
+
+  // The optimized objective (worst-side bias in either dimension) must not
+  // regress.
+  const auto after = evaluate(g, p);
+  const double before_worst =
+      std::max(before.vertex_summary.bias, before.edge_summary.bias);
+  const double after_worst =
+      std::max(after.vertex_summary.bias, after.edge_summary.bias);
+  EXPECT_LE(after_worst, before_worst + 1e-9);
+
+  // Stats must reflect reality.
+  EXPECT_DOUBLE_EQ(stats.final_vertex_bias, after.vertex_summary.bias);
+  EXPECT_DOUBLE_EQ(stats.final_edge_bias, after.edge_summary.bias);
+  if (stats.converged) {
+    EXPECT_LE(after.vertex_summary.bias, 0.1 + 1e-9);
+    EXPECT_LE(after.edge_summary.bias, 0.1 + 1e-9);
+  }
+}
+
+std::string param_name(const ::testing::TestParamInfo<Param>& info) {
+  std::string name = std::get<0>(info.param) + "_k" +
+                     std::to_string(std::get<1>(info.param));
+  for (char& c : name)
+    if (c == '-') c = '_';
+  return name;
+}
+
+std::vector<Param> params() {
+  std::vector<Param> out;
+  for (const auto& algo : paper_algorithms())
+    for (PartId k : {2u, 4u, 8u}) out.emplace_back(algo, k);
+  return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBases, RebalanceProperty,
+                         ::testing::ValuesIn(params()), param_name);
+
+}  // namespace
+}  // namespace bpart::partition

@@ -1,0 +1,48 @@
+#include "partition/registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace bpart::partition {
+namespace {
+
+TEST(Registry, EveryNameResolvesAndRoundTrips) {
+  for (const auto& name : all_algorithms()) {
+    const auto partitioner = create(name);
+    ASSERT_NE(partitioner, nullptr) << name;
+    EXPECT_EQ(partitioner->name(), name);
+  }
+}
+
+TEST(Registry, PaperListIsSubsetOfAll) {
+  const std::set<std::string> all(all_algorithms().begin(),
+                                  all_algorithms().end());
+  for (const auto& name : paper_algorithms())
+    EXPECT_TRUE(all.count(name)) << name;
+}
+
+TEST(Registry, PaperOrderMatchesEvaluationSection) {
+  // §4 compares Chunk-V, Chunk-E, Fennel, Hash against BPart.
+  const auto& names = paper_algorithms();
+  ASSERT_EQ(names.size(), 5u);
+  EXPECT_EQ(names[0], "chunk-v");
+  EXPECT_EQ(names[1], "chunk-e");
+  EXPECT_EQ(names[2], "fennel");
+  EXPECT_EQ(names[3], "hash");
+  EXPECT_EQ(names[4], "bpart");
+}
+
+TEST(Registry, NamesAreUnique) {
+  const std::set<std::string> unique(all_algorithms().begin(),
+                                     all_algorithms().end());
+  EXPECT_EQ(unique.size(), all_algorithms().size());
+}
+
+TEST(Registry, UnknownNameThrows) {
+  EXPECT_THROW(create("metis"), std::out_of_range);
+  EXPECT_THROW(create(""), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace bpart::partition

@@ -1,0 +1,154 @@
+#include "partition/vertex_cut.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "graph/generators.hpp"
+#include "test_graphs.hpp"
+#include "util/check.hpp"
+
+namespace bpart::partition {
+namespace {
+
+using graph::EdgeList;
+using graph::Graph;
+using testing::social_graph;
+
+Graph square() {
+  EdgeList el;
+  el.add_undirected(0, 1);
+  el.add_undirected(1, 2);
+  el.add_undirected(2, 3);
+  el.add_undirected(3, 0);
+  return Graph::from_edges(el);
+}
+
+TEST(EdgePartitionType, AssignAndCount) {
+  EdgePartition ep(4, 2);
+  EXPECT_FALSE(ep.fully_assigned());
+  ep.assign(0, 0);
+  ep.assign(1, 1);
+  ep.assign(2, 1);
+  ep.assign(3, 0);
+  EXPECT_TRUE(ep.fully_assigned());
+  const auto counts = ep.edge_counts();
+  EXPECT_EQ(counts[0], 2u);
+  EXPECT_EQ(counts[1], 2u);
+}
+
+TEST(EdgePartitionType, Validates) {
+  EdgePartition ep(2, 2);
+  EXPECT_THROW(ep.assign(5, 0), CheckError);
+  EXPECT_THROW(ep.assign(0, 7), CheckError);
+}
+
+TEST(ReplicationReportTest, SinglePartMeansOneCopyEach) {
+  const Graph g = square();
+  EdgePartition ep(g.num_edges(), 1);
+  for (graph::EdgeId e = 0; e < g.num_edges(); ++e) ep.assign(e, 0);
+  const auto r = replication_report(g, ep);
+  EXPECT_DOUBLE_EQ(r.replication_factor, 1.0);
+  EXPECT_DOUBLE_EQ(r.max_copies, 1.0);
+}
+
+TEST(ReplicationReportTest, SplitSquareReplicatesBoundary) {
+  // Square 0-1-2-3-0; put edges {0-1, 1-2} on part 0 and {2-3, 3-0} on
+  // part 1 (both directions each). Vertices 0 and 2 appear on both parts.
+  const Graph g = square();
+  EdgePartition ep(g.num_edges(), 2);
+  for (graph::VertexId v = 0; v < 4; ++v) {
+    const auto nbrs = g.out_neighbors(v);
+    for (graph::EdgeId i = 0; i < nbrs.size(); ++i) {
+      const graph::VertexId a = std::min(v, nbrs[i]);
+      const graph::VertexId b = std::max(v, nbrs[i]);
+      const bool part0 = (a == 0 && b == 1) || (a == 1 && b == 2);
+      ep.assign(g.out_edge_index(v, i), part0 ? 0 : 1);
+    }
+  }
+  const auto r = replication_report(g, ep);
+  EXPECT_EQ(r.copies[0], 2u);
+  EXPECT_EQ(r.copies[1], 1u);
+  EXPECT_EQ(r.copies[2], 2u);
+  EXPECT_EQ(r.copies[3], 1u);
+  EXPECT_DOUBLE_EQ(r.replication_factor, 1.5);
+}
+
+using Placer = std::string;
+class EdgePartitionerProperty : public ::testing::TestWithParam<Placer> {};
+
+TEST_P(EdgePartitionerProperty, ValidAssignment) {
+  const Graph g = social_graph();
+  const auto ep = create_edge_partitioner(GetParam())->partition(g, 8);
+  EXPECT_TRUE(ep.fully_assigned());
+  const auto counts = ep.edge_counts();
+  EXPECT_EQ(std::accumulate(counts.begin(), counts.end(), std::uint64_t{0}),
+            g.num_edges());
+}
+
+TEST_P(EdgePartitionerProperty, SymmetricPairsShareParts) {
+  // Both directions of an undirected edge must land on the same part.
+  const Graph g = social_graph();
+  const auto ep = create_edge_partitioner(GetParam())->partition(g, 8);
+  for (graph::VertexId v = 0; v < g.num_vertices(); v += 7) {
+    const auto nbrs = g.out_neighbors(v);
+    for (graph::EdgeId i = 0; i < nbrs.size(); ++i) {
+      const graph::VertexId u = nbrs[i];
+      const auto rev = g.out_neighbors(u);
+      const auto it = std::lower_bound(rev.begin(), rev.end(), v);
+      ASSERT_TRUE(it != rev.end() && *it == v);
+      const graph::EdgeId rev_idx =
+          g.out_edge_index(u, static_cast<graph::EdgeId>(it - rev.begin()));
+      ASSERT_EQ(ep[g.out_edge_index(v, i)], ep[rev_idx]);
+    }
+  }
+}
+
+TEST_P(EdgePartitionerProperty, ReplicationWithinBounds) {
+  const Graph g = social_graph();
+  const auto ep = create_edge_partitioner(GetParam())->partition(g, 8);
+  const auto r = replication_report(g, ep);
+  EXPECT_GE(r.replication_factor, 1.0);
+  EXPECT_LE(r.replication_factor, 8.0);
+  EXPECT_LE(r.max_copies, 8.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPlacers, EdgePartitionerProperty,
+                         ::testing::Values("random-edge", "dbh", "hdrf"),
+                         [](const ::testing::TestParamInfo<Placer>& info) {
+                           std::string n = info.param;
+                           for (char& c : n)
+                             if (c == '-') c = '_';
+                           return n;
+                         });
+
+TEST(VertexCutComparison, SmartPlacersBeatRandomOnReplication) {
+  // The published result this subsystem must reproduce: on power-law
+  // graphs HDRF and DBH replicate far less than random edge placement.
+  const Graph g = social_graph();
+  const auto random =
+      replication_report(g, RandomEdgePlacement().partition(g, 8));
+  const auto dbh = replication_report(g, DegreeBasedHashing().partition(g, 8));
+  const auto hdrf = replication_report(g, Hdrf().partition(g, 8));
+  EXPECT_LT(dbh.replication_factor, random.replication_factor);
+  EXPECT_LT(hdrf.replication_factor, random.replication_factor);
+  EXPECT_LT(hdrf.replication_factor, 0.8 * random.replication_factor);
+}
+
+TEST(VertexCutComparison, HdrfBalancesEdges) {
+  const Graph g = social_graph();
+  const auto hdrf = replication_report(g, Hdrf().partition(g, 8));
+  EXPECT_LT(hdrf.edge_bias, 0.2);
+}
+
+TEST(Hdrf, RejectsTooManyParts) {
+  const Graph g = square();
+  EXPECT_THROW(Hdrf().partition(g, 65), CheckError);
+}
+
+TEST(EdgePartitionerFactory, UnknownNameThrows) {
+  EXPECT_THROW(create_edge_partitioner("greedy"), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace bpart::partition

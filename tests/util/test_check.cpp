@@ -1,0 +1,44 @@
+#include "util/check.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bpart {
+namespace {
+
+TEST(Check, PassingConditionDoesNothing) {
+  EXPECT_NO_THROW(BPART_CHECK(1 + 1 == 2));
+}
+
+TEST(Check, FailureThrowsCheckError) {
+  EXPECT_THROW(BPART_CHECK(false), CheckError);
+}
+
+TEST(Check, MessageCarriesContext) {
+  try {
+    BPART_CHECK_MSG(false, "part " << 3 << " overflows");
+    FAIL() << "expected throw";
+  } catch (const CheckError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("part 3 overflows"), std::string::npos);
+    EXPECT_NE(what.find("test_check.cpp"), std::string::npos);
+  }
+}
+
+TEST(Check, ExpressionTextIncluded) {
+  try {
+    BPART_CHECK(2 > 3);
+    FAIL() << "expected throw";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("2 > 3"), std::string::npos);
+  }
+}
+
+TEST(Check, SideEffectsEvaluatedOnce) {
+  int calls = 0;
+  auto bump = [&calls] { return ++calls > 0; };
+  BPART_CHECK(bump());
+  EXPECT_EQ(calls, 1);
+}
+
+}  // namespace
+}  // namespace bpart

@@ -1,0 +1,129 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <set>
+#include <vector>
+
+namespace bpart {
+namespace {
+
+TEST(SplitMix64, Deterministic) {
+  EXPECT_EQ(splitmix64(0), splitmix64(0));
+  EXPECT_NE(splitmix64(0), splitmix64(1));
+}
+
+TEST(SplitMix64, AvalanchesLowBits) {
+  // Consecutive inputs must not produce consecutive outputs — the Hash
+  // partitioner relies on this to spread adjacent vertex ids.
+  std::set<std::uint64_t> low_bits;
+  for (std::uint64_t i = 0; i < 64; ++i) low_bits.insert(splitmix64(i) % 8);
+  EXPECT_EQ(low_bits.size(), 8u);  // every residue hit within 64 tries
+}
+
+TEST(Xoshiro256, DeterministicForSeed) {
+  Xoshiro256 a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Xoshiro256, DifferentSeedsDiverge) {
+  Xoshiro256 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a() == b()) ++same;
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Xoshiro256, UniformInUnitInterval) {
+  Xoshiro256 rng(7);
+  double sum = 0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / kN, 0.5, 0.01);
+}
+
+TEST(Xoshiro256, BoundedStaysInRange) {
+  Xoshiro256 rng(11);
+  for (int i = 0; i < 10000; ++i) {
+    const std::uint64_t x = rng.bounded(10);
+    ASSERT_LT(x, 10u);
+  }
+}
+
+TEST(Xoshiro256, BoundedIsRoughlyUniform) {
+  Xoshiro256 rng(13);
+  std::vector<int> counts(8, 0);
+  constexpr int kN = 80000;
+  for (int i = 0; i < kN; ++i) ++counts[rng.bounded(8)];
+  for (int c : counts) EXPECT_NEAR(c, kN / 8, kN / 8 / 5);
+}
+
+TEST(Xoshiro256, BoundedOne) {
+  Xoshiro256 rng(5);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.bounded(1), 0u);
+}
+
+TEST(Xoshiro256, JumpProducesDisjointStream) {
+  Xoshiro256 a(99);
+  Xoshiro256 b(99);
+  b.jump();
+  // The jumped stream must not collide with the original's first values.
+  std::set<std::uint64_t> first;
+  for (int i = 0; i < 1000; ++i) first.insert(a());
+  int collisions = 0;
+  for (int i = 0; i < 1000; ++i)
+    if (first.count(b())) ++collisions;
+  EXPECT_EQ(collisions, 0);
+}
+
+TEST(Xoshiro256, ChanceRespectsProbability) {
+  Xoshiro256 rng(3);
+  int hits = 0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i)
+    if (rng.chance(0.2)) ++hits;
+  EXPECT_NEAR(static_cast<double>(hits) / kN, 0.2, 0.01);
+}
+
+TEST(ZipfSampler, InRange) {
+  Xoshiro256 rng(17);
+  ZipfSampler zipf(100, 1.2);
+  for (int i = 0; i < 10000; ++i) {
+    const std::uint64_t x = zipf(rng);
+    ASSERT_LT(x, 100u);
+  }
+}
+
+TEST(ZipfSampler, HeavyHead) {
+  // With exponent > 1 the most frequent value must be rank 0 and it should
+  // dominate: P(0) ~ 1/H_n.
+  Xoshiro256 rng(23);
+  ZipfSampler zipf(1000, 1.5);
+  std::vector<int> counts(1000, 0);
+  constexpr int kN = 200000;
+  for (int i = 0; i < kN; ++i) ++counts[zipf(rng)];
+  const auto top = std::max_element(counts.begin(), counts.end());
+  EXPECT_EQ(top - counts.begin(), 0);
+  EXPECT_GT(counts[0], counts[9] * 5);  // steep decay
+}
+
+TEST(ZipfSampler, SingletonSupport) {
+  Xoshiro256 rng(29);
+  ZipfSampler zipf(1, 2.0);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(zipf(rng), 0u);
+}
+
+TEST(ZipfSampler, RejectsBadParameters) {
+  EXPECT_THROW(ZipfSampler(0, 1.0), CheckError);
+  EXPECT_THROW(ZipfSampler(10, 0.0), CheckError);
+}
+
+}  // namespace
+}  // namespace bpart

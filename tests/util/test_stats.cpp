@@ -1,0 +1,135 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+namespace bpart::stats {
+namespace {
+
+TEST(Bias, ZeroForUniformValues) {
+  const std::vector<double> xs{5, 5, 5, 5};
+  EXPECT_DOUBLE_EQ(bias(xs), 0.0);
+}
+
+TEST(Bias, MatchesPaperDefinition) {
+  // max = 10, mean = 5 -> (10-5)/5 = 1.
+  const std::vector<double> xs{0, 10, 5, 5};
+  EXPECT_DOUBLE_EQ(bias(xs), 1.0);
+}
+
+TEST(Bias, EmptyAndZeroMeanAreZero) {
+  EXPECT_DOUBLE_EQ(bias(std::vector<double>{}), 0.0);
+  EXPECT_DOUBLE_EQ(bias(std::vector<double>{0, 0, 0}), 0.0);
+}
+
+TEST(Bias, SingleValueIsZero) {
+  EXPECT_DOUBLE_EQ(bias(std::vector<double>{42.0}), 0.0);
+}
+
+TEST(JainFairness, OneForUniformValues) {
+  const std::vector<double> xs{3, 3, 3};
+  EXPECT_DOUBLE_EQ(jain_fairness(xs), 1.0);
+}
+
+TEST(JainFairness, OneOverNForSingleHotspot) {
+  // One bucket holds everything: F = 1/n.
+  const std::vector<double> xs{12, 0, 0, 0};
+  EXPECT_DOUBLE_EQ(jain_fairness(xs), 0.25);
+}
+
+TEST(JainFairness, KnownMidpointValue) {
+  // F((1,2,3)) = 36 / (3*14) = 6/7.
+  const std::vector<double> xs{1, 2, 3};
+  EXPECT_NEAR(jain_fairness(xs), 6.0 / 7.0, 1e-12);
+}
+
+TEST(JainFairness, BoundsHold) {
+  const std::vector<double> xs{1, 9, 2, 7, 4};
+  const double f = jain_fairness(xs);
+  EXPECT_GE(f, 1.0 / static_cast<double>(xs.size()));
+  EXPECT_LE(f, 1.0);
+}
+
+TEST(JainFairness, EmptyIsVacuouslyFair) {
+  EXPECT_DOUBLE_EQ(jain_fairness(std::vector<double>{}), 1.0);
+  EXPECT_DOUBLE_EQ(jain_fairness(std::vector<double>{0, 0}), 1.0);
+}
+
+TEST(JainFairness, UsesAbsoluteValues) {
+  // Definition uses |x_i|; sign must not matter.
+  EXPECT_DOUBLE_EQ(jain_fairness(std::vector<double>{-3, 3, 3}), 1.0);
+}
+
+TEST(CoefficientOfVariation, ZeroForUniform) {
+  EXPECT_DOUBLE_EQ(coefficient_of_variation(std::vector<double>{2, 2, 2}),
+                   0.0);
+}
+
+TEST(CoefficientOfVariation, KnownValue) {
+  // {0, 10}: mean 5, population stddev 5 -> CV = 1.
+  EXPECT_DOUBLE_EQ(coefficient_of_variation(std::vector<double>{0, 10}), 1.0);
+}
+
+TEST(Gini, ZeroForUniform) {
+  EXPECT_DOUBLE_EQ(gini(std::vector<double>{4, 4, 4, 4}), 0.0);
+}
+
+TEST(Gini, ApproachesOneForExtremeConcentration) {
+  std::vector<double> xs(100, 0.0);
+  xs.back() = 1000.0;
+  EXPECT_GT(gini(xs), 0.95);
+  EXPECT_LT(gini(xs), 1.0);
+}
+
+TEST(Gini, InvariantToScaling) {
+  const std::vector<double> a{1, 2, 3, 4};
+  std::vector<double> b;
+  for (double x : a) b.push_back(x * 1000);
+  EXPECT_NEAR(gini(a), gini(b), 1e-12);
+}
+
+TEST(MaxOverMin, ReportsTheGap) {
+  // The paper quotes "the gap can reach up to 8x" — max/min.
+  EXPECT_DOUBLE_EQ(max_over_min(std::vector<double>{61, 737}), 737.0 / 61.0);
+}
+
+TEST(MaxOverMin, InfiniteWhenMinIsZero) {
+  EXPECT_TRUE(std::isinf(max_over_min(std::vector<double>{0, 5})));
+  EXPECT_DOUBLE_EQ(max_over_min(std::vector<double>{0, 0}), 1.0);
+}
+
+TEST(MaxOverMean, KnownValue) {
+  EXPECT_DOUBLE_EQ(max_over_mean(std::vector<double>{1, 3}), 1.5);
+}
+
+TEST(Summarize, AllFieldsConsistent) {
+  const std::vector<double> xs{2, 4, 6, 8};
+  const Summary s = summarize(xs);
+  EXPECT_EQ(s.n, 4u);
+  EXPECT_DOUBLE_EQ(s.min, 2);
+  EXPECT_DOUBLE_EQ(s.max, 8);
+  EXPECT_DOUBLE_EQ(s.mean, 5);
+  EXPECT_NEAR(s.stddev, std::sqrt(5.0), 1e-12);
+  EXPECT_DOUBLE_EQ(s.bias, 0.6);
+  EXPECT_NEAR(s.fairness, jain_fairness(xs), 1e-15);
+}
+
+TEST(Summarize, EmptyInput) {
+  const Summary s = summarize(std::vector<double>{});
+  EXPECT_EQ(s.n, 0u);
+  EXPECT_DOUBLE_EQ(s.bias, 0.0);
+  EXPECT_DOUBLE_EQ(s.fairness, 1.0);
+}
+
+TEST(ToDoubles, ConvertsIntegralVectors) {
+  const std::vector<std::uint64_t> xs{1, 2, 3};
+  const auto d = to_doubles(xs);
+  ASSERT_EQ(d.size(), 3u);
+  EXPECT_DOUBLE_EQ(d[2], 3.0);
+}
+
+}  // namespace
+}  // namespace bpart::stats

@@ -1,0 +1,94 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "util/check.hpp"
+
+namespace bpart {
+namespace {
+
+TEST(Table, RowBuilderAddsTypedCells) {
+  Table t({"name", "count", "ratio"});
+  t.row().cell("alpha").cell(std::int64_t{3}).cell(0.5);
+  ASSERT_EQ(t.rows(), 1u);
+  EXPECT_EQ(std::get<std::string>(t.at(0, 0)), "alpha");
+  EXPECT_EQ(std::get<std::int64_t>(t.at(0, 1)), 3);
+  EXPECT_DOUBLE_EQ(std::get<double>(t.at(0, 2)), 0.5);
+}
+
+TEST(Table, RejectsWrongArity) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({std::string("x")}), CheckError);
+}
+
+TEST(Table, RejectsEmptyHeader) {
+  EXPECT_THROW(Table(std::vector<std::string>{}), CheckError);
+}
+
+TEST(Table, AsciiContainsHeadersAndValues) {
+  Table t({"algorithm", "cut"});
+  t.row().cell("bpart").cell(0.53);
+  const std::string s = t.to_ascii();
+  EXPECT_NE(s.find("algorithm"), std::string::npos);
+  EXPECT_NE(s.find("bpart"), std::string::npos);
+  EXPECT_NE(s.find("0.53"), std::string::npos);
+}
+
+TEST(Table, CsvRoundsDoublesAtPrecision) {
+  Table t({"x"});
+  t.set_precision(2);
+  t.row().cell(1.0 / 3.0);
+  EXPECT_EQ(t.to_csv(), "x\n0.33\n");
+}
+
+TEST(Table, CsvEscapesSpecialCharacters) {
+  Table t({"note"});
+  t.row().cell("a,b \"q\"");
+  EXPECT_EQ(t.to_csv(), "note\n\"a,b \"\"q\"\"\"\n");
+}
+
+TEST(Table, IntegerCellsHaveNoDecimalPoint) {
+  Table t({"n"});
+  t.row().cell(42);
+  EXPECT_EQ(t.to_csv(), "n\n42\n");
+}
+
+TEST(Table, WriteCsvCreatesReadableFile) {
+  Table t({"k", "v"});
+  t.row().cell(1).cell(2);
+  const auto path =
+      std::filesystem::temp_directory_path() / "bpart_table_test.csv";
+  ASSERT_TRUE(t.write_csv(path.string()));
+  std::ifstream f(path);
+  std::string line;
+  std::getline(f, line);
+  EXPECT_EQ(line, "k,v");
+  std::getline(f, line);
+  EXPECT_EQ(line, "1,2");
+  std::filesystem::remove(path);
+}
+
+TEST(Table, WriteCsvFailsGracefully) {
+  Table t({"x"});
+  EXPECT_FALSE(t.write_csv("/nonexistent_dir_zzz/out.csv"));
+}
+
+TEST(BenchOutputDir, CreatesDirectory) {
+  // Point the env override at a fresh temp dir.
+  const auto dir =
+      std::filesystem::temp_directory_path() / "bpart_bench_out_test";
+  std::filesystem::remove_all(dir);
+  ::setenv("BPART_OUT_DIR", dir.c_str(), 1);
+  const std::string out = bench_output_dir();
+  EXPECT_EQ(out, dir.string());
+  EXPECT_TRUE(std::filesystem::is_directory(dir));
+  ::unsetenv("BPART_OUT_DIR");
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace bpart

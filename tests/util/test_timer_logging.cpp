@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "util/logging.hpp"
+#include "util/timer.hpp"
+
+namespace bpart {
+namespace {
+
+TEST(Timer, MeasuresElapsedTime) {
+  Timer t;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  const double s = t.seconds();
+  EXPECT_GE(s, 0.015);
+  EXPECT_LT(s, 2.0);
+  EXPECT_NEAR(t.millis(), t.seconds() * 1e3, 5.0);
+}
+
+TEST(Timer, ResetRestarts) {
+  Timer t;
+  std::this_thread::sleep_for(std::chrono::milliseconds(15));
+  t.reset();
+  EXPECT_LT(t.seconds(), 0.010);
+}
+
+TEST(Timer, NanosMonotone) {
+  Timer t;
+  const auto a = t.nanos();
+  const auto b = t.nanos();
+  EXPECT_GE(b, a);
+}
+
+TEST(AccumTimer, AccumulatesAcrossIntervals) {
+  AccumTimer t;
+  t.start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  t.stop();
+  const double first = t.seconds();
+  EXPECT_GE(first, 0.008);
+  // Stopped: no accumulation.
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_NEAR(t.seconds(), first, 1e-4);
+  // Second interval adds on top.
+  t.start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  t.stop();
+  EXPECT_GE(t.seconds(), first + 0.008);
+}
+
+TEST(AccumTimer, RunningReadsIncludeCurrentInterval) {
+  AccumTimer t;
+  t.start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_GE(t.seconds(), 0.008);  // not stopped yet
+}
+
+TEST(AccumTimer, DoubleStartAndStopAreIdempotent) {
+  AccumTimer t;
+  t.start();
+  t.start();
+  t.stop();
+  t.stop();
+  EXPECT_GE(t.seconds(), 0.0);
+  t.reset();
+  EXPECT_DOUBLE_EQ(t.seconds(), 0.0);
+}
+
+TEST(Logging, ParseLevelSpellsOut) {
+  using log::Level;
+  EXPECT_EQ(log::parse_level("trace"), Level::kTrace);
+  EXPECT_EQ(log::parse_level("DEBUG"), Level::kDebug);
+  EXPECT_EQ(log::parse_level("Info"), Level::kInfo);
+  EXPECT_EQ(log::parse_level("warning"), Level::kWarn);
+  EXPECT_EQ(log::parse_level("error"), Level::kError);
+  EXPECT_EQ(log::parse_level("off"), Level::kOff);
+  EXPECT_EQ(log::parse_level("bogus"), Level::kInfo);
+}
+
+TEST(Logging, LevelThresholdRoundTrips) {
+  const auto before = log::level();
+  log::set_level(log::Level::kError);
+  EXPECT_EQ(log::level(), log::Level::kError);
+  log::set_level(before);
+}
+
+TEST(Logging, MacroCompilesAndRespectsThreshold) {
+  const auto before = log::level();
+  log::set_level(log::Level::kOff);
+  LOG_ERROR << "suppressed " << 42;  // must not crash, goes nowhere
+  log::set_level(before);
+}
+
+}  // namespace
+}  // namespace bpart

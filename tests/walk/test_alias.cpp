@@ -1,0 +1,84 @@
+#include "walk/alias.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace bpart::walk {
+namespace {
+
+TEST(AliasTable, UniformWeights) {
+  const std::vector<double> w{1, 1, 1, 1};
+  AliasTable t(w);
+  Xoshiro256 rng(1);
+  std::vector<int> counts(4, 0);
+  constexpr int kN = 40000;
+  for (int i = 0; i < kN; ++i) ++counts[t.sample(rng)];
+  for (int c : counts) EXPECT_NEAR(c, kN / 4, kN / 4 / 5);
+}
+
+TEST(AliasTable, SkewedWeightsMatchProportions) {
+  const std::vector<double> w{1, 2, 7};
+  AliasTable t(w);
+  Xoshiro256 rng(2);
+  std::vector<int> counts(3, 0);
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) ++counts[t.sample(rng)];
+  EXPECT_NEAR(counts[0] / static_cast<double>(kN), 0.1, 0.01);
+  EXPECT_NEAR(counts[1] / static_cast<double>(kN), 0.2, 0.012);
+  EXPECT_NEAR(counts[2] / static_cast<double>(kN), 0.7, 0.015);
+}
+
+TEST(AliasTable, ZeroWeightNeverSampled) {
+  const std::vector<double> w{0, 1, 0, 1};
+  AliasTable t(w);
+  Xoshiro256 rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const std::size_t s = t.sample(rng);
+    EXPECT_TRUE(s == 1 || s == 3);
+  }
+}
+
+TEST(AliasTable, SingleEntry) {
+  const std::vector<double> w{5.0};
+  AliasTable t(w);
+  Xoshiro256 rng(4);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(t.sample(rng), 0u);
+}
+
+TEST(AliasTable, ProbabilityAccessorNormalizes) {
+  const std::vector<double> w{2, 6};
+  AliasTable t(w);
+  EXPECT_DOUBLE_EQ(t.probability(0), 0.25);
+  EXPECT_DOUBLE_EQ(t.probability(1), 0.75);
+  EXPECT_THROW((void)t.probability(5), CheckError);
+}
+
+TEST(AliasTable, RejectsInvalidWeights) {
+  EXPECT_THROW(AliasTable(std::vector<double>{}), CheckError);
+  EXPECT_THROW(AliasTable(std::vector<double>{0, 0}), CheckError);
+  EXPECT_THROW(AliasTable(std::vector<double>{1, -1}), CheckError);
+}
+
+TEST(AliasTable, LargeHeavyTailStillExact) {
+  // Zipf-ish weights over 1000 entries; verify the top entry's empirical
+  // frequency against its exact probability.
+  std::vector<double> w(1000);
+  double total = 0;
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    w[i] = 1.0 / static_cast<double>(i + 1);
+    total += w[i];
+  }
+  AliasTable t(w);
+  Xoshiro256 rng(5);
+  int hits = 0;
+  constexpr int kN = 200000;
+  for (int i = 0; i < kN; ++i)
+    if (t.sample(rng) == 0) ++hits;
+  EXPECT_NEAR(hits / static_cast<double>(kN), 1.0 / total, 0.01);
+}
+
+}  // namespace
+}  // namespace bpart::walk

@@ -1,0 +1,188 @@
+#include "walk/apps.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "graph/generators.hpp"
+#include "partition/chunk.hpp"
+
+namespace bpart::walk {
+namespace {
+
+using graph::EdgeList;
+using graph::Graph;
+using partition::Partition;
+
+Graph social() {
+  graph::CommunityGraphConfig cfg;
+  cfg.num_vertices = 2048;
+  cfg.avg_degree = 12;
+  cfg.num_communities = 16;
+  cfg.seed = 13;
+  return Graph::from_edges_symmetric(graph::community_scale_free(cfg));
+}
+
+Partition one_part(const Graph& g) {
+  return partition::ChunkV().partition(g, 1);
+}
+
+/// Every vertex has degree >= 2k: no dead ends, so fixed-length walks take
+/// exactly their configured number of steps.
+Graph no_dead_ends() {
+  graph::WattsStrogatzConfig cfg;
+  cfg.num_vertices = 2048;
+  cfg.k = 4;
+  cfg.beta = 0.2;
+  cfg.seed = 13;
+  return Graph::from_edges(graph::watts_strogatz(cfg));
+}
+
+TEST(WalkApps, FactoryKnowsAllPaperApps) {
+  for (const auto& name : paper_walk_apps()) {
+    const auto app = create_walk_app(name);
+    EXPECT_EQ(app->name(), name);
+  }
+  EXPECT_EQ(create_walk_app("simple-rw")->name(), "simple-rw");
+  EXPECT_THROW(create_walk_app("metropolis"), std::out_of_range);
+}
+
+TEST(WalkApps, PaperListHasFiveAlgorithms) {
+  EXPECT_EQ(paper_walk_apps().size(), 5u);
+}
+
+TEST(Ppr, GeometricLengths) {
+  // With stop probability 0.1 the expected number of steps is ~9 (the
+  // terminating attempt costs no step).
+  const Graph g = no_dead_ends();
+  WalkConfig cfg;
+  cfg.seed = 5;
+  const auto report =
+      run_walks(g, one_part(g), PersonalizedPageRank(0.1), cfg);
+  const double mean_steps = static_cast<double>(report.total_steps) /
+                            static_cast<double>(g.num_vertices());
+  EXPECT_NEAR(mean_steps, 9.0, 1.0);
+}
+
+TEST(Ppr, HigherStopProbShortensWalks) {
+  const Graph g = no_dead_ends();
+  const auto slow = run_walks(g, one_part(g), PersonalizedPageRank(0.05), {});
+  const auto fast = run_walks(g, one_part(g), PersonalizedPageRank(0.5), {});
+  EXPECT_GT(slow.total_steps, 2 * fast.total_steps);
+}
+
+TEST(Rwj, JumpsEscapeDeadEnds) {
+  // Directed path: the simple walk dies at the sink, RWJ teleports on.
+  EdgeList el;
+  el.add(0, 1);
+  const Graph g = Graph::from_edges(el);
+  WalkConfig cfg;
+  cfg.seed = 3;
+  // jump_prob 1.0: every step is a teleport, dead ends never bite.
+  const auto report =
+      run_walks(g, one_part(g), RandomWalkWithJump(1.0, 6), cfg);
+  EXPECT_EQ(report.total_steps, 2u * 6u);
+}
+
+TEST(Rwj, FixedLength) {
+  const Graph g = no_dead_ends();
+  const auto report =
+      run_walks(g, one_part(g), RandomWalkWithJump(0.2, 4), {});
+  EXPECT_EQ(report.total_steps,
+            static_cast<std::uint64_t>(g.num_vertices()) * 4u);
+}
+
+TEST(Rwd, AvoidsImmediateBacktrackMostly) {
+  // On a ring of degree 2, a uniform walk backtracks half the time; RWD's
+  // retry makes backtracks rare.
+  EdgeList el;
+  for (graph::VertexId v = 0; v < 64; ++v) el.add_undirected(v, (v + 1) % 64);
+  const Graph g = Graph::from_edges(el);
+  WalkConfig cfg;
+  cfg.record_paths = true;
+  cfg.seed = 9;
+  const auto report = run_walks(g, one_part(g), RandomWalkWithDomination(20),
+                                cfg);
+  std::uint64_t backtracks = 0, moves = 0;
+  for (const auto& path : report.paths) {
+    for (std::size_t s = 2; s < path.size(); ++s) {
+      ++moves;
+      if (path[s] == path[s - 2]) ++backtracks;
+    }
+  }
+  // Uniform would backtrack ~50%; two retries push it to ~12.5%.
+  EXPECT_LT(static_cast<double>(backtracks) / static_cast<double>(moves),
+            0.25);
+}
+
+TEST(DeepWalkApp, ProducesFullLengthCorpus) {
+  const Graph g = no_dead_ends();
+  WalkConfig cfg;
+  cfg.record_paths = true;
+  const auto report = run_walks(g, one_part(g), DeepWalk(10), cfg);
+  for (const auto& path : report.paths) EXPECT_EQ(path.size(), 11u);
+}
+
+TEST(Node2Vec, LowPDiscouragesReturning) {
+  // p huge -> returning to the previous vertex is cheap to refuse; p tiny
+  // -> walks return constantly. Compare return rates.
+  const Graph g = no_dead_ends();
+  WalkConfig cfg;
+  cfg.record_paths = true;
+  cfg.seed = 21;
+  auto return_rate = [&](double p, double q) {
+    const auto report = run_walks(g, one_part(g), Node2Vec(p, q, 8), cfg);
+    std::uint64_t returns = 0, moves = 0;
+    for (const auto& path : report.paths)
+      for (std::size_t s = 2; s < path.size(); ++s) {
+        ++moves;
+        if (path[s] == path[s - 2]) ++returns;
+      }
+    return static_cast<double>(returns) / static_cast<double>(moves);
+  };
+  EXPECT_GT(return_rate(0.1, 1.0), 3 * return_rate(10.0, 1.0));
+}
+
+TEST(Node2Vec, HighQKeepsWalksLocal) {
+  // q >> 1 penalizes leaving the previous vertex's neighborhood, so each
+  // walk revisits vertices more and covers fewer distinct ones than with
+  // q << 1 (which pushes outward, DFS-like).
+  const Graph g = no_dead_ends();
+  WalkConfig cfg;
+  cfg.seed = 22;
+  cfg.record_paths = true;
+  auto mean_distinct_per_walk = [&](double q) {
+    const auto report = run_walks(g, one_part(g), Node2Vec(1.0, q, 12), cfg);
+    std::uint64_t distinct_total = 0;
+    for (const auto& path : report.paths) {
+      std::vector<graph::VertexId> sorted(path.begin(), path.end());
+      std::sort(sorted.begin(), sorted.end());
+      distinct_total += static_cast<std::uint64_t>(
+          std::unique(sorted.begin(), sorted.end()) - sorted.begin());
+    }
+    return static_cast<double>(distinct_total) /
+           static_cast<double>(report.paths.size());
+  };
+  EXPECT_LT(mean_distinct_per_walk(8.0), mean_distinct_per_walk(0.125));
+}
+
+TEST(Node2Vec, RejectsBadParameters) {
+  EXPECT_THROW(Node2Vec(0.0, 1.0), CheckError);
+  EXPECT_THROW(Node2Vec(1.0, -2.0), CheckError);
+}
+
+TEST(AllApps, RunCleanlyOnSocialGraphWithManyParts) {
+  const Graph g = social();
+  const Partition p = partition::ChunkV().partition(g, 8);
+  for (const auto& name : paper_walk_apps()) {
+    const auto app = create_walk_app(name);
+    const auto report = run_walks(g, p, *app, {});
+    EXPECT_GT(report.total_steps, 0u) << name;
+    EXPECT_GT(report.message_walks, 0u) << name;
+    EXPECT_EQ(report.message_walks, report.run.total_messages()) << name;
+  }
+}
+
+}  // namespace
+}  // namespace bpart::walk

@@ -1,0 +1,101 @@
+#include "walk/threaded_walk.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "partition/chunk.hpp"
+#include "partition/hash_partitioner.hpp"
+#include "util/check.hpp"
+#include "walk/apps.hpp"
+#include "walk/walk_engine.hpp"
+
+namespace bpart::walk {
+namespace {
+
+using graph::Graph;
+
+Graph lattice() {
+  graph::WattsStrogatzConfig cfg;
+  cfg.num_vertices = 1024;
+  cfg.k = 4;
+  cfg.beta = 0.2;
+  cfg.seed = 3;
+  return Graph::from_edges(graph::watts_strogatz(cfg));
+}
+
+TEST(ThreadedWalk, ExactStepTotalWithoutDeadEnds) {
+  const Graph g = lattice();
+  const auto parts = partition::ChunkV().partition(g, 4);
+  ThreadedWalkConfig cfg;
+  cfg.length = 6;
+  cfg.walks_per_vertex = 2;
+  const auto report = run_simple_walks_threaded(g, parts, cfg);
+  EXPECT_EQ(report.total_steps,
+            static_cast<std::uint64_t>(g.num_vertices()) * 2 * 6);
+}
+
+TEST(ThreadedWalk, MessageWalksStatisticallyMatchSequentialEngine) {
+  // Trajectories differ (per-machine RNG streams), but the crossing rate is
+  // a property of the partition, so counts must agree within a few percent.
+  const Graph g = lattice();
+  const auto parts = partition::HashPartitioner().partition(g, 4);
+  ThreadedWalkConfig tcfg;
+  tcfg.length = 8;
+  tcfg.walks_per_vertex = 4;
+  const auto threaded = run_simple_walks_threaded(g, parts, tcfg);
+
+  WalkConfig scfg;
+  scfg.walks_per_vertex = 4;
+  const auto sequential =
+      run_walks(g, parts, SimpleRandomWalk(8), scfg);
+
+  ASSERT_EQ(threaded.total_steps, sequential.total_steps);
+  const double t = static_cast<double>(threaded.message_walks);
+  const double s = static_cast<double>(sequential.message_walks);
+  EXPECT_NEAR(t / s, 1.0, 0.05);
+}
+
+TEST(ThreadedWalk, SingleMachineShipsNothing) {
+  const Graph g = lattice();
+  const auto parts = partition::ChunkV().partition(g, 1);
+  const auto report = run_simple_walks_threaded(g, parts, {});
+  EXPECT_EQ(report.message_walks, 0u);
+  EXPECT_LE(report.supersteps, 2u);  // everything finishes in one phase
+}
+
+TEST(ThreadedWalk, LocalPartitionNeedsFewerSuperstepsThanHash) {
+  const Graph g = lattice();
+  ThreadedWalkConfig cfg;
+  cfg.length = 8;
+  const auto chunk = run_simple_walks_threaded(
+      g, partition::ChunkV().partition(g, 4), cfg);
+  const auto hash = run_simple_walks_threaded(
+      g, partition::HashPartitioner().partition(g, 4), cfg);
+  EXPECT_LT(chunk.message_walks, hash.message_walks);
+}
+
+TEST(ThreadedWalk, DeadEndsTerminateEarly) {
+  graph::EdgeList el;
+  el.add(0, 1);
+  el.add(1, 2);  // 2 is a sink
+  const Graph g = Graph::from_edges(el);
+  partition::Partition parts(3, 2);
+  parts.assign(0, 0);
+  parts.assign(1, 1);
+  parts.assign(2, 0);
+  const auto report = run_simple_walks_threaded(g, parts, {.length = 10});
+  // Walker@0: 2 steps; walker@1: 1 step; walker@2: 0.
+  EXPECT_EQ(report.total_steps, 3u);
+  EXPECT_EQ(report.message_walks, 3u);  // 0->1 crossing, 1->2, and 0's hop
+}
+
+TEST(ThreadedWalk, ValidatesLimits) {
+  const Graph g = lattice();
+  const auto parts = partition::ChunkV().partition(g, 2);
+  ThreadedWalkConfig cfg;
+  cfg.length = 300;  // > 8-bit step counter
+  EXPECT_THROW(run_simple_walks_threaded(g, parts, cfg), CheckError);
+}
+
+}  // namespace
+}  // namespace bpart::walk

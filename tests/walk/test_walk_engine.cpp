@@ -1,0 +1,181 @@
+#include "walk/walk_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "graph/generators.hpp"
+#include "partition/chunk.hpp"
+#include "partition/hash_partitioner.hpp"
+#include "partition/metrics.hpp"
+#include "walk/apps.hpp"
+
+namespace bpart::walk {
+namespace {
+
+using graph::EdgeList;
+using graph::Graph;
+using partition::Partition;
+
+Graph ring(graph::VertexId n) {
+  EdgeList el;
+  for (graph::VertexId v = 0; v < n; ++v)
+    el.add_undirected(v, (v + 1) % n);
+  return Graph::from_edges(el);
+}
+
+Graph social() {
+  graph::CommunityGraphConfig cfg;
+  cfg.num_vertices = 4096;
+  cfg.avg_degree = 12;
+  cfg.num_communities = 32;
+  cfg.seed = 11;
+  return Graph::from_edges_symmetric(graph::community_scale_free(cfg));
+}
+
+TEST(WalkEngine, FixedLengthWalksTakeExactSteps) {
+  const Graph g = ring(64);
+  const Partition p = partition::ChunkV().partition(g, 4);
+  WalkConfig cfg;
+  cfg.walks_per_vertex = 2;
+  cfg.greedy_local = false;  // synchronous mode: one step per iteration
+  const auto report = run_walks(g, p, SimpleRandomWalk(4), cfg);
+  // 128 walkers x 4 steps, no dead ends on a ring.
+  EXPECT_EQ(report.total_steps, 128u * 4u);
+  // 4 stepping iterations plus a final one that retires all walkers.
+  EXPECT_EQ(report.run.iterations.size(), 5u);
+}
+
+TEST(WalkEngine, GreedyLocalTakesSameStepsInFewerIterations) {
+  // KnightKing's greedy compute phase: identical walk lengths, but a walker
+  // only pauses at partition boundaries, so iterations shrink while
+  // message walks stay tied to cut crossings.
+  const Graph g = ring(64);
+  const Partition p = partition::ChunkV().partition(g, 4);
+  WalkConfig sync_cfg;
+  sync_cfg.greedy_local = false;
+  WalkConfig greedy_cfg;
+  greedy_cfg.greedy_local = true;
+  const auto sync = run_walks(g, p, SimpleRandomWalk(4), sync_cfg);
+  const auto greedy = run_walks(g, p, SimpleRandomWalk(4), greedy_cfg);
+  EXPECT_EQ(greedy.total_steps, sync.total_steps);
+  // The last straggler bounds the iteration count, so greedy can tie sync
+  // but never exceed it — and its first iteration must complete most of
+  // the walking (every walker runs until it hits a boundary).
+  EXPECT_LE(greedy.run.iterations.size(), sync.run.iterations.size());
+  EXPECT_GT(greedy.run.iterations[0].total_work(),
+            2 * sync.run.iterations[0].total_work());
+  // On a 16-vertex-per-part ring, most steps stay local: far fewer
+  // messages than steps.
+  EXPECT_LT(greedy.message_walks, greedy.total_steps / 2);
+}
+
+TEST(WalkEngine, VisitsCountStartsAndMoves) {
+  const Graph g = ring(16);
+  const Partition p = partition::ChunkV().partition(g, 2);
+  const auto report = run_walks(g, p, SimpleRandomWalk(3), {});
+  const std::uint64_t total_visits =
+      std::accumulate(report.visits.begin(), report.visits.end(),
+                      std::uint64_t{0});
+  EXPECT_EQ(total_visits, 16u + report.total_steps);
+}
+
+TEST(WalkEngine, DeterministicForSeed) {
+  const Graph g = social();
+  const Partition p = partition::ChunkV().partition(g, 4);
+  WalkConfig cfg;
+  cfg.seed = 77;
+  const auto a = run_walks(g, p, SimpleRandomWalk(4), cfg);
+  const auto b = run_walks(g, p, SimpleRandomWalk(4), cfg);
+  EXPECT_EQ(a.total_steps, b.total_steps);
+  EXPECT_EQ(a.message_walks, b.message_walks);
+  EXPECT_EQ(a.visits, b.visits);
+}
+
+TEST(WalkEngine, SeedChangesTrajectories) {
+  const Graph g = social();
+  const Partition p = partition::ChunkV().partition(g, 4);
+  WalkConfig c1, c2;
+  c1.seed = 1;
+  c2.seed = 2;
+  const auto a = run_walks(g, p, SimpleRandomWalk(4), c1);
+  const auto b = run_walks(g, p, SimpleRandomWalk(4), c2);
+  EXPECT_NE(a.visits, b.visits);
+}
+
+TEST(WalkEngine, MessageWalksMatchSimMessages) {
+  const Graph g = social();
+  const Partition p = partition::HashPartitioner().partition(g, 8);
+  const auto report = run_walks(g, p, SimpleRandomWalk(4), {});
+  EXPECT_EQ(report.message_walks, report.run.total_messages());
+}
+
+TEST(WalkEngine, MessageWalksTrackCutRatio) {
+  // Hash cuts ~7/8 of edges, ChunkV far fewer on a community graph: the
+  // message-walk count (Fig. 5b) must follow the same order.
+  const Graph g = social();
+  const auto hash =
+      run_walks(g, partition::HashPartitioner().partition(g, 8),
+                SimpleRandomWalk(4), {});
+  const auto chunk = run_walks(g, partition::ChunkV().partition(g, 8),
+                               SimpleRandomWalk(4), {});
+  EXPECT_GT(hash.message_walks, chunk.message_walks);
+  // And roughly proportional: hash message share ~ cut ratio.
+  const double hash_share = static_cast<double>(hash.message_walks) /
+                            static_cast<double>(hash.total_steps);
+  EXPECT_NEAR(hash_share, 0.875, 0.05);
+}
+
+TEST(WalkEngine, DeadEndsTerminateWalkers) {
+  // Directed path 0 -> 1 -> 2: walkers from every vertex, all stop at 2.
+  EdgeList el;
+  el.add(0, 1);
+  el.add(1, 2);
+  const Graph g = Graph::from_edges(el);
+  const Partition p = partition::ChunkV().partition(g, 1);
+  const auto report = run_walks(g, p, SimpleRandomWalk(10), {});
+  // Steps: walker@0 takes 2, walker@1 takes 1, walker@2 takes 0.
+  EXPECT_EQ(report.total_steps, 3u);
+}
+
+TEST(WalkEngine, RecordPathsCapturesTrajectories) {
+  const Graph g = ring(8);
+  const Partition p = partition::ChunkV().partition(g, 2);
+  WalkConfig cfg;
+  cfg.record_paths = true;
+  const auto report = run_walks(g, p, SimpleRandomWalk(5), cfg);
+  ASSERT_EQ(report.paths.size(), 8u);
+  for (std::size_t i = 0; i < report.paths.size(); ++i) {
+    const auto& path = report.paths[i];
+    ASSERT_EQ(path.size(), 6u);  // start + 5 steps
+    EXPECT_EQ(path[0], static_cast<graph::VertexId>(i));
+    for (std::size_t s = 1; s < path.size(); ++s) {
+      // Consecutive path vertices must be graph neighbors.
+      const auto nbrs = g.out_neighbors(path[s - 1]);
+      EXPECT_TRUE(std::find(nbrs.begin(), nbrs.end(), path[s]) !=
+                  nbrs.end());
+    }
+  }
+}
+
+TEST(WalkEngine, WalksPerVertexMultiplies) {
+  const Graph g = ring(10);
+  const Partition p = partition::ChunkV().partition(g, 2);
+  WalkConfig cfg;
+  cfg.walks_per_vertex = 5;
+  const auto report = run_walks(g, p, SimpleRandomWalk(2), cfg);
+  EXPECT_EQ(report.total_steps, 10u * 5u * 2u);
+}
+
+TEST(WalkEngine, ValidatesInputs) {
+  const Graph g = ring(10);
+  const Partition wrong_size(5, 2);
+  EXPECT_THROW(run_walks(g, wrong_size, SimpleRandomWalk(2), {}),
+               CheckError);
+  partition::Partition unassigned(10, 2);
+  EXPECT_THROW(run_walks(g, unassigned, SimpleRandomWalk(2), {}),
+               CheckError);
+}
+
+}  // namespace
+}  // namespace bpart::walk
