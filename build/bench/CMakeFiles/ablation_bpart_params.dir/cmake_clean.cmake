@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_bpart_params.dir/ablation_bpart_params.cpp.o"
+  "CMakeFiles/ablation_bpart_params.dir/ablation_bpart_params.cpp.o.d"
+  "ablation_bpart_params"
+  "ablation_bpart_params.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_bpart_params.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_dataset_knobs.dir/ablation_dataset_knobs.cpp.o"
+  "CMakeFiles/ablation_dataset_knobs.dir/ablation_dataset_knobs.cpp.o.d"
+  "ablation_dataset_knobs"
+  "ablation_dataset_knobs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_dataset_knobs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

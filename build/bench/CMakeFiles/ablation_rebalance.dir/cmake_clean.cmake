@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_rebalance.dir/ablation_rebalance.cpp.o"
+  "CMakeFiles/ablation_rebalance.dir/ablation_rebalance.cpp.o.d"
+  "ablation_rebalance"
+  "ablation_rebalance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_rebalance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

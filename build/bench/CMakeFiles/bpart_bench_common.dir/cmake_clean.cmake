@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bpart_bench_common.dir/common.cpp.o"
+  "CMakeFiles/bpart_bench_common.dir/common.cpp.o.d"
+  "libbpart_bench_common.a"
+  "libbpart_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bpart_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_more_apps.dir/ext_more_apps.cpp.o"
+  "CMakeFiles/ext_more_apps.dir/ext_more_apps.cpp.o.d"
+  "ext_more_apps"
+  "ext_more_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_more_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_reorder.dir/ext_reorder.cpp.o"
+  "CMakeFiles/ext_reorder.dir/ext_reorder.cpp.o.d"
+  "ext_reorder"
+  "ext_reorder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_reorder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

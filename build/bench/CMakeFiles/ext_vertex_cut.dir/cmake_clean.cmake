@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_vertex_cut.dir/ext_vertex_cut.cpp.o"
+  "CMakeFiles/ext_vertex_cut.dir/ext_vertex_cut.cpp.o.d"
+  "ext_vertex_cut"
+  "ext_vertex_cut.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_vertex_cut.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_ratio_bars.dir/fig03_ratio_bars.cpp.o"
+  "CMakeFiles/fig03_ratio_bars.dir/fig03_ratio_bars.cpp.o.d"
+  "fig03_ratio_bars"
+  "fig03_ratio_bars.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_ratio_bars.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

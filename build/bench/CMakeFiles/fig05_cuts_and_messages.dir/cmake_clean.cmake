@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_cuts_and_messages.dir/fig05_cuts_and_messages.cpp.o"
+  "CMakeFiles/fig05_cuts_and_messages.dir/fig05_cuts_and_messages.cpp.o.d"
+  "fig05_cuts_and_messages"
+  "fig05_cuts_and_messages.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_cuts_and_messages.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_bias_scatter.dir/fig10_bias_scatter.cpp.o"
+  "CMakeFiles/fig10_bias_scatter.dir/fig10_bias_scatter.cpp.o.d"
+  "fig10_bias_scatter"
+  "fig10_bias_scatter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_bias_scatter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_app_runtime.dir/fig14_app_runtime.cpp.o"
+  "CMakeFiles/fig14_app_runtime.dir/fig14_app_runtime.cpp.o.d"
+  "fig14_app_runtime"
+  "fig14_app_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_app_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_hash_vs_bpart.dir/fig15_hash_vs_bpart.cpp.o"
+  "CMakeFiles/fig15_hash_vs_bpart.dir/fig15_hash_vs_bpart.cpp.o.d"
+  "fig15_hash_vs_bpart"
+  "fig15_hash_vs_bpart.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_hash_vs_bpart.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

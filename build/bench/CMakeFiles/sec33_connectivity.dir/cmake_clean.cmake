@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec33_connectivity.dir/sec33_connectivity.cpp.o"
+  "CMakeFiles/sec33_connectivity.dir/sec33_connectivity.cpp.o.d"
+  "sec33_connectivity"
+  "sec33_connectivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec33_connectivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

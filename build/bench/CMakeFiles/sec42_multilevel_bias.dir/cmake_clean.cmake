@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec42_multilevel_bias.dir/sec42_multilevel_bias.cpp.o"
+  "CMakeFiles/sec42_multilevel_bias.dir/sec42_multilevel_bias.cpp.o.d"
+  "sec42_multilevel_bias"
+  "sec42_multilevel_bias.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec42_multilevel_bias.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_edge_cuts.dir/table3_edge_cuts.cpp.o"
+  "CMakeFiles/table3_edge_cuts.dir/table3_edge_cuts.cpp.o.d"
+  "table3_edge_cuts"
+  "table3_edge_cuts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_edge_cuts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

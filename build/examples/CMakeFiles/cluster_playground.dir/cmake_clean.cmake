@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_playground.dir/cluster_playground.cpp.o"
+  "CMakeFiles/cluster_playground.dir/cluster_playground.cpp.o.d"
+  "cluster_playground"
+  "cluster_playground.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_playground.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deepwalk_corpus.dir/deepwalk_corpus.cpp.o"
+  "CMakeFiles/deepwalk_corpus.dir/deepwalk_corpus.cpp.o.d"
+  "deepwalk_corpus"
+  "deepwalk_corpus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deepwalk_corpus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bpart_cluster.dir/bsp.cpp.o"
+  "CMakeFiles/bpart_cluster.dir/bsp.cpp.o.d"
+  "CMakeFiles/bpart_cluster.dir/threaded.cpp.o"
+  "CMakeFiles/bpart_cluster.dir/threaded.cpp.o.d"
+  "libbpart_cluster.a"
+  "libbpart_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bpart_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/engine/bfs.cpp" "src/engine/CMakeFiles/bpart_engine.dir/bfs.cpp.o" "gcc" "src/engine/CMakeFiles/bpart_engine.dir/bfs.cpp.o.d"
+  "/root/repo/src/engine/components.cpp" "src/engine/CMakeFiles/bpart_engine.dir/components.cpp.o" "gcc" "src/engine/CMakeFiles/bpart_engine.dir/components.cpp.o.d"
+  "/root/repo/src/engine/kcore.cpp" "src/engine/CMakeFiles/bpart_engine.dir/kcore.cpp.o" "gcc" "src/engine/CMakeFiles/bpart_engine.dir/kcore.cpp.o.d"
+  "/root/repo/src/engine/label_propagation.cpp" "src/engine/CMakeFiles/bpart_engine.dir/label_propagation.cpp.o" "gcc" "src/engine/CMakeFiles/bpart_engine.dir/label_propagation.cpp.o.d"
+  "/root/repo/src/engine/pagerank.cpp" "src/engine/CMakeFiles/bpart_engine.dir/pagerank.cpp.o" "gcc" "src/engine/CMakeFiles/bpart_engine.dir/pagerank.cpp.o.d"
+  "/root/repo/src/engine/pagerank_threaded.cpp" "src/engine/CMakeFiles/bpart_engine.dir/pagerank_threaded.cpp.o" "gcc" "src/engine/CMakeFiles/bpart_engine.dir/pagerank_threaded.cpp.o.d"
+  "/root/repo/src/engine/sssp.cpp" "src/engine/CMakeFiles/bpart_engine.dir/sssp.cpp.o" "gcc" "src/engine/CMakeFiles/bpart_engine.dir/sssp.cpp.o.d"
+  "/root/repo/src/engine/triangles.cpp" "src/engine/CMakeFiles/bpart_engine.dir/triangles.cpp.o" "gcc" "src/engine/CMakeFiles/bpart_engine.dir/triangles.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cluster/CMakeFiles/bpart_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/partition/CMakeFiles/bpart_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/bpart_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bpart_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bpart_engine.dir/bfs.cpp.o"
+  "CMakeFiles/bpart_engine.dir/bfs.cpp.o.d"
+  "CMakeFiles/bpart_engine.dir/components.cpp.o"
+  "CMakeFiles/bpart_engine.dir/components.cpp.o.d"
+  "CMakeFiles/bpart_engine.dir/kcore.cpp.o"
+  "CMakeFiles/bpart_engine.dir/kcore.cpp.o.d"
+  "CMakeFiles/bpart_engine.dir/label_propagation.cpp.o"
+  "CMakeFiles/bpart_engine.dir/label_propagation.cpp.o.d"
+  "CMakeFiles/bpart_engine.dir/pagerank.cpp.o"
+  "CMakeFiles/bpart_engine.dir/pagerank.cpp.o.d"
+  "CMakeFiles/bpart_engine.dir/pagerank_threaded.cpp.o"
+  "CMakeFiles/bpart_engine.dir/pagerank_threaded.cpp.o.d"
+  "CMakeFiles/bpart_engine.dir/sssp.cpp.o"
+  "CMakeFiles/bpart_engine.dir/sssp.cpp.o.d"
+  "CMakeFiles/bpart_engine.dir/triangles.cpp.o"
+  "CMakeFiles/bpart_engine.dir/triangles.cpp.o.d"
+  "libbpart_engine.a"
+  "libbpart_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bpart_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libbpart_engine.a"
+)

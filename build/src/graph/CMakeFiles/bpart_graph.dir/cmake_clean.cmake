@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bpart_graph.dir/analysis.cpp.o"
+  "CMakeFiles/bpart_graph.dir/analysis.cpp.o.d"
+  "CMakeFiles/bpart_graph.dir/csr.cpp.o"
+  "CMakeFiles/bpart_graph.dir/csr.cpp.o.d"
+  "CMakeFiles/bpart_graph.dir/datasets.cpp.o"
+  "CMakeFiles/bpart_graph.dir/datasets.cpp.o.d"
+  "CMakeFiles/bpart_graph.dir/edge_list.cpp.o"
+  "CMakeFiles/bpart_graph.dir/edge_list.cpp.o.d"
+  "CMakeFiles/bpart_graph.dir/generators.cpp.o"
+  "CMakeFiles/bpart_graph.dir/generators.cpp.o.d"
+  "CMakeFiles/bpart_graph.dir/io.cpp.o"
+  "CMakeFiles/bpart_graph.dir/io.cpp.o.d"
+  "CMakeFiles/bpart_graph.dir/reorder.cpp.o"
+  "CMakeFiles/bpart_graph.dir/reorder.cpp.o.d"
+  "libbpart_graph.a"
+  "libbpart_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bpart_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

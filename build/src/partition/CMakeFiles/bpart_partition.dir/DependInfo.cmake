@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/partition/bisection.cpp" "src/partition/CMakeFiles/bpart_partition.dir/bisection.cpp.o" "gcc" "src/partition/CMakeFiles/bpart_partition.dir/bisection.cpp.o.d"
+  "/root/repo/src/partition/bpart.cpp" "src/partition/CMakeFiles/bpart_partition.dir/bpart.cpp.o" "gcc" "src/partition/CMakeFiles/bpart_partition.dir/bpart.cpp.o.d"
+  "/root/repo/src/partition/chunk.cpp" "src/partition/CMakeFiles/bpart_partition.dir/chunk.cpp.o" "gcc" "src/partition/CMakeFiles/bpart_partition.dir/chunk.cpp.o.d"
+  "/root/repo/src/partition/fennel.cpp" "src/partition/CMakeFiles/bpart_partition.dir/fennel.cpp.o" "gcc" "src/partition/CMakeFiles/bpart_partition.dir/fennel.cpp.o.d"
+  "/root/repo/src/partition/hash_partitioner.cpp" "src/partition/CMakeFiles/bpart_partition.dir/hash_partitioner.cpp.o" "gcc" "src/partition/CMakeFiles/bpart_partition.dir/hash_partitioner.cpp.o.d"
+  "/root/repo/src/partition/io.cpp" "src/partition/CMakeFiles/bpart_partition.dir/io.cpp.o" "gcc" "src/partition/CMakeFiles/bpart_partition.dir/io.cpp.o.d"
+  "/root/repo/src/partition/ldg.cpp" "src/partition/CMakeFiles/bpart_partition.dir/ldg.cpp.o" "gcc" "src/partition/CMakeFiles/bpart_partition.dir/ldg.cpp.o.d"
+  "/root/repo/src/partition/metrics.cpp" "src/partition/CMakeFiles/bpart_partition.dir/metrics.cpp.o" "gcc" "src/partition/CMakeFiles/bpart_partition.dir/metrics.cpp.o.d"
+  "/root/repo/src/partition/multilevel.cpp" "src/partition/CMakeFiles/bpart_partition.dir/multilevel.cpp.o" "gcc" "src/partition/CMakeFiles/bpart_partition.dir/multilevel.cpp.o.d"
+  "/root/repo/src/partition/partition.cpp" "src/partition/CMakeFiles/bpart_partition.dir/partition.cpp.o" "gcc" "src/partition/CMakeFiles/bpart_partition.dir/partition.cpp.o.d"
+  "/root/repo/src/partition/rebalance.cpp" "src/partition/CMakeFiles/bpart_partition.dir/rebalance.cpp.o" "gcc" "src/partition/CMakeFiles/bpart_partition.dir/rebalance.cpp.o.d"
+  "/root/repo/src/partition/registry.cpp" "src/partition/CMakeFiles/bpart_partition.dir/registry.cpp.o" "gcc" "src/partition/CMakeFiles/bpart_partition.dir/registry.cpp.o.d"
+  "/root/repo/src/partition/streaming.cpp" "src/partition/CMakeFiles/bpart_partition.dir/streaming.cpp.o" "gcc" "src/partition/CMakeFiles/bpart_partition.dir/streaming.cpp.o.d"
+  "/root/repo/src/partition/subgraph.cpp" "src/partition/CMakeFiles/bpart_partition.dir/subgraph.cpp.o" "gcc" "src/partition/CMakeFiles/bpart_partition.dir/subgraph.cpp.o.d"
+  "/root/repo/src/partition/vertex_cut.cpp" "src/partition/CMakeFiles/bpart_partition.dir/vertex_cut.cpp.o" "gcc" "src/partition/CMakeFiles/bpart_partition.dir/vertex_cut.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/bpart_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bpart_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,39 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bpart_partition.dir/bisection.cpp.o"
+  "CMakeFiles/bpart_partition.dir/bisection.cpp.o.d"
+  "CMakeFiles/bpart_partition.dir/bpart.cpp.o"
+  "CMakeFiles/bpart_partition.dir/bpart.cpp.o.d"
+  "CMakeFiles/bpart_partition.dir/chunk.cpp.o"
+  "CMakeFiles/bpart_partition.dir/chunk.cpp.o.d"
+  "CMakeFiles/bpart_partition.dir/fennel.cpp.o"
+  "CMakeFiles/bpart_partition.dir/fennel.cpp.o.d"
+  "CMakeFiles/bpart_partition.dir/hash_partitioner.cpp.o"
+  "CMakeFiles/bpart_partition.dir/hash_partitioner.cpp.o.d"
+  "CMakeFiles/bpart_partition.dir/io.cpp.o"
+  "CMakeFiles/bpart_partition.dir/io.cpp.o.d"
+  "CMakeFiles/bpart_partition.dir/ldg.cpp.o"
+  "CMakeFiles/bpart_partition.dir/ldg.cpp.o.d"
+  "CMakeFiles/bpart_partition.dir/metrics.cpp.o"
+  "CMakeFiles/bpart_partition.dir/metrics.cpp.o.d"
+  "CMakeFiles/bpart_partition.dir/multilevel.cpp.o"
+  "CMakeFiles/bpart_partition.dir/multilevel.cpp.o.d"
+  "CMakeFiles/bpart_partition.dir/partition.cpp.o"
+  "CMakeFiles/bpart_partition.dir/partition.cpp.o.d"
+  "CMakeFiles/bpart_partition.dir/rebalance.cpp.o"
+  "CMakeFiles/bpart_partition.dir/rebalance.cpp.o.d"
+  "CMakeFiles/bpart_partition.dir/registry.cpp.o"
+  "CMakeFiles/bpart_partition.dir/registry.cpp.o.d"
+  "CMakeFiles/bpart_partition.dir/streaming.cpp.o"
+  "CMakeFiles/bpart_partition.dir/streaming.cpp.o.d"
+  "CMakeFiles/bpart_partition.dir/subgraph.cpp.o"
+  "CMakeFiles/bpart_partition.dir/subgraph.cpp.o.d"
+  "CMakeFiles/bpart_partition.dir/vertex_cut.cpp.o"
+  "CMakeFiles/bpart_partition.dir/vertex_cut.cpp.o.d"
+  "libbpart_partition.a"
+  "libbpart_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bpart_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

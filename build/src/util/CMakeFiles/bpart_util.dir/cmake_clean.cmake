@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bpart_util.dir/env.cpp.o"
+  "CMakeFiles/bpart_util.dir/env.cpp.o.d"
+  "CMakeFiles/bpart_util.dir/histogram.cpp.o"
+  "CMakeFiles/bpart_util.dir/histogram.cpp.o.d"
+  "CMakeFiles/bpart_util.dir/logging.cpp.o"
+  "CMakeFiles/bpart_util.dir/logging.cpp.o.d"
+  "CMakeFiles/bpart_util.dir/options.cpp.o"
+  "CMakeFiles/bpart_util.dir/options.cpp.o.d"
+  "CMakeFiles/bpart_util.dir/stats.cpp.o"
+  "CMakeFiles/bpart_util.dir/stats.cpp.o.d"
+  "CMakeFiles/bpart_util.dir/table.cpp.o"
+  "CMakeFiles/bpart_util.dir/table.cpp.o.d"
+  "CMakeFiles/bpart_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/bpart_util.dir/thread_pool.cpp.o.d"
+  "libbpart_util.a"
+  "libbpart_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bpart_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

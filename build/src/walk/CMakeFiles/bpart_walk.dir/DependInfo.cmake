@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/walk/alias.cpp" "src/walk/CMakeFiles/bpart_walk.dir/alias.cpp.o" "gcc" "src/walk/CMakeFiles/bpart_walk.dir/alias.cpp.o.d"
+  "/root/repo/src/walk/apps.cpp" "src/walk/CMakeFiles/bpart_walk.dir/apps.cpp.o" "gcc" "src/walk/CMakeFiles/bpart_walk.dir/apps.cpp.o.d"
+  "/root/repo/src/walk/ppr_estimate.cpp" "src/walk/CMakeFiles/bpart_walk.dir/ppr_estimate.cpp.o" "gcc" "src/walk/CMakeFiles/bpart_walk.dir/ppr_estimate.cpp.o.d"
+  "/root/repo/src/walk/threaded_walk.cpp" "src/walk/CMakeFiles/bpart_walk.dir/threaded_walk.cpp.o" "gcc" "src/walk/CMakeFiles/bpart_walk.dir/threaded_walk.cpp.o.d"
+  "/root/repo/src/walk/walk_engine.cpp" "src/walk/CMakeFiles/bpart_walk.dir/walk_engine.cpp.o" "gcc" "src/walk/CMakeFiles/bpart_walk.dir/walk_engine.cpp.o.d"
+  "/root/repo/src/walk/weighted_walk.cpp" "src/walk/CMakeFiles/bpart_walk.dir/weighted_walk.cpp.o" "gcc" "src/walk/CMakeFiles/bpart_walk.dir/weighted_walk.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cluster/CMakeFiles/bpart_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/partition/CMakeFiles/bpart_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/bpart_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bpart_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

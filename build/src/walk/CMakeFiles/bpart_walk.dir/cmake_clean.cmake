@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bpart_walk.dir/alias.cpp.o"
+  "CMakeFiles/bpart_walk.dir/alias.cpp.o.d"
+  "CMakeFiles/bpart_walk.dir/apps.cpp.o"
+  "CMakeFiles/bpart_walk.dir/apps.cpp.o.d"
+  "CMakeFiles/bpart_walk.dir/ppr_estimate.cpp.o"
+  "CMakeFiles/bpart_walk.dir/ppr_estimate.cpp.o.d"
+  "CMakeFiles/bpart_walk.dir/threaded_walk.cpp.o"
+  "CMakeFiles/bpart_walk.dir/threaded_walk.cpp.o.d"
+  "CMakeFiles/bpart_walk.dir/walk_engine.cpp.o"
+  "CMakeFiles/bpart_walk.dir/walk_engine.cpp.o.d"
+  "CMakeFiles/bpart_walk.dir/weighted_walk.cpp.o"
+  "CMakeFiles/bpart_walk.dir/weighted_walk.cpp.o.d"
+  "libbpart_walk.a"
+  "libbpart_walk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bpart_walk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/cluster/test_bsp.cpp" "tests/CMakeFiles/test_cluster.dir/cluster/test_bsp.cpp.o" "gcc" "tests/CMakeFiles/test_cluster.dir/cluster/test_bsp.cpp.o.d"
+  "/root/repo/tests/cluster/test_heterogeneous.cpp" "tests/CMakeFiles/test_cluster.dir/cluster/test_heterogeneous.cpp.o" "gcc" "tests/CMakeFiles/test_cluster.dir/cluster/test_heterogeneous.cpp.o.d"
+  "/root/repo/tests/cluster/test_threaded.cpp" "tests/CMakeFiles/test_cluster.dir/cluster/test_threaded.cpp.o" "gcc" "tests/CMakeFiles/test_cluster.dir/cluster/test_threaded.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/partition/CMakeFiles/bpart_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/bpart_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bpart_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/bpart_cluster.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

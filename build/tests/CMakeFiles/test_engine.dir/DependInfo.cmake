@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/engine/test_bfs_direction.cpp" "tests/CMakeFiles/test_engine.dir/engine/test_bfs_direction.cpp.o" "gcc" "tests/CMakeFiles/test_engine.dir/engine/test_bfs_direction.cpp.o.d"
+  "/root/repo/tests/engine/test_bfs_sssp.cpp" "tests/CMakeFiles/test_engine.dir/engine/test_bfs_sssp.cpp.o" "gcc" "tests/CMakeFiles/test_engine.dir/engine/test_bfs_sssp.cpp.o.d"
+  "/root/repo/tests/engine/test_components.cpp" "tests/CMakeFiles/test_engine.dir/engine/test_components.cpp.o" "gcc" "tests/CMakeFiles/test_engine.dir/engine/test_components.cpp.o.d"
+  "/root/repo/tests/engine/test_kcore.cpp" "tests/CMakeFiles/test_engine.dir/engine/test_kcore.cpp.o" "gcc" "tests/CMakeFiles/test_engine.dir/engine/test_kcore.cpp.o.d"
+  "/root/repo/tests/engine/test_label_propagation.cpp" "tests/CMakeFiles/test_engine.dir/engine/test_label_propagation.cpp.o" "gcc" "tests/CMakeFiles/test_engine.dir/engine/test_label_propagation.cpp.o.d"
+  "/root/repo/tests/engine/test_pagerank.cpp" "tests/CMakeFiles/test_engine.dir/engine/test_pagerank.cpp.o" "gcc" "tests/CMakeFiles/test_engine.dir/engine/test_pagerank.cpp.o.d"
+  "/root/repo/tests/engine/test_pagerank_threaded.cpp" "tests/CMakeFiles/test_engine.dir/engine/test_pagerank_threaded.cpp.o" "gcc" "tests/CMakeFiles/test_engine.dir/engine/test_pagerank_threaded.cpp.o.d"
+  "/root/repo/tests/engine/test_triangles.cpp" "tests/CMakeFiles/test_engine.dir/engine/test_triangles.cpp.o" "gcc" "tests/CMakeFiles/test_engine.dir/engine/test_triangles.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/partition/CMakeFiles/bpart_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/bpart_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bpart_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/bpart_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/bpart_cluster.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_engine.dir/engine/test_bfs_direction.cpp.o"
+  "CMakeFiles/test_engine.dir/engine/test_bfs_direction.cpp.o.d"
+  "CMakeFiles/test_engine.dir/engine/test_bfs_sssp.cpp.o"
+  "CMakeFiles/test_engine.dir/engine/test_bfs_sssp.cpp.o.d"
+  "CMakeFiles/test_engine.dir/engine/test_components.cpp.o"
+  "CMakeFiles/test_engine.dir/engine/test_components.cpp.o.d"
+  "CMakeFiles/test_engine.dir/engine/test_kcore.cpp.o"
+  "CMakeFiles/test_engine.dir/engine/test_kcore.cpp.o.d"
+  "CMakeFiles/test_engine.dir/engine/test_label_propagation.cpp.o"
+  "CMakeFiles/test_engine.dir/engine/test_label_propagation.cpp.o.d"
+  "CMakeFiles/test_engine.dir/engine/test_pagerank.cpp.o"
+  "CMakeFiles/test_engine.dir/engine/test_pagerank.cpp.o.d"
+  "CMakeFiles/test_engine.dir/engine/test_pagerank_threaded.cpp.o"
+  "CMakeFiles/test_engine.dir/engine/test_pagerank_threaded.cpp.o.d"
+  "CMakeFiles/test_engine.dir/engine/test_triangles.cpp.o"
+  "CMakeFiles/test_engine.dir/engine/test_triangles.cpp.o.d"
+  "test_engine"
+  "test_engine.pdb"
+  "test_engine[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

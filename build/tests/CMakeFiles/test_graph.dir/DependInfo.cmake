@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/graph/test_analysis.cpp" "tests/CMakeFiles/test_graph.dir/graph/test_analysis.cpp.o" "gcc" "tests/CMakeFiles/test_graph.dir/graph/test_analysis.cpp.o.d"
+  "/root/repo/tests/graph/test_community_generator.cpp" "tests/CMakeFiles/test_graph.dir/graph/test_community_generator.cpp.o" "gcc" "tests/CMakeFiles/test_graph.dir/graph/test_community_generator.cpp.o.d"
+  "/root/repo/tests/graph/test_csr.cpp" "tests/CMakeFiles/test_graph.dir/graph/test_csr.cpp.o" "gcc" "tests/CMakeFiles/test_graph.dir/graph/test_csr.cpp.o.d"
+  "/root/repo/tests/graph/test_datasets.cpp" "tests/CMakeFiles/test_graph.dir/graph/test_datasets.cpp.o" "gcc" "tests/CMakeFiles/test_graph.dir/graph/test_datasets.cpp.o.d"
+  "/root/repo/tests/graph/test_edge_list.cpp" "tests/CMakeFiles/test_graph.dir/graph/test_edge_list.cpp.o" "gcc" "tests/CMakeFiles/test_graph.dir/graph/test_edge_list.cpp.o.d"
+  "/root/repo/tests/graph/test_generators.cpp" "tests/CMakeFiles/test_graph.dir/graph/test_generators.cpp.o" "gcc" "tests/CMakeFiles/test_graph.dir/graph/test_generators.cpp.o.d"
+  "/root/repo/tests/graph/test_io.cpp" "tests/CMakeFiles/test_graph.dir/graph/test_io.cpp.o" "gcc" "tests/CMakeFiles/test_graph.dir/graph/test_io.cpp.o.d"
+  "/root/repo/tests/graph/test_io_versioning.cpp" "tests/CMakeFiles/test_graph.dir/graph/test_io_versioning.cpp.o" "gcc" "tests/CMakeFiles/test_graph.dir/graph/test_io_versioning.cpp.o.d"
+  "/root/repo/tests/graph/test_reorder.cpp" "tests/CMakeFiles/test_graph.dir/graph/test_reorder.cpp.o" "gcc" "tests/CMakeFiles/test_graph.dir/graph/test_reorder.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/partition/CMakeFiles/bpart_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/bpart_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bpart_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

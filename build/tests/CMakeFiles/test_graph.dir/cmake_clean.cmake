@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_graph.dir/graph/test_analysis.cpp.o"
+  "CMakeFiles/test_graph.dir/graph/test_analysis.cpp.o.d"
+  "CMakeFiles/test_graph.dir/graph/test_community_generator.cpp.o"
+  "CMakeFiles/test_graph.dir/graph/test_community_generator.cpp.o.d"
+  "CMakeFiles/test_graph.dir/graph/test_csr.cpp.o"
+  "CMakeFiles/test_graph.dir/graph/test_csr.cpp.o.d"
+  "CMakeFiles/test_graph.dir/graph/test_datasets.cpp.o"
+  "CMakeFiles/test_graph.dir/graph/test_datasets.cpp.o.d"
+  "CMakeFiles/test_graph.dir/graph/test_edge_list.cpp.o"
+  "CMakeFiles/test_graph.dir/graph/test_edge_list.cpp.o.d"
+  "CMakeFiles/test_graph.dir/graph/test_generators.cpp.o"
+  "CMakeFiles/test_graph.dir/graph/test_generators.cpp.o.d"
+  "CMakeFiles/test_graph.dir/graph/test_io.cpp.o"
+  "CMakeFiles/test_graph.dir/graph/test_io.cpp.o.d"
+  "CMakeFiles/test_graph.dir/graph/test_io_versioning.cpp.o"
+  "CMakeFiles/test_graph.dir/graph/test_io_versioning.cpp.o.d"
+  "CMakeFiles/test_graph.dir/graph/test_reorder.cpp.o"
+  "CMakeFiles/test_graph.dir/graph/test_reorder.cpp.o.d"
+  "test_graph"
+  "test_graph.pdb"
+  "test_graph[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/partition/test_bisection.cpp" "tests/CMakeFiles/test_partition.dir/partition/test_bisection.cpp.o" "gcc" "tests/CMakeFiles/test_partition.dir/partition/test_bisection.cpp.o.d"
+  "/root/repo/tests/partition/test_bpart.cpp" "tests/CMakeFiles/test_partition.dir/partition/test_bpart.cpp.o" "gcc" "tests/CMakeFiles/test_partition.dir/partition/test_bpart.cpp.o.d"
+  "/root/repo/tests/partition/test_chunk.cpp" "tests/CMakeFiles/test_partition.dir/partition/test_chunk.cpp.o" "gcc" "tests/CMakeFiles/test_partition.dir/partition/test_chunk.cpp.o.d"
+  "/root/repo/tests/partition/test_fennel.cpp" "tests/CMakeFiles/test_partition.dir/partition/test_fennel.cpp.o" "gcc" "tests/CMakeFiles/test_partition.dir/partition/test_fennel.cpp.o.d"
+  "/root/repo/tests/partition/test_hash.cpp" "tests/CMakeFiles/test_partition.dir/partition/test_hash.cpp.o" "gcc" "tests/CMakeFiles/test_partition.dir/partition/test_hash.cpp.o.d"
+  "/root/repo/tests/partition/test_io.cpp" "tests/CMakeFiles/test_partition.dir/partition/test_io.cpp.o" "gcc" "tests/CMakeFiles/test_partition.dir/partition/test_io.cpp.o.d"
+  "/root/repo/tests/partition/test_ldg.cpp" "tests/CMakeFiles/test_partition.dir/partition/test_ldg.cpp.o" "gcc" "tests/CMakeFiles/test_partition.dir/partition/test_ldg.cpp.o.d"
+  "/root/repo/tests/partition/test_metrics.cpp" "tests/CMakeFiles/test_partition.dir/partition/test_metrics.cpp.o" "gcc" "tests/CMakeFiles/test_partition.dir/partition/test_metrics.cpp.o.d"
+  "/root/repo/tests/partition/test_multilevel.cpp" "tests/CMakeFiles/test_partition.dir/partition/test_multilevel.cpp.o" "gcc" "tests/CMakeFiles/test_partition.dir/partition/test_multilevel.cpp.o.d"
+  "/root/repo/tests/partition/test_partition.cpp" "tests/CMakeFiles/test_partition.dir/partition/test_partition.cpp.o" "gcc" "tests/CMakeFiles/test_partition.dir/partition/test_partition.cpp.o.d"
+  "/root/repo/tests/partition/test_properties.cpp" "tests/CMakeFiles/test_partition.dir/partition/test_properties.cpp.o" "gcc" "tests/CMakeFiles/test_partition.dir/partition/test_properties.cpp.o.d"
+  "/root/repo/tests/partition/test_rebalance.cpp" "tests/CMakeFiles/test_partition.dir/partition/test_rebalance.cpp.o" "gcc" "tests/CMakeFiles/test_partition.dir/partition/test_rebalance.cpp.o.d"
+  "/root/repo/tests/partition/test_rebalance_properties.cpp" "tests/CMakeFiles/test_partition.dir/partition/test_rebalance_properties.cpp.o" "gcc" "tests/CMakeFiles/test_partition.dir/partition/test_rebalance_properties.cpp.o.d"
+  "/root/repo/tests/partition/test_registry.cpp" "tests/CMakeFiles/test_partition.dir/partition/test_registry.cpp.o" "gcc" "tests/CMakeFiles/test_partition.dir/partition/test_registry.cpp.o.d"
+  "/root/repo/tests/partition/test_subgraph.cpp" "tests/CMakeFiles/test_partition.dir/partition/test_subgraph.cpp.o" "gcc" "tests/CMakeFiles/test_partition.dir/partition/test_subgraph.cpp.o.d"
+  "/root/repo/tests/partition/test_vertex_cut.cpp" "tests/CMakeFiles/test_partition.dir/partition/test_vertex_cut.cpp.o" "gcc" "tests/CMakeFiles/test_partition.dir/partition/test_vertex_cut.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/partition/CMakeFiles/bpart_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/bpart_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bpart_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

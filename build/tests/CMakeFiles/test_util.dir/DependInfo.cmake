@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/util/test_check.cpp" "tests/CMakeFiles/test_util.dir/util/test_check.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/util/test_check.cpp.o.d"
+  "/root/repo/tests/util/test_histogram.cpp" "tests/CMakeFiles/test_util.dir/util/test_histogram.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/util/test_histogram.cpp.o.d"
+  "/root/repo/tests/util/test_options.cpp" "tests/CMakeFiles/test_util.dir/util/test_options.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/util/test_options.cpp.o.d"
+  "/root/repo/tests/util/test_rng.cpp" "tests/CMakeFiles/test_util.dir/util/test_rng.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/util/test_rng.cpp.o.d"
+  "/root/repo/tests/util/test_stats.cpp" "tests/CMakeFiles/test_util.dir/util/test_stats.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/util/test_stats.cpp.o.d"
+  "/root/repo/tests/util/test_table.cpp" "tests/CMakeFiles/test_util.dir/util/test_table.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/util/test_table.cpp.o.d"
+  "/root/repo/tests/util/test_thread_pool.cpp" "tests/CMakeFiles/test_util.dir/util/test_thread_pool.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/util/test_thread_pool.cpp.o.d"
+  "/root/repo/tests/util/test_timer_logging.cpp" "tests/CMakeFiles/test_util.dir/util/test_timer_logging.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/util/test_timer_logging.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/partition/CMakeFiles/bpart_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/bpart_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bpart_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/walk/test_alias.cpp" "tests/CMakeFiles/test_walk.dir/walk/test_alias.cpp.o" "gcc" "tests/CMakeFiles/test_walk.dir/walk/test_alias.cpp.o.d"
+  "/root/repo/tests/walk/test_apps.cpp" "tests/CMakeFiles/test_walk.dir/walk/test_apps.cpp.o" "gcc" "tests/CMakeFiles/test_walk.dir/walk/test_apps.cpp.o.d"
+  "/root/repo/tests/walk/test_ppr_estimate.cpp" "tests/CMakeFiles/test_walk.dir/walk/test_ppr_estimate.cpp.o" "gcc" "tests/CMakeFiles/test_walk.dir/walk/test_ppr_estimate.cpp.o.d"
+  "/root/repo/tests/walk/test_threaded_walk.cpp" "tests/CMakeFiles/test_walk.dir/walk/test_threaded_walk.cpp.o" "gcc" "tests/CMakeFiles/test_walk.dir/walk/test_threaded_walk.cpp.o.d"
+  "/root/repo/tests/walk/test_walk_engine.cpp" "tests/CMakeFiles/test_walk.dir/walk/test_walk_engine.cpp.o" "gcc" "tests/CMakeFiles/test_walk.dir/walk/test_walk_engine.cpp.o.d"
+  "/root/repo/tests/walk/test_weighted_walk.cpp" "tests/CMakeFiles/test_walk.dir/walk/test_weighted_walk.cpp.o" "gcc" "tests/CMakeFiles/test_walk.dir/walk/test_weighted_walk.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/partition/CMakeFiles/bpart_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/bpart_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bpart_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/walk/CMakeFiles/bpart_walk.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/bpart_cluster.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_walk.dir/walk/test_alias.cpp.o"
+  "CMakeFiles/test_walk.dir/walk/test_alias.cpp.o.d"
+  "CMakeFiles/test_walk.dir/walk/test_apps.cpp.o"
+  "CMakeFiles/test_walk.dir/walk/test_apps.cpp.o.d"
+  "CMakeFiles/test_walk.dir/walk/test_ppr_estimate.cpp.o"
+  "CMakeFiles/test_walk.dir/walk/test_ppr_estimate.cpp.o.d"
+  "CMakeFiles/test_walk.dir/walk/test_threaded_walk.cpp.o"
+  "CMakeFiles/test_walk.dir/walk/test_threaded_walk.cpp.o.d"
+  "CMakeFiles/test_walk.dir/walk/test_walk_engine.cpp.o"
+  "CMakeFiles/test_walk.dir/walk/test_walk_engine.cpp.o.d"
+  "CMakeFiles/test_walk.dir/walk/test_weighted_walk.cpp.o"
+  "CMakeFiles/test_walk.dir/walk/test_weighted_walk.cpp.o.d"
+  "test_walk"
+  "test_walk.pdb"
+  "test_walk[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_walk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
