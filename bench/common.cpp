@@ -7,6 +7,7 @@
 #include "engine/components.hpp"
 #include "engine/pagerank.hpp"
 #include "partition/registry.hpp"
+#include "util/env.hpp"
 #include "util/timer.hpp"
 #include "walk/apps.hpp"
 
@@ -36,12 +37,38 @@ std::vector<unsigned> uint_list_from(const Options& opts,
   return out;
 }
 
+pipeline::CacheKey dataset_cache_key(const std::string& name) {
+  const graph::DatasetSpec& spec = graph::dataset_spec(name);
+  std::ostringstream os;
+  // Every knob that determines build_dataset's output, plus a version tag
+  // bumped when the generator itself changes.
+  os << "dataset:dsv1:" << spec.name << ":n=" << spec.base_vertices
+     << ":d=" << spec.avg_degree << ":exp=" << spec.degree_exponent
+     << ":mix=" << spec.mixing << ":noise=" << spec.id_noise
+     << ":seed=" << spec.seed << ":scale=" << dataset_scale();
+  return pipeline::CacheKey::for_spec(os.str());
+}
+
 graph::Graph build_graph(const std::string& name) {
   Timer t;
+  const bool caching = pipeline::ArtifactStore::enabled();
+  const pipeline::ArtifactStore store;
+  const pipeline::CacheKey key = dataset_cache_key(name);
+  if (caching) {
+    if (auto cached = store.load_graph(key)) {
+      std::fprintf(stderr,
+                   "[bench] %s: %u vertices, %llu edges (cache hit, %.3fs)\n",
+                   name.c_str(), cached->num_vertices(),
+                   static_cast<unsigned long long>(cached->num_edges()),
+                   t.seconds());
+      return std::move(*cached);
+    }
+  }
   graph::Graph g = graph::build_dataset(graph::dataset_spec(name));
   std::fprintf(stderr, "[bench] %s: %u vertices, %llu edges (%.1fs)\n",
                name.c_str(), g.num_vertices(),
                static_cast<unsigned long long>(g.num_edges()), t.seconds());
+  if (caching) store.store_graph(key, g);
   return g;
 }
 
@@ -51,6 +78,35 @@ partition::Partition run_partitioner(const graph::Graph& g,
   Timer t;
   partition::Partition p = partition::create(algo)->partition(g, k);
   if (seconds != nullptr) *seconds = t.seconds();
+  return p;
+}
+
+partition::Partition run_partitioner_cached(const std::string& graph_name,
+                                            const graph::Graph& g,
+                                            const std::string& algo,
+                                            partition::PartId k,
+                                            double* seconds, bool* cache_hit) {
+  Timer t;
+  const bool caching = pipeline::ArtifactStore::enabled();
+  const pipeline::ArtifactStore store;
+  const pipeline::CacheKey key = dataset_cache_key(graph_name)
+                                     .derive(":algo=" + algo +
+                                             ":k=" + std::to_string(k) +
+                                             ":pv1");
+  if (caching) {
+    if (auto cached = store.load_partition(key)) {
+      if (cached->num_vertices() == g.num_vertices() &&
+          cached->num_parts() == k) {
+        if (seconds != nullptr) *seconds = t.seconds();
+        if (cache_hit != nullptr) *cache_hit = true;
+        return std::move(*cached);
+      }
+    }
+  }
+  partition::Partition p = partition::create(algo)->partition(g, k);
+  if (seconds != nullptr) *seconds = t.seconds();
+  if (cache_hit != nullptr) *cache_hit = false;
+  if (caching) store.store_partition(key, p);
   return p;
 }
 

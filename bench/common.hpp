@@ -8,6 +8,7 @@
 #include "graph/csr.hpp"
 #include "graph/datasets.hpp"
 #include "partition/partition.hpp"
+#include "pipeline/artifact_store.hpp"
 #include "util/options.hpp"
 #include "util/table.hpp"
 
@@ -21,14 +22,31 @@ std::vector<unsigned> uint_list_from(const Options& opts,
                                      const std::string& key,
                                      const std::string& fallback);
 
-/// Build a dataset by registry name, logging size to stderr.
+/// Build a dataset by registry name, logging size to stderr. Consults the
+/// artifact store first (key: generator spec + $BPART_SCALE), so repeated
+/// bench runs skip regeneration; $BPART_CACHE=0 disables.
 graph::Graph build_graph(const std::string& name);
 
+/// Artifact-cache key of a named dataset at the current $BPART_SCALE.
+pipeline::CacheKey dataset_cache_key(const std::string& name);
+
 /// Run a partitioner by name; wall-clock seconds go to *seconds if set.
+/// Always executes (no cache) — this is what timing benches measure.
 partition::Partition run_partitioner(const graph::Graph& g,
                                      const std::string& algo,
                                      partition::PartId k,
                                      double* seconds = nullptr);
+
+/// Cached variant for benches that measure *downstream* work (walk/engine
+/// apps) rather than partitioning itself: a warm artifact store serves the
+/// stored assignment. *seconds reports partitioner wall-clock on a miss and
+/// artifact-load time on a hit; *cache_hit says which one happened.
+partition::Partition run_partitioner_cached(const std::string& graph_name,
+                                            const graph::Graph& g,
+                                            const std::string& algo,
+                                            partition::PartId k,
+                                            double* seconds = nullptr,
+                                            bool* cache_hit = nullptr);
 
 /// Print the table under a header line and drop a CSV alongside
 /// (bench_out/<csv_name>.csv unless $BPART_OUT_DIR overrides).

@@ -20,7 +20,7 @@ int main(int argc, char** argv) {
   Table table({"algorithm", "iteration", "machine", "steps", "share"});
   Table bias({"algorithm", "iteration", "load_bias"});
   for (const std::string algo : {"chunk-v", "chunk-e", "fennel", "bpart"}) {
-    const auto p = bench::run_partitioner(g, algo, k);
+    const auto p = bench::run_partitioner_cached(graph_name, g, algo, k);
     walk::WalkConfig cfg;
     cfg.walks_per_vertex = walks;
     const auto report =

@@ -22,7 +22,7 @@ int main(int argc, char** argv) {
       {"algorithm", "iteration", "machine", "compute_seconds", "wait_seconds"});
   Table summary({"algorithm", "iteration", "slowest_over_mean"});
   for (const std::string algo : {"chunk-v", "chunk-e", "fennel", "bpart"}) {
-    const auto p = bench::run_partitioner(g, algo, k);
+    const auto p = bench::run_partitioner_cached(graph_name, g, algo, k);
     walk::WalkConfig cfg;
     cfg.walks_per_vertex = walks;
     const auto report =

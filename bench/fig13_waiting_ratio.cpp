@@ -20,8 +20,8 @@ int main(int argc, char** argv) {
     for (unsigned k : machine_counts) {
       for (const std::string algo :
            {"chunk-v", "chunk-e", "fennel", "bpart"}) {
-        const auto p = bench::run_partitioner(
-            g, algo, static_cast<partition::PartId>(k));
+        const auto p = bench::run_partitioner_cached(
+            graph_name, g, algo, static_cast<partition::PartId>(k));
         walk::WalkConfig cfg;
         cfg.walks_per_vertex = walks;
         const auto report =

@@ -19,10 +19,13 @@ int main(int argc, char** argv) {
                "normalized_to_chunk_v"});
   for (const std::string& graph_name : bench::graphs_from(opts)) {
     const graph::Graph g = bench::build_graph(graph_name);
-    // Partition once per algorithm, reuse across applications.
+    // Partition once per algorithm, reuse across applications. This bench
+    // measures app runtime, not partitioning, so warm artifact-cache runs
+    // skip straight to the apps.
     std::map<std::string, partition::Partition> parts;
     for (const std::string& algo : partition::paper_algorithms())
-      parts.emplace(algo, bench::run_partitioner(g, algo, k));
+      parts.emplace(algo,
+                    bench::run_partitioner_cached(graph_name, g, algo, k));
 
     for (const std::string& app : bench::paper_applications()) {
       std::map<std::string, double> seconds;

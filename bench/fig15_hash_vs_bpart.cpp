@@ -15,8 +15,9 @@ int main(int argc, char** argv) {
                "bpart_normalized_to_hash"});
   for (const std::string& graph_name : bench::graphs_from(defaulted)) {
     const graph::Graph g = bench::build_graph(graph_name);
-    const auto hash = bench::run_partitioner(g, "hash", k);
-    const auto bpart = bench::run_partitioner(g, "bpart", k);
+    const auto hash = bench::run_partitioner_cached(graph_name, g, "hash", k);
+    const auto bpart =
+        bench::run_partitioner_cached(graph_name, g, "bpart", k);
     for (const std::string& app : bench::paper_applications()) {
       const double hs = bench::app_total_seconds(g, hash, app);
       const double bs = bench::app_total_seconds(g, bpart, app);

@@ -21,6 +21,10 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure
 
 echo "== paper experiments (BPART_SCALE=$SCALE) =="
 export BPART_SCALE="$SCALE"
+# The same generated datasets (and many partitions) recur across figures;
+# the artifact store caches them so later benches skip regeneration and
+# repartitioning. Set BPART_CACHE=0 to force everything cold.
+export BPART_CACHE_DIR="${BPART_CACHE_DIR:-$ROOT/.bpart-cache}"
 for bench in "$BUILD_DIR"/bench/*; do
   [ -x "$bench" ] && [ -f "$bench" ] || continue
   echo "--- $(basename "$bench") ---"
@@ -28,3 +32,4 @@ for bench in "$BUILD_DIR"/bench/*; do
 done
 
 echo "All experiments complete. CSVs: ${BPART_OUT_DIR:-bench_out}/"
+echo "Artifact cache: $BPART_CACHE_DIR (reruns start warm; BPART_CACHE=0 disables)"

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <numeric>
+#include <stdexcept>
+#include <string>
 
 #include "util/check.hpp"
 
@@ -50,6 +52,48 @@ Graph Graph::from_edges_symmetric(EdgeList edges) {
   edges.remove_self_loops();
   edges.symmetrize();
   return from_edges(edges);
+}
+
+namespace {
+
+void validate_adjacency(std::span<const EdgeId> offsets,
+                        std::span<const VertexId> targets, const char* which) {
+  if (offsets.empty())
+    throw std::invalid_argument(std::string(which) + " offsets empty");
+  if (offsets.front() != 0)
+    throw std::invalid_argument(std::string(which) + " offsets[0] != 0");
+  for (std::size_t i = 1; i < offsets.size(); ++i)
+    if (offsets[i] < offsets[i - 1])
+      throw std::invalid_argument(std::string(which) +
+                                  " offsets not monotone");
+  if (offsets.back() != targets.size())
+    throw std::invalid_argument(std::string(which) +
+                                " offsets/targets length mismatch");
+  const auto n = static_cast<VertexId>(offsets.size() - 1);
+  for (const VertexId t : targets)
+    if (t >= n)
+      throw std::invalid_argument(std::string(which) +
+                                  " target out of range");
+}
+
+}  // namespace
+
+Graph Graph::from_csr(std::vector<EdgeId> out_offsets,
+                      std::vector<VertexId> out_targets,
+                      std::vector<EdgeId> in_offsets,
+                      std::vector<VertexId> in_targets) {
+  validate_adjacency(out_offsets, out_targets, "out");
+  validate_adjacency(in_offsets, in_targets, "in");
+  if (out_offsets.size() != in_offsets.size())
+    throw std::invalid_argument("out/in vertex counts disagree");
+  if (out_targets.size() != in_targets.size())
+    throw std::invalid_argument("out/in edge counts disagree");
+  Graph g;
+  g.out_offsets_ = std::move(out_offsets);
+  g.out_targets_ = std::move(out_targets);
+  g.in_offsets_ = std::move(in_offsets);
+  g.in_targets_ = std::move(in_targets);
+  return g;
 }
 
 bool Graph::is_symmetric() const {

@@ -24,6 +24,16 @@ class Graph {
   /// directions, self-loops removed, duplicates collapsed).
   static Graph from_edges_symmetric(EdgeList edges);
 
+  /// Adopt pre-built CSR arrays (e.g. deserialized from the artifact
+  /// cache). Validates structural invariants — offset lengths, monotone
+  /// offsets, target bounds, out/in edge-count agreement — and throws
+  /// std::invalid_argument on violation so a stale or foreign cache file
+  /// can never produce an out-of-bounds graph.
+  static Graph from_csr(std::vector<EdgeId> out_offsets,
+                        std::vector<VertexId> out_targets,
+                        std::vector<EdgeId> in_offsets,
+                        std::vector<VertexId> in_targets);
+
   Graph() = default;
 
   [[nodiscard]] VertexId num_vertices() const {
@@ -77,6 +87,12 @@ class Graph {
   }
   [[nodiscard]] std::span<const VertexId> out_targets() const {
     return out_targets_;
+  }
+  [[nodiscard]] std::span<const EdgeId> in_offsets() const {
+    return in_offsets_;
+  }
+  [[nodiscard]] std::span<const VertexId> in_targets() const {
+    return in_targets_;
   }
 
  private:

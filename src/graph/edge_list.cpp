@@ -17,6 +17,12 @@ void EdgeList::add_undirected(VertexId src, VertexId dst) {
   edges_.push_back(Edge{dst, src});
 }
 
+void EdgeList::append(std::span<const Edge> batch, VertexId max_vertex) {
+  if (batch.empty()) return;
+  edges_.insert(edges_.end(), batch.begin(), batch.end());
+  if (max_vertex >= num_vertices_) num_vertices_ = max_vertex + 1;
+}
+
 void EdgeList::set_num_vertices(VertexId n) {
   for (const Edge& e : edges_)
     BPART_CHECK_MSG(e.src < n && e.dst < n,

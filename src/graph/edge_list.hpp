@@ -26,6 +26,11 @@ class EdgeList {
   /// Appends both (src,dst) and (dst,src).
   void add_undirected(VertexId src, VertexId dst);
 
+  /// Bulk-append a parsed batch whose largest endpoint id is `max_vertex`.
+  /// Equivalent to add() in a loop but without the per-edge vertex-count
+  /// update; the ingest pipeline's hot path.
+  void append(std::span<const Edge> batch, VertexId max_vertex);
+
   [[nodiscard]] std::size_t size() const { return edges_.size(); }
   [[nodiscard]] bool empty() const { return edges_.empty(); }
   [[nodiscard]] VertexId num_vertices() const { return num_vertices_; }

@@ -42,9 +42,15 @@ EdgeList load_text_edges(const std::string& path) {
   while (std::getline(f, line)) {
     ++line_no;
     std::string_view sv(line);
-    // Trim leading whitespace, skip blanks and comments.
-    while (!sv.empty() && (sv.front() == ' ' || sv.front() == '\t'))
+    // Trim surrounding whitespace — including '\r', so CRLF files (the
+    // normal case for SNAP/KONECT dumps saved on Windows) and blank
+    // trailing lines parse cleanly. Skip blanks and comments.
+    while (!sv.empty() &&
+           (sv.front() == ' ' || sv.front() == '\t' || sv.front() == '\r'))
       sv.remove_prefix(1);
+    while (!sv.empty() &&
+           (sv.back() == ' ' || sv.back() == '\t' || sv.back() == '\r'))
+      sv.remove_suffix(1);
     if (sv.empty() || sv.front() == '#' || sv.front() == '%') continue;
     const auto sep = sv.find_first_of(" \t,");
     if (sep == std::string_view::npos)

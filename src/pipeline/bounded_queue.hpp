@@ -1,0 +1,100 @@
+// Bounded multi-producer / multi-consumer batch queue.
+//
+// The backpressure primitive of the ingest pipeline: producers parsing file
+// shards block (rather than buffer or drop) when the consumer falls behind,
+// so the memory in flight is capped at `capacity` batches no matter how
+// large the input file is. close() is the shutdown path: pending items are
+// still delivered, then pop() returns nullopt to every waiting consumer.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+#include <optional>
+#include <queue>
+#include <utility>
+
+#include "util/check.hpp"
+
+namespace bpart::pipeline {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(std::size_t capacity) : capacity_(capacity) {
+    BPART_CHECK(capacity >= 1);
+  }
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  /// Blocks while the queue is full. Returns false (dropping `item`) only
+  /// when the queue has been closed; items are never silently lost before
+  /// shutdown.
+  bool push(T item) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_full_.wait(lock,
+                   [&] { return closed_ || items_.size() < capacity_; });
+    if (closed_) return false;
+    items_.push(std::move(item));
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocks while empty and open. Returns nullopt once the queue is closed
+  /// *and* drained, so every pushed item is delivered exactly once.
+  std::optional<T> pop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;  // closed and drained
+    T item = std::move(items_.front());
+    items_.pop();
+    lock.unlock();
+    not_full_.notify_one();
+    return item;
+  }
+
+  /// Non-blocking pop; nullopt when nothing is immediately available.
+  std::optional<T> try_pop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop();
+    lock.unlock();
+    not_full_.notify_one();
+    return item;
+  }
+
+  /// Wakes all blocked producers and consumers. Idempotent.
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    not_full_.notify_all();
+    not_empty_.notify_all();
+  }
+
+  [[nodiscard]] bool closed() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return items_.size();
+  }
+
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::queue<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace bpart::pipeline

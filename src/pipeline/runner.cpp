@@ -1,0 +1,136 @@
+#include "pipeline/runner.hpp"
+
+#include <utility>
+
+#include "partition/registry.hpp"
+#include "util/logging.hpp"
+#include "util/timer.hpp"
+
+namespace bpart::pipeline {
+
+namespace {
+
+/// Bumped whenever the serialized meaning of a cached graph changes
+/// (parser semantics, symmetrization, CSR layout).
+constexpr const char* kGraphKeyVersion = "gv1";
+
+/// Bumped whenever any registry partitioner's default configuration
+/// changes, so stale assignments never masquerade as current ones.
+constexpr const char* kPartitionKeyVersion = "pv1";
+
+}  // namespace
+
+PipelineRunner::PipelineRunner(PipelineConfig cfg)
+    : cfg_(std::move(cfg)),
+      store_(cfg_.cache_dir),
+      cache_on_(cfg_.use_cache && ArtifactStore::enabled()) {}
+
+CacheKey PipelineRunner::graph_key(const std::string& path) const {
+  return CacheKey::for_file(
+      path, std::string(kGraphKeyVersion) +
+                (cfg_.symmetrize ? ":sym=1" : ":sym=0"));
+}
+
+graph::Graph PipelineRunner::load_graph(const std::string& path) {
+  report_ = PipelineReport{};
+  Timer cache_timer;
+  if (cache_on_) {
+    const CacheKey key = graph_key(path);
+    if (auto cached = store_.load_graph(key)) {
+      report_.cache_seconds = cache_timer.seconds();
+      report_.graph_cache_hit = true;
+      report_.vertices = cached->num_vertices();
+      report_.edges = cached->num_edges();
+      LOG_INFO << "[pipeline] graph cache hit for " << path << " ("
+               << report_.vertices << " vertices, " << report_.edges
+               << " edges, " << report_.cache_seconds << "s)";
+      return std::move(*cached);
+    }
+  }
+  report_.cache_seconds = cache_timer.seconds();
+
+  // Cold path: stream batches off the bounded queue, counting degrees as
+  // they arrive, then build the CSR once the stream is drained.
+  graph::EdgeList edges;
+  std::vector<graph::EdgeId> degrees;
+  ingest_text_batches(
+      path, cfg_.ingest,
+      [&](EdgeBatch&& b) {
+        if (b.max_vertex >= degrees.size()) degrees.resize(b.max_vertex + 1, 0);
+        for (const graph::Edge& e : b.edges) ++degrees[e.src];
+        edges.append(b.edges, b.max_vertex);
+      },
+      &report_.ingest);
+  report_.degree_summary = stats::summarize(stats::to_doubles(degrees));
+
+  Timer build_timer;
+  graph::Graph g = cfg_.symmetrize
+                       ? graph::Graph::from_edges_symmetric(std::move(edges))
+                       : graph::Graph::from_edges(edges);
+  report_.build_seconds = build_timer.seconds();
+  report_.vertices = g.num_vertices();
+  report_.edges = g.num_edges();
+  LOG_INFO << "[pipeline] ingested " << path << ": " << report_.ingest.edges
+           << " edges in " << report_.ingest.seconds << "s ("
+           << report_.ingest.threads << " threads, " << report_.ingest.shards
+           << " shards), CSR build " << report_.build_seconds << "s";
+
+  if (cache_on_) {
+    cache_timer.reset();
+    store_.store_graph(graph_key(path), g);
+    report_.cache_seconds += cache_timer.seconds();
+  }
+  return g;
+}
+
+partition::Partition PipelineRunner::partition_graph(const graph::Graph& g,
+                                                     const CacheKey& graph_key,
+                                                     const std::string& algo,
+                                                     partition::PartId k) {
+  const CacheKey key = graph_key.derive(":algo=" + algo +
+                                        ":k=" + std::to_string(k) + ":" +
+                                        kPartitionKeyVersion);
+  Timer cache_timer;
+  if (cache_on_) {
+    if (auto cached = store_.load_partition(key)) {
+      if (cached->num_vertices() == g.num_vertices() &&
+          cached->num_parts() == k) {
+        report_.cache_seconds += cache_timer.seconds();
+        report_.partition_cache_hit = true;
+        report_.partition_seconds = 0;
+        LOG_INFO << "[pipeline] partition cache hit (" << algo << ", k=" << k
+                 << ")";
+        return std::move(*cached);
+      }
+      LOG_WARN << "artifact cache: partition entry shape mismatch for "
+               << key.description() << "; rebuilding";
+    }
+  }
+  report_.cache_seconds += cache_timer.seconds();
+
+  Timer t;
+  partition::Partition p = partition::create(algo)->partition(g, k);
+  report_.partition_seconds = t.seconds();
+  report_.partition_cache_hit = false;
+  LOG_INFO << "[pipeline] partitioned with " << algo << " (k=" << k << ") in "
+           << report_.partition_seconds << "s";
+
+  if (cache_on_) {
+    cache_timer.reset();
+    store_.store_partition(key, p);
+    report_.cache_seconds += cache_timer.seconds();
+  }
+  return p;
+}
+
+PipelineRunner::Result PipelineRunner::run_file(const std::string& path,
+                                                const std::string& algo,
+                                                partition::PartId k) {
+  graph::Graph g = load_graph(path);
+  // Preserve the stage report across the two calls: partition_graph only
+  // touches the partition/cache fields.
+  partition::Partition p = partition_graph(g, graph_key(path), algo, k);
+  return Result{std::move(g), std::move(p)};
+}
+
+}  // namespace bpart::pipeline

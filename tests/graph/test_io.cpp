@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <filesystem>
 #include <fstream>
 
@@ -13,7 +15,11 @@ namespace {
 class IoTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    dir_ = std::filesystem::temp_directory_path() / "bpart_io_test";
+    // Unique per process: ctest -j runs sibling tests of this fixture in
+    // parallel processes, and a shared directory makes TearDown of one
+    // race the writes of another.
+    dir_ = std::filesystem::temp_directory_path() /
+           ("bpart_io_test_" + std::to_string(::getpid()));
     std::filesystem::create_directories(dir_);
   }
   void TearDown() override { std::filesystem::remove_all(dir_); }
@@ -56,6 +62,61 @@ TEST_F(IoTest, TextHandlesTrailingWhitespaceAndCrlf) {
   ASSERT_EQ(el.size(), 2u);
   EXPECT_EQ(el[0], (Edge{7, 8}));
   EXPECT_EQ(el[1], (Edge{9, 10}));
+}
+
+TEST_F(IoTest, TextHandlesCrlfBlankAndCommentLines) {
+  // Verbatim shape of a SNAP dump saved with Windows line endings: CRLF
+  // everywhere, a blank CRLF line, and a '\r'-terminated comment.
+  std::ofstream f(path("crlf.txt"), std::ios::binary);
+  f << "# Directed graph\r\n\r\n0 1\r\n1\t2\r\n\r\n2 3\r\n";
+  f.close();
+  const EdgeList el = load_text_edges(path("crlf.txt"));
+  ASSERT_EQ(el.size(), 3u);
+  EXPECT_EQ(el[0], (Edge{0, 1}));
+  EXPECT_EQ(el[1], (Edge{1, 2}));
+  EXPECT_EQ(el[2], (Edge{2, 3}));
+}
+
+TEST_F(IoTest, TextHandlesEmptyTrailingLines) {
+  std::ofstream f(path("trail.txt"), std::ios::binary);
+  f << "0 1\n1 2\n\n\n   \n\t\n";
+  f.close();
+  EXPECT_EQ(load_text_edges(path("trail.txt")).size(), 2u);
+}
+
+TEST_F(IoTest, TextIgnoresExtraColumns) {
+  // KONECT dumps carry weight/timestamp columns after "src dst".
+  std::ofstream f(path("cols.txt"), std::ios::binary);
+  f << "0 1 1.5 1234567890\r\n2 3 0.25\n";
+  f.close();
+  const EdgeList el = load_text_edges(path("cols.txt"));
+  ASSERT_EQ(el.size(), 2u);
+  EXPECT_EQ(el[0], (Edge{0, 1}));
+  EXPECT_EQ(el[1], (Edge{2, 3}));
+}
+
+TEST_F(IoTest, TextRejectsMalformedLineInCrlfFile) {
+  std::ofstream f(path("badcrlf.txt"), std::ios::binary);
+  f << "0 1\r\nbogus line\r\n";
+  f.close();
+  try {
+    load_text_edges(path("badcrlf.txt"));
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find(":2"), std::string::npos)
+        << "error should cite line 2: " << e.what();
+  }
+}
+
+TEST_F(IoTest, TextRejectsNegativeAndNonNumericIds) {
+  std::ofstream f(path("neg.txt"));
+  f << "-1 2\n";
+  f.close();
+  EXPECT_THROW(load_text_edges(path("neg.txt")), std::runtime_error);
+  std::ofstream g(path("alpha.txt"));
+  g << "a b\n";
+  g.close();
+  EXPECT_THROW(load_text_edges(path("alpha.txt")), std::runtime_error);
 }
 
 TEST_F(IoTest, TextRejectsMalformedLine) {

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <filesystem>
 #include <fstream>
 
@@ -15,7 +17,11 @@ namespace {
 class PartitionIoTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    dir_ = std::filesystem::temp_directory_path() / "bpart_partition_io";
+    // Unique per process: ctest -j runs sibling tests of this fixture in
+    // parallel processes, and a shared directory makes TearDown of one
+    // race the writes of another.
+    dir_ = std::filesystem::temp_directory_path() /
+           ("bpart_partition_io_" + std::to_string(::getpid()));
     std::filesystem::create_directories(dir_);
   }
   void TearDown() override { std::filesystem::remove_all(dir_); }

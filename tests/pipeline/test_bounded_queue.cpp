@@ -1,0 +1,132 @@
+#include "pipeline/bounded_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace bpart::pipeline {
+namespace {
+
+TEST(BoundedQueue, FifoSingleThread) {
+  BoundedQueue<int> q(4);
+  EXPECT_TRUE(q.push(1));
+  EXPECT_TRUE(q.push(2));
+  EXPECT_TRUE(q.push(3));
+  EXPECT_EQ(q.size(), 3u);
+  EXPECT_EQ(q.pop(), 1);
+  EXPECT_EQ(q.pop(), 2);
+  EXPECT_EQ(q.pop(), 3);
+  EXPECT_EQ(q.try_pop(), std::nullopt);
+}
+
+TEST(BoundedQueue, ProducerBlocksWhenFullInsteadOfDropping) {
+  BoundedQueue<int> q(2);
+  ASSERT_TRUE(q.push(0));
+  ASSERT_TRUE(q.push(1));
+
+  std::atomic<bool> third_pushed{false};
+  std::thread producer([&] {
+    ASSERT_TRUE(q.push(2));  // must block until the consumer pops
+    third_pushed.store(true);
+  });
+
+  // Give the producer ample time to (incorrectly) complete if push dropped
+  // or overflowed instead of blocking.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(third_pushed.load()) << "push on a full queue must block";
+  EXPECT_EQ(q.size(), 2u);
+
+  EXPECT_EQ(q.pop(), 0);
+  producer.join();
+  EXPECT_TRUE(third_pushed.load());
+  // Nothing was dropped: the remaining items come out in order.
+  EXPECT_EQ(q.pop(), 1);
+  EXPECT_EQ(q.pop(), 2);
+}
+
+TEST(BoundedQueue, ExactlyOnceUnderConcurrentProducersAndConsumers) {
+  constexpr int kProducers = 4;
+  constexpr int kConsumers = 3;
+  constexpr int kPerProducer = 2000;
+  BoundedQueue<int> q(8);  // small capacity to force contention + blocking
+
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i)
+        ASSERT_TRUE(q.push(p * kPerProducer + i));
+    });
+  }
+
+  std::mutex seen_mutex;
+  std::vector<int> seen;
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < kConsumers; ++c) {
+    consumers.emplace_back([&] {
+      std::vector<int> local;
+      while (auto v = q.pop()) local.push_back(*v);
+      std::lock_guard<std::mutex> lock(seen_mutex);
+      seen.insert(seen.end(), local.begin(), local.end());
+    });
+  }
+
+  for (auto& t : producers) t.join();
+  q.close();
+  for (auto& t : consumers) t.join();
+
+  ASSERT_EQ(seen.size(), static_cast<std::size_t>(kProducers * kPerProducer));
+  std::sort(seen.begin(), seen.end());
+  for (int i = 0; i < kProducers * kPerProducer; ++i)
+    ASSERT_EQ(seen[static_cast<std::size_t>(i)], i)
+        << "item delivered zero or multiple times";
+}
+
+TEST(BoundedQueue, CloseDeliversPendingItemsThenNullopt) {
+  BoundedQueue<int> q(8);
+  ASSERT_TRUE(q.push(10));
+  ASSERT_TRUE(q.push(11));
+  q.close();
+  EXPECT_EQ(q.pop(), 10);
+  EXPECT_EQ(q.pop(), 11);
+  EXPECT_EQ(q.pop(), std::nullopt);
+  EXPECT_EQ(q.pop(), std::nullopt);  // stays drained
+}
+
+TEST(BoundedQueue, PushAfterCloseFails) {
+  BoundedQueue<int> q(2);
+  q.close();
+  EXPECT_FALSE(q.push(1));
+  EXPECT_EQ(q.pop(), std::nullopt);
+}
+
+TEST(BoundedQueue, CloseUnblocksWaitingProducerAndConsumer) {
+  BoundedQueue<int> full(1);
+  ASSERT_TRUE(full.push(0));
+  std::thread blocked_producer([&] { EXPECT_FALSE(full.push(1)); });
+
+  BoundedQueue<int> empty(1);
+  std::thread blocked_consumer([&] { EXPECT_EQ(empty.pop(), std::nullopt); });
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  full.close();
+  empty.close();
+  blocked_producer.join();
+  blocked_consumer.join();
+}
+
+TEST(BoundedQueue, MoveOnlyPayload) {
+  BoundedQueue<std::unique_ptr<int>> q(2);
+  ASSERT_TRUE(q.push(std::make_unique<int>(7)));
+  auto out = q.pop();
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(**out, 7);
+}
+
+}  // namespace
+}  // namespace bpart::pipeline

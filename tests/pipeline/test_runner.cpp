@@ -1,0 +1,151 @@
+#include "pipeline/runner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+
+#include "graph/generators.hpp"
+#include "graph/io.hpp"
+#include "partition/registry.hpp"
+
+namespace bpart::pipeline {
+namespace {
+
+namespace fs = std::filesystem;
+
+class RunnerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("bpart_runner_test_" + std::to_string(::getpid()));
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+
+    graph::CommunityGraphConfig gen;
+    gen.num_vertices = 1 << 11;
+    gen.avg_degree = 12;
+    gen.num_communities = 16;
+    gen.seed = 7;
+    input_ = (dir_ / "graph.txt").string();
+    graph::save_text_edges(graph::community_scale_free(gen), input_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  [[nodiscard]] PipelineConfig config() const {
+    PipelineConfig cfg;
+    cfg.ingest.threads = 4;
+    cfg.ingest.batch_edges = 512;
+    cfg.cache_dir = (dir_ / "cache").string();
+    return cfg;
+  }
+
+  fs::path dir_;
+  std::string input_;
+};
+
+void expect_same_partition(const partition::Partition& a,
+                           const partition::Partition& b) {
+  ASSERT_EQ(a.num_vertices(), b.num_vertices());
+  ASSERT_EQ(a.num_parts(), b.num_parts());
+  EXPECT_TRUE(std::ranges::equal(a.assignment(), b.assignment()));
+}
+
+TEST_F(RunnerTest, DeterministicModeMatchesLegacySingleStreamPath) {
+  // The pipeline must produce exactly the partition the pre-pipeline code
+  // path (load_text_edges -> from_edges -> registry) produced.
+  const graph::Graph legacy_g =
+      graph::Graph::from_edges(graph::load_text_edges(input_));
+  const partition::Partition legacy_p =
+      partition::create("bpart")->partition(legacy_g, 8);
+
+  PipelineRunner runner(config());
+  const auto result = runner.run_file(input_, "bpart", 8);
+  EXPECT_EQ(result.graph.num_vertices(), legacy_g.num_vertices());
+  EXPECT_EQ(result.graph.num_edges(), legacy_g.num_edges());
+  expect_same_partition(result.partition, legacy_p);
+  EXPECT_FALSE(runner.report().graph_cache_hit);
+  EXPECT_FALSE(runner.report().partition_cache_hit);
+  EXPECT_GT(runner.report().ingest.edges, 0u);
+  EXPECT_GT(runner.report().degree_summary.n, 0u);
+}
+
+TEST_F(RunnerTest, WarmRunHitsCacheAndIsBitIdentical) {
+  PipelineRunner cold(config());
+  const auto first = cold.run_file(input_, "fennel", 4);
+  ASSERT_FALSE(cold.report().partition_cache_hit);
+
+  PipelineRunner warm(config());
+  const auto second = warm.run_file(input_, "fennel", 4);
+  EXPECT_TRUE(warm.report().graph_cache_hit);
+  EXPECT_TRUE(warm.report().partition_cache_hit);
+  EXPECT_EQ(warm.report().partition_seconds, 0.0);
+  EXPECT_EQ(warm.report().ingest.edges, 0u) << "warm run must skip parsing";
+  expect_same_partition(second.partition, first.partition);
+  EXPECT_EQ(second.graph.num_edges(), first.graph.num_edges());
+}
+
+TEST_F(RunnerTest, CorruptCacheEntryIsRebuiltTransparently) {
+  PipelineRunner cold(config());
+  const auto first = cold.run_file(input_, "bpart", 4);
+
+  // Truncate every cached artifact.
+  for (const auto& entry : fs::directory_iterator(dir_ / "cache"))
+    fs::resize_file(entry.path(), fs::file_size(entry.path()) / 3);
+
+  PipelineRunner retry(config());
+  const auto second = retry.run_file(input_, "bpart", 4);
+  EXPECT_FALSE(retry.report().graph_cache_hit);
+  EXPECT_FALSE(retry.report().partition_cache_hit);
+  expect_same_partition(second.partition, first.partition);
+
+  // And the rebuilt entries serve the next run.
+  PipelineRunner warm(config());
+  (void)warm.run_file(input_, "bpart", 4);
+  EXPECT_TRUE(warm.report().graph_cache_hit);
+  EXPECT_TRUE(warm.report().partition_cache_hit);
+}
+
+TEST_F(RunnerTest, EditingInputInvalidatesGraphKey) {
+  PipelineRunner runner(config());
+  (void)runner.run_file(input_, "hash", 4);
+  ASSERT_TRUE(runner.cache_active());
+
+  // Append one edge: the content hash, and therefore the key, changes.
+  std::ofstream(input_, std::ios::app) << "0 1\n";
+  PipelineRunner after(config());
+  (void)after.run_file(input_, "hash", 4);
+  EXPECT_FALSE(after.report().graph_cache_hit);
+  EXPECT_FALSE(after.report().partition_cache_hit);
+}
+
+TEST_F(RunnerTest, CacheCanBeDisabled) {
+  PipelineConfig cfg = config();
+  cfg.use_cache = false;
+  PipelineRunner runner(cfg);
+  (void)runner.run_file(input_, "hash", 4);
+  EXPECT_FALSE(fs::exists(dir_ / "cache"));
+
+  PipelineRunner again(cfg);
+  (void)again.run_file(input_, "hash", 4);
+  EXPECT_FALSE(again.report().graph_cache_hit);
+}
+
+TEST_F(RunnerTest, SymmetrizeModeMatchesLegacySymmetricBuild) {
+  PipelineConfig cfg = config();
+  cfg.symmetrize = true;
+  PipelineRunner runner(cfg);
+  const graph::Graph g = runner.load_graph(input_);
+  const graph::Graph legacy =
+      graph::Graph::from_edges_symmetric(graph::load_text_edges(input_));
+  ASSERT_EQ(g.num_vertices(), legacy.num_vertices());
+  ASSERT_EQ(g.num_edges(), legacy.num_edges());
+  EXPECT_TRUE(std::ranges::equal(g.out_offsets(), legacy.out_offsets()));
+  EXPECT_TRUE(std::ranges::equal(g.out_targets(), legacy.out_targets()));
+}
+
+}  // namespace
+}  // namespace bpart::pipeline
