@@ -27,7 +27,7 @@ using namespace bpart;
 int main(int argc, char** argv) {
   const Options opts(argc, argv);
   const auto threads = static_cast<unsigned>(opts.get_int(
-      "threads", std::max(4u, worker_threads())));
+      "threads", std::max(4u, thread_count())));
   const auto k = static_cast<partition::PartId>(opts.get_int("parts", 8));
   const auto edges_target = static_cast<graph::EdgeId>(
       static_cast<double>(opts.get_int("edges", 1 << 20)) * dataset_scale());

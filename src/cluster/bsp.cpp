@@ -62,6 +62,21 @@ std::uint64_t RunReport::total_work() const {
   return total;
 }
 
+std::uint64_t RunReport::total_bytes_sent() const {
+  std::uint64_t total = 0;
+  for (const auto& it : iterations)
+    for (const auto& m : it.machines) total += m.bytes_sent;
+  return total;
+}
+
+std::vector<double> RunReport::compute_seconds_per_machine() const {
+  std::vector<double> out(num_machines, 0.0);
+  for (const auto& it : iterations)
+    for (MachineId m = 0; m < it.machines.size(); ++m)
+      out[m] += it.machines[m].compute_seconds;
+  return out;
+}
+
 std::vector<std::uint64_t> RunReport::work_per_machine() const {
   std::vector<std::uint64_t> out(num_machines, 0);
   for (const auto& it : iterations)

@@ -22,6 +22,10 @@ struct MachineIterationStats {
   std::uint64_t work_items = 0;
   std::uint64_t messages_sent = 0;
   std::uint64_t messages_received = 0;
+  /// Payload bytes shipped/received. Filled by the measured runtime
+  /// (dist::Runtime); the cost-model simulation leaves them 0.
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t bytes_received = 0;
   double compute_seconds = 0;  ///< Work converted by the cost model.
   double comm_seconds = 0;     ///< Message send cost.
   double wait_seconds = 0;     ///< Idle until the slowest machine finished.
@@ -51,8 +55,13 @@ struct RunReport {
   [[nodiscard]] double wait_ratio() const;
   [[nodiscard]] std::uint64_t total_messages() const;
   [[nodiscard]] std::uint64_t total_work() const;
+  /// Payload bytes shipped (measured runtimes only; 0 under the cost model).
+  [[nodiscard]] std::uint64_t total_bytes_sent() const;
   /// Work items per machine summed over iterations (paper Fig. 4 series).
   [[nodiscard]] std::vector<std::uint64_t> work_per_machine() const;
+  /// Per-machine compute seconds summed over iterations — max/avg of this
+  /// series is the compute-skew metric of Figs. 12/15.
+  [[nodiscard]] std::vector<double> compute_seconds_per_machine() const;
 };
 
 /// Accounting core. Protocol per iteration:

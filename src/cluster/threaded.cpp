@@ -5,6 +5,7 @@
 #include <thread>
 
 #include "util/check.hpp"
+#include "util/env.hpp"
 
 namespace bpart::cluster {
 
@@ -16,6 +17,16 @@ std::size_t ThreadedBsp::run(
   ctx.reserve(machines);
   for (MachineId m = 0; m < machines; ++m) ctx.emplace_back(m, machines);
 
+  // Worker threads are decoupled from machines: each drives a contiguous
+  // block, so BPART_THREADS bounds host parallelism without changing BSP
+  // semantics (messages only become visible at the barrier either way).
+  const unsigned workers = thread_count(machines);
+  const MachineId per = machines / workers;
+  const MachineId extra = machines % workers;
+  auto range_begin = [&](unsigned t) {
+    return static_cast<MachineId>(t * per + std::min<MachineId>(t, extra));
+  };
+
   std::atomic<std::uint32_t> continue_votes{0};
   std::atomic<std::uint64_t> in_flight{0};
   std::atomic<bool> done{false};
@@ -23,15 +34,19 @@ std::size_t ThreadedBsp::run(
 
   // Completion phase of the barrier runs on one thread with all others
   // parked — the safe place to exchange mailboxes and decide termination.
+  // Delivery is a buffer swap: the sender's outgoing buffer becomes the
+  // receiver's inbox segment, and the consumed segment (last superstep's
+  // delivery) swaps back to become the sender's empty outgoing buffer, so
+  // the two allocations ping-pong forever without copying envelopes.
   auto on_sync = [&]() noexcept {
     std::uint64_t moved = 0;
     for (MachineId to = 0; to < machines; ++to) {
-      ctx[to].inbox_.clear();
       for (MachineId from = 0; from < machines; ++from) {
         auto& out = ctx[from].outgoing_[to];
-        ctx[to].inbox_.insert(ctx[to].inbox_.end(), out.begin(), out.end());
-        moved += out.size();
-        out.clear();
+        auto& in = ctx[to].inbox_[from];
+        in.swap(out);
+        out.clear();  // consumed two supersteps ago; capacity retained
+        moved += in.size();
       }
     }
     in_flight.store(moved, std::memory_order_relaxed);
@@ -41,21 +56,25 @@ std::size_t ThreadedBsp::run(
       done.store(true, std::memory_order_relaxed);
     continue_votes.store(0, std::memory_order_relaxed);
   };
-  std::barrier barrier(static_cast<std::ptrdiff_t>(machines), on_sync);
+  std::barrier barrier(static_cast<std::ptrdiff_t>(workers), on_sync);
 
-  auto worker = [&](MachineId self) {
+  auto worker = [&](unsigned t) {
+    const MachineId lo = range_begin(t);
+    const MachineId hi = range_begin(t + 1);
     for (std::size_t s = 0;; ++s) {
-      const Vote v = step(ctx[self], s);
-      if (v == Vote::kContinue)
-        continue_votes.fetch_add(1, std::memory_order_relaxed);
+      std::uint32_t my_continues = 0;
+      for (MachineId m = lo; m < hi; ++m)
+        if (step(ctx[m], s) == Vote::kContinue) ++my_continues;
+      if (my_continues != 0)
+        continue_votes.fetch_add(my_continues, std::memory_order_relaxed);
       barrier.arrive_and_wait();
       if (done.load(std::memory_order_relaxed)) return;
     }
   };
 
   std::vector<std::thread> threads;
-  threads.reserve(machines);
-  for (MachineId m = 0; m < machines; ++m) threads.emplace_back(worker, m);
+  threads.reserve(workers);
+  for (unsigned t = 0; t < workers; ++t) threads.emplace_back(worker, t);
   for (auto& t : threads) t.join();
   return supersteps;
 }

@@ -1,12 +1,21 @@
-// Threaded BSP executor: one thread per simulated machine, with real
-// barriers between the compute and communicate phases of each superstep.
+// Threaded BSP executor: worker threads driving simulated machines, with
+// real barriers between the compute and communicate phases of each
+// superstep.
 //
 // The quantitative results in this repository come from BspSimulation's
 // deterministic cost model; this executor exists so the engines can also be
 // driven with genuine parallelism (and so tests exercise the concurrency
 // structure). Message exchange is double-buffered mailbox-style: messages
 // sent in superstep t are visible to the receiver in superstep t+1, the BSP
-// contract.
+// contract. Delivery swaps whole buffers — outgoing[src][dst] becomes the
+// inbox segment inbox[dst][src] — so each mailbox ping-pongs between two
+// warm allocations and no envelope is ever copied or reallocated once the
+// buffers have grown to working size.
+//
+// OS threads are decoupled from simulated machines: util::thread_count()
+// workers (>= 1, <= machines, BPART_THREADS-respecting) each drive a
+// contiguous block of machines, so a 16-machine topology runs correctly on
+// a 2-thread budget instead of oversubscribing the host.
 #pragma once
 
 #include <cstdint>
@@ -23,11 +32,79 @@ struct Envelope {
   std::uint64_t payload = 0;
 };
 
+/// Read-only view of the messages delivered to one machine this superstep,
+/// segmented by source machine (each segment is the sender's swapped-in
+/// outgoing buffer — see ThreadedBsp).
+class InboxView {
+ public:
+  class const_iterator {
+   public:
+    using value_type = Envelope;
+    using reference = const Envelope&;
+    using difference_type = std::ptrdiff_t;
+
+    reference operator*() const { return (*segments_)[seg_][pos_]; }
+    const_iterator& operator++() {
+      ++pos_;
+      skip_exhausted();
+      return *this;
+    }
+    bool operator==(const const_iterator& o) const {
+      return seg_ == o.seg_ && pos_ == o.pos_;
+    }
+    bool operator!=(const const_iterator& o) const { return !(*this == o); }
+
+   private:
+    friend class InboxView;
+    const_iterator(const std::vector<std::vector<Envelope>>* segments,
+                   std::size_t seg)
+        : segments_(segments), seg_(seg) {
+      skip_exhausted();
+    }
+    void skip_exhausted() {
+      while (seg_ < segments_->size() && pos_ >= (*segments_)[seg_].size()) {
+        ++seg_;
+        pos_ = 0;
+      }
+    }
+    const std::vector<std::vector<Envelope>>* segments_;
+    std::size_t seg_;
+    std::size_t pos_ = 0;
+  };
+
+  [[nodiscard]] const_iterator begin() const {
+    return const_iterator(segments_, 0);
+  }
+  [[nodiscard]] const_iterator end() const {
+    return const_iterator(segments_, segments_->size());
+  }
+  [[nodiscard]] std::size_t size() const {
+    std::size_t total = 0;
+    for (const auto& seg : *segments_) total += seg.size();
+    return total;
+  }
+  [[nodiscard]] bool empty() const {
+    for (const auto& seg : *segments_)
+      if (!seg.empty()) return false;
+    return true;
+  }
+  /// Messages from machine `src`, in send order.
+  [[nodiscard]] const std::vector<Envelope>& from(MachineId src) const {
+    return (*segments_)[src];
+  }
+
+ private:
+  friend class MachineContext;
+  explicit InboxView(const std::vector<std::vector<Envelope>>* segments)
+      : segments_(segments) {}
+  const std::vector<std::vector<Envelope>>* segments_;
+};
+
 /// Context handed to each machine's step function.
 class MachineContext {
  public:
   MachineContext(MachineId self, MachineId machines)
-      : self_(self), outgoing_(machines) {}
+      : self_(self), outgoing_(machines), inbox_(machines) {}
 
   [[nodiscard]] MachineId self() const { return self_; }
   [[nodiscard]] MachineId num_machines() const {
@@ -40,13 +117,22 @@ class MachineContext {
   }
 
   /// Messages delivered to this machine this superstep.
-  [[nodiscard]] const std::vector<Envelope>& inbox() const { return inbox_; }
+  [[nodiscard]] InboxView inbox() const { return InboxView(&inbox_); }
+
+  /// Total capacity (envelopes) of the inbox segments — exposed so tests
+  /// can verify mailbox buffers are reused across supersteps, not
+  /// reallocated.
+  [[nodiscard]] std::size_t inbox_capacity() const {
+    std::size_t total = 0;
+    for (const auto& seg : inbox_) total += seg.capacity();
+    return total;
+  }
 
  private:
   friend class ThreadedBsp;
   MachineId self_;
   std::vector<std::vector<Envelope>> outgoing_;  // per destination
-  std::vector<Envelope> inbox_;
+  std::vector<std::vector<Envelope>> inbox_;     // per source
 };
 
 /// Return value of a step function: whether this machine wants another
@@ -56,10 +142,11 @@ enum class Vote : std::uint8_t { kHalt, kContinue };
 
 class ThreadedBsp {
  public:
-  /// Runs `step(ctx, superstep)` on `machines` threads until global quiescence
-  /// (all halt and no messages in flight) or `max_supersteps`. Returns the
-  /// number of supersteps executed. The step function must only touch shared
-  /// state through the context's send/inbox.
+  /// Runs `step(ctx, superstep)` for each of `machines` simulated machines
+  /// until global quiescence (all halt and no messages in flight) or
+  /// `max_supersteps`, on util::thread_count(machines) worker threads.
+  /// Returns the number of supersteps executed. The step function must only
+  /// touch shared state through the context's send/inbox.
   static std::size_t run(
       MachineId machines, std::size_t max_supersteps,
       const std::function<Vote(MachineContext&, std::size_t)>& step);

@@ -1,0 +1,222 @@
+#include "dist/components.hpp"
+
+#include <unordered_set>
+
+#include "dist/dist_graph.hpp"
+#include "dist/ghost_buffer.hpp"
+
+namespace bpart::dist {
+
+namespace {
+
+struct LabelMsg {
+  graph::VertexId vertex;
+  graph::VertexId label;
+};
+
+struct CcMachine {
+  std::vector<graph::VertexId> lab;  // owned local ids
+  GhostBuffer<graph::VertexId> ghosts;  // slot = best-known remote label
+  // Current-superstep frontier (consumed by the scan) and next-superstep
+  // frontier (filled by relaxations).
+  std::vector<graph::VertexId> frontier, next;
+  std::vector<std::uint8_t> in_frontier, in_next;
+  // Owned vertices whose label dropped this superstep and that have
+  // mirrors — the master -> mirror broadcast list.
+  std::vector<graph::VertexId> changed_masters;
+  std::vector<std::uint8_t> master_marked;
+};
+
+}  // namespace
+
+engine::ComponentsResult connected_components(const graph::Graph& g,
+                                              const partition::Partition& parts,
+                                              const DistOptions& opts,
+                                              std::size_t max_supersteps) {
+  BPART_CHECK(g.num_vertices() == parts.num_vertices());
+  BPART_CHECK(parts.fully_assigned());
+  const graph::VertexId n = g.num_vertices();
+  const MachineId machines = parts.num_parts();
+
+  const DistGraph dg(g, parts);
+  std::vector<CcMachine> state(machines);
+  for (MachineId m = 0; m < machines; ++m) {
+    const partition::Subgraph& sub = dg.subgraph(m);
+    CcMachine& me = state[m];
+    me.lab.assign(sub.global_id.begin(),
+                  sub.global_id.begin() + sub.num_local);
+    std::vector<graph::VertexId> ghost_init(
+        sub.global_id.begin() + sub.num_local, sub.global_id.end());
+    me.ghosts.reset(std::move(ghost_init), n);
+    me.frontier.resize(sub.num_local);
+    for (graph::VertexId v = 0; v < sub.num_local; ++v) me.frontier[v] = v;
+    me.in_frontier.assign(sub.num_local, 1);
+    me.in_next.assign(sub.num_local, 0);
+    me.master_marked.assign(sub.num_local, 0);
+  }
+
+  // Sparse/dense switch: machines report the edge mass of their next
+  // frontier; the barrier completion picks the scan mode for the next
+  // superstep. Both edge directions relax, hence the 2|E| denominator.
+  const std::uint64_t total_edge_mass = 2 * g.num_edges();
+  std::atomic<std::uint64_t> next_edge_mass{total_edge_mass};
+  std::atomic<FrontierMode> mode{FrontierMode::kDense};
+
+  RuntimeConfig rcfg;
+  rcfg.threads = opts.threads;
+  rcfg.max_supersteps = max_supersteps;
+  rcfg.on_barrier = [&](std::size_t) {
+    mode.store(choose_frontier_mode(next_edge_mass.exchange(
+                                        0, std::memory_order_relaxed),
+                                    total_edge_mass),
+               std::memory_order_relaxed);
+  };
+
+  RunResult run = Runtime<LabelMsg>::run(
+      machines, rcfg, [&](Runtime<LabelMsg>::Context& ctx, std::size_t) {
+        CcMachine& me = state[ctx.self()];
+        const partition::Subgraph& sub = dg.subgraph(ctx.self());
+        const graph::VertexId num_local = sub.num_local;
+
+        auto activate_now = [&](graph::VertexId v) {
+          if (!me.in_frontier[v]) {
+            me.in_frontier[v] = 1;
+            me.frontier.push_back(v);
+          }
+        };
+        auto activate_next = [&](graph::VertexId v) {
+          if (!me.in_next[v]) {
+            me.in_next[v] = 1;
+            me.next.push_back(v);
+          }
+        };
+        auto mark_master = [&](graph::VertexId v) {
+          if (!me.master_marked[v] && !dg.mirror_holders(ctx.self(), v).empty()) {
+            me.master_marked[v] = 1;
+            me.changed_masters.push_back(v);
+          }
+        };
+
+        ctx.for_each_message([&](const LabelMsg& msg) {
+          if (dg.owner(msg.vertex) == ctx.self()) {
+            // Mirror -> master: an aggregated ghost-slot flush.
+            const graph::VertexId l = dg.owner_local(msg.vertex);
+            if (msg.label < me.lab[l]) {
+              me.lab[l] = msg.label;
+              activate_now(l);
+              mark_master(l);
+            }
+          } else {
+            // Master -> mirror broadcast: refresh the cached ghost label
+            // and relax the local edges pointing at the ghost.
+            const graph::VertexId gi = dg.ghost_index(ctx.self(), msg.vertex);
+            if (me.ghosts.refresh_min(gi, msg.label)) {
+              const graph::VertexId gv = me.ghosts.value(gi);
+              for (graph::VertexId u :
+                   sub.local.in_neighbors(num_local + gi)) {
+                if (gv < me.lab[u]) {
+                  me.lab[u] = gv;
+                  activate_now(u);
+                  mark_master(u);
+                }
+              }
+            }
+          }
+        });
+
+        const FrontierMode scan_mode = mode.load(std::memory_order_relaxed);
+        auto relax = [&](graph::VertexId u) {
+          graph::VertexId lu = me.lab[u];
+          bool u_changed = false;
+          for (graph::VertexId t : sub.local.out_neighbors(u)) {
+            if (t < num_local) {
+              if (lu < me.lab[t]) {
+                me.lab[t] = lu;
+                activate_next(t);
+                mark_master(t);
+              } else if (me.lab[t] < lu) {
+                lu = me.lab[t];
+                u_changed = true;
+              }
+            } else {
+              const graph::VertexId gi = t - num_local;
+              const graph::VertexId gv = me.ghosts.value(gi);
+              if (lu < gv) {
+                me.ghosts.combine_min(gi, lu);
+              } else if (gv < lu) {
+                lu = gv;
+                u_changed = true;
+              }
+            }
+          }
+          for (graph::VertexId w : sub.local.in_neighbors(u)) {
+            if (lu < me.lab[w]) {
+              me.lab[w] = lu;
+              activate_next(w);
+              mark_master(w);
+            } else if (me.lab[w] < lu) {
+              lu = me.lab[w];
+              u_changed = true;
+            }
+          }
+          if (u_changed) {
+            me.lab[u] = lu;
+            activate_next(u);
+            mark_master(u);
+          }
+          ctx.add_work(sub.local.out_degree(u) + sub.local.in_degree(u));
+        };
+
+        if (scan_mode == FrontierMode::kDense) {
+          for (graph::VertexId u = 0; u < num_local; ++u) relax(u);
+        } else {
+          // The frontier may grow while scanning (activate_now from ghost
+          // relaxation happens during drain, before this loop; scan-time
+          // additions go to `next`), so index-based iteration is safe.
+          for (std::size_t i = 0; i < me.frontier.size(); ++i)
+            relax(me.frontier[i]);
+        }
+
+        ctx.mark_comm();
+        me.ghosts.flush(
+            [&](graph::VertexId ghost, graph::VertexId label) {
+              ctx.send(sub.ghost_owner[ghost],
+                       LabelMsg{sub.global_id[num_local + ghost], label});
+            },
+            /*keep_values=*/true);
+        for (graph::VertexId u : me.changed_masters) {
+          me.master_marked[u] = 0;
+          for (MachineId holder : dg.mirror_holders(ctx.self(), u))
+            ctx.send(holder, LabelMsg{sub.global_id[u], me.lab[u]});
+        }
+        me.changed_masters.clear();
+
+        // Swap frontiers and report next round's edge mass for the
+        // sparse/dense decision.
+        for (graph::VertexId u : me.frontier) me.in_frontier[u] = 0;
+        me.frontier.clear();
+        me.frontier.swap(me.next);
+        me.in_frontier.swap(me.in_next);
+        std::uint64_t mass = 0;
+        for (graph::VertexId u : me.frontier)
+          mass += sub.local.out_degree(u) + sub.local.in_degree(u);
+        if (mass != 0)
+          next_edge_mass.fetch_add(mass, std::memory_order_relaxed);
+        return me.frontier.empty() ? Vote::kHalt : Vote::kContinue;
+      });
+
+  engine::ComponentsResult result;
+  result.label.assign(n, 0);
+  for (MachineId m = 0; m < machines; ++m) {
+    const partition::Subgraph& sub = dg.subgraph(m);
+    for (graph::VertexId v = 0; v < sub.num_local; ++v)
+      result.label[sub.global_id[v]] = state[m].lab[v];
+  }
+  const std::unordered_set<graph::VertexId> distinct(result.label.begin(),
+                                                     result.label.end());
+  result.num_components = static_cast<graph::VertexId>(distinct.size());
+  result.run = std::move(run.report);
+  return result;
+}
+
+}  // namespace bpart::dist

@@ -1,0 +1,26 @@
+// Distributed Connected Components (HashMin) on the measured runtime.
+//
+// Weak connectivity like engine::connected_components: labels relax along
+// both edge directions. Locally each machine relaxes its owned out-edges
+// and the local in-CSR; across machines two message kinds flow, both
+// ghost-aggregated: dirty ghost slots flush to the ghost's owner (mirror →
+// master), and owned boundary vertices whose label dropped broadcast to the
+// machines holding them as ghosts (master → mirror — the DistGraph mirror
+// index). Labels are monotone minima, so the result is exactly the engine's
+// fixpoint regardless of superstep interleaving.
+//
+// The per-superstep scan follows Gemini's sparse/dense switch: below 1/20
+// of active edge mass the frontier list drives the scan (sparse/push),
+// above it every owned vertex is swept (dense).
+#pragma once
+
+#include "dist/runtime.hpp"
+#include "engine/components.hpp"
+
+namespace bpart::dist {
+
+engine::ComponentsResult connected_components(
+    const graph::Graph& g, const partition::Partition& parts,
+    const DistOptions& opts = {}, std::size_t max_supersteps = 10000);
+
+}  // namespace bpart::dist

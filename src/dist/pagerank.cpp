@@ -1,0 +1,152 @@
+#include "dist/pagerank.hpp"
+
+#include <limits>
+
+#include "dist/dist_graph.hpp"
+#include "dist/ghost_buffer.hpp"
+
+namespace bpart::dist {
+
+namespace {
+
+// One aggregated contribution for a remote vertex, or (with the sentinel)
+// a machine's dangling mass broadcast.
+struct PrMsg {
+  graph::VertexId vertex;
+  double value;
+};
+constexpr graph::VertexId kDanglingSentinel =
+    std::numeric_limits<graph::VertexId>::max();
+
+struct PrMachine {
+  std::vector<double> rank;   // owned local ids
+  std::vector<double> acc;    // incoming contributions, owned local ids
+  std::vector<double> share;  // rank/outdeg emitted this round (pull mode)
+  GhostBuffer<double> ghosts;
+  double dangling_local = 0;
+  double dangling_received = 0;
+};
+
+}  // namespace
+
+engine::PageRankResult pagerank(const graph::Graph& g,
+                                const partition::Partition& parts,
+                                const engine::PageRankConfig& cfg,
+                                PrMode mode, const DistOptions& opts) {
+  BPART_CHECK(g.num_vertices() == parts.num_vertices());
+  BPART_CHECK(parts.fully_assigned());
+  const graph::VertexId n = g.num_vertices();
+  const MachineId machines = parts.num_parts();
+  const double inv_n = n > 0 ? 1.0 / static_cast<double>(n) : 0.0;
+
+  const DistGraph dg(g, parts);
+  std::vector<PrMachine> state(machines);
+  for (MachineId m = 0; m < machines; ++m) {
+    const partition::Subgraph& sub = dg.subgraph(m);
+    state[m].rank.assign(sub.num_local, inv_n);
+    state[m].acc.assign(sub.num_local, 0.0);
+    state[m].share.assign(sub.num_local, 0.0);
+    state[m].ghosts.reset(sub.num_ghosts, 0.0);
+  }
+
+  // Protocol per superstep s (s = 0 .. iterations):
+  //   1. drain: contributions and dangling shares emitted at s-1 complete
+  //      round s-1's accumulation;
+  //   2. if s > 0: finalize round s-1's ranks (pull mode gathers the local
+  //      in-edges here, against the shares recorded at s-1);
+  //   3. if s < iterations: emit round s — push local contributions (or
+  //      record shares), aggregate boundary contributions in ghost slots,
+  //      flush one message per dirty ghost, broadcast dangling mass.
+  // Superstep `iterations` only drains and finalizes.
+  RuntimeConfig rcfg;
+  rcfg.threads = opts.threads;
+  rcfg.max_supersteps = cfg.iterations + 1;
+  RunResult run = Runtime<PrMsg>::run(
+      machines, rcfg, [&](Runtime<PrMsg>::Context& ctx, std::size_t s) {
+        PrMachine& me = state[ctx.self()];
+        const partition::Subgraph& sub = dg.subgraph(ctx.self());
+        const graph::VertexId num_local = sub.num_local;
+
+        ctx.for_each_message([&](const PrMsg& msg) {
+          if (msg.vertex == kDanglingSentinel)
+            me.dangling_received += msg.value;
+          else
+            me.acc[dg.owner_local(msg.vertex)] += msg.value;
+        });
+
+        if (s > 0) {
+          const double dangling = me.dangling_received + me.dangling_local;
+          const double base =
+              (1.0 - cfg.damping) * inv_n + cfg.damping * dangling * inv_n;
+          if (mode == PrMode::kPull) {
+            // Gather local in-edges against last round's shares; remote
+            // in-edge mass already arrived via the drained messages.
+            for (graph::VertexId v = 0; v < num_local; ++v) {
+              double local_sum = 0;
+              const auto in = sub.local.in_neighbors(v);
+              for (graph::VertexId u : in) local_sum += me.share[u];
+              ctx.add_work(in.size());
+              me.rank[v] = base + cfg.damping * (local_sum + me.acc[v]);
+              me.acc[v] = 0.0;
+            }
+          } else {
+            for (graph::VertexId v = 0; v < num_local; ++v) {
+              me.rank[v] = base + cfg.damping * me.acc[v];
+              me.acc[v] = 0.0;
+            }
+          }
+          me.dangling_received = 0.0;
+          me.dangling_local = 0.0;
+        }
+
+        if (s >= cfg.iterations) return Vote::kHalt;
+
+        for (graph::VertexId v = 0; v < num_local; ++v) {
+          const auto degree = sub.local.out_degree(v);
+          if (degree == 0) {
+            me.dangling_local += me.rank[v];
+            ctx.add_work(1);
+            continue;
+          }
+          const double share = me.rank[v] / static_cast<double>(degree);
+          if (mode == PrMode::kPull) {
+            // Local mass moves via next superstep's gather; only boundary
+            // edges scatter into ghost slots.
+            me.share[v] = share;
+            for (graph::VertexId t : sub.local.out_neighbors(v))
+              if (t >= num_local) me.ghosts.add(t - num_local, share);
+          } else {
+            for (graph::VertexId t : sub.local.out_neighbors(v)) {
+              if (t < num_local)
+                me.acc[t] += share;
+              else
+                me.ghosts.add(t - num_local, share);
+            }
+          }
+          ctx.add_work(degree);
+        }
+
+        ctx.mark_comm();
+        me.ghosts.flush([&](graph::VertexId ghost, double value) {
+          ctx.send(sub.ghost_owner[ghost],
+                   PrMsg{sub.global_id[num_local + ghost], value});
+        });
+        if (me.dangling_local != 0.0)
+          for (MachineId m = 0; m < machines; ++m)
+            if (m != ctx.self())
+              ctx.send(m, PrMsg{kDanglingSentinel, me.dangling_local});
+        return Vote::kContinue;
+      });
+
+  engine::PageRankResult result;
+  result.rank.assign(n, 0.0);
+  for (MachineId m = 0; m < machines; ++m) {
+    const partition::Subgraph& sub = dg.subgraph(m);
+    for (graph::VertexId v = 0; v < sub.num_local; ++v)
+      result.rank[sub.global_id[v]] = state[m].rank[v];
+  }
+  result.run = std::move(run.report);
+  return result;
+}
+
+}  // namespace bpart::dist

@@ -1,0 +1,32 @@
+// Distributed PageRank on the measured runtime.
+//
+// Same math as engine::pagerank (ten fixed iterations, global dangling
+// correction) but executed for real: each machine owns its subgraph piece,
+// cross-partition contributions aggregate in ghost slots and ship as one
+// double per (ghost, superstep) over the typed channels, and the returned
+// RunReport carries measured wall-clock compute/wait/bytes instead of
+// cost-model seconds. Contributions travel as doubles, so ranks match the
+// accounting engine to ~1e-12 (summation order differs across machines).
+#pragma once
+
+#include "dist/runtime.hpp"
+#include "engine/pagerank.hpp"
+
+namespace bpart::dist {
+
+/// Local work scheduling of the owned piece, Gemini's two modes:
+///  - kPush scatters each vertex's share along its out-edges;
+///  - kPull gathers shares over the local in-CSR (boundary contributions
+///    still arrive as ghost-aggregated messages — remote in-edges live on
+///    the remote machine either way).
+/// Message traffic and results are identical; only the local access
+/// pattern differs.
+enum class PrMode : std::uint8_t { kPush, kPull };
+
+engine::PageRankResult pagerank(const graph::Graph& g,
+                                const partition::Partition& parts,
+                                const engine::PageRankConfig& cfg = {},
+                                PrMode mode = PrMode::kPush,
+                                const DistOptions& opts = {});
+
+}  // namespace bpart::dist

@@ -1,0 +1,23 @@
+// Distributed SSSP (Bellman-Ford frontier relaxation) on the measured
+// runtime. Same hashed edge weights as engine::sssp; distances are monotone
+// minima relaxed along out-edges only, so the fixpoint matches the engine
+// exactly. Cross-partition relaxations aggregate min-candidates in ghost
+// slots and flush one message per improved ghost per superstep; the slot
+// keeps the best value ever sent, so non-improving candidates never hit the
+// wire. The scan is always frontier-driven (sparse) — a shortest-path
+// wavefront is the canonical sparse workload.
+#pragma once
+
+#include "dist/runtime.hpp"
+#include "engine/sssp.hpp"
+
+namespace bpart::dist {
+
+engine::SsspResult sssp(const graph::Graph& g,
+                        const partition::Partition& parts,
+                        graph::VertexId source,
+                        const engine::SsspConfig& cfg = {},
+                        const DistOptions& opts = {},
+                        std::size_t max_supersteps = 1 << 20);
+
+}  // namespace bpart::dist

@@ -259,7 +259,7 @@ void ingest_text_batches(const std::string& path, const IngestConfig& cfg,
   const std::uint64_t bytes = std::filesystem::file_size(path, ec);
   if (ec) throw std::runtime_error("cannot open edge list: " + path);
 
-  const unsigned threads = cfg.threads != 0 ? cfg.threads : worker_threads();
+  const unsigned threads = cfg.threads != 0 ? cfg.threads : thread_count();
   const std::uint64_t want_shards =
       std::max<std::uint64_t>(1, std::min<std::uint64_t>(
                                      static_cast<std::uint64_t>(threads) *

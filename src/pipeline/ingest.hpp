@@ -29,7 +29,7 @@
 namespace bpart::pipeline {
 
 struct IngestConfig {
-  /// Parser threads; 0 means bpart::worker_threads().
+  /// Parser threads; 0 means bpart::thread_count().
   unsigned threads = 0;
 
   /// Edges per batch handed to the consumer.

@@ -27,19 +27,28 @@ double dataset_scale() {
   return scale;
 }
 
-unsigned worker_threads() {
-  static const unsigned n = [] {
-    if (const char* env = std::getenv("BPART_THREADS"); env != nullptr) {
-      try {
-        const long v = std::stol(env);
-        if (v >= 1) return static_cast<unsigned>(v);
-      } catch (const std::exception&) {
-        LOG_WARN << "BPART_THREADS is not a number: " << env;
+unsigned thread_count(unsigned requested) {
+  constexpr long kMaxThreads = 256;
+  unsigned n = 0;
+  if (const char* env = std::getenv("BPART_THREADS"); env != nullptr) {
+    try {
+      const long v = std::stol(env);
+      if (v >= 1) {
+        if (v > kMaxThreads)
+          LOG_WARN << "BPART_THREADS=" << v << " clamped to " << kMaxThreads;
+        n = static_cast<unsigned>(std::min(v, kMaxThreads));
+      } else {
+        LOG_WARN << "BPART_THREADS must be >= 1, got " << env;
       }
+    } catch (const std::exception&) {
+      LOG_WARN << "BPART_THREADS is not a number: " << env;
     }
+  }
+  if (n == 0) {
     const unsigned hw = std::thread::hardware_concurrency();
-    return hw == 0 ? 1u : hw;
-  }();
+    n = hw == 0 ? 1u : hw;
+  }
+  if (requested != 0) n = std::min(n, requested);
   return n;
 }
 

@@ -10,8 +10,13 @@ namespace bpart {
 /// run a quick CI pass (scale 1) or a paper-scale sweep (scale >= 10).
 double dataset_scale();
 
-/// Worker threads to use for parallel sections: $BPART_THREADS, else
-/// std::thread::hardware_concurrency(), else 1.
-unsigned worker_threads();
+/// Worker threads to use for parallel sections: $BPART_THREADS when set
+/// (clamped to [1, 256]; junk falls through), else
+/// std::thread::hardware_concurrency(), else 1. A nonzero `requested` caps
+/// the result — executors pass the natural parallelism of their job (e.g.
+/// one thread per simulated machine) so a small override serializes onto
+/// fewer OS threads instead of oversubscribing. Re-reads the environment on
+/// every call (it is only consulted at run setup) so tests can override.
+unsigned thread_count(unsigned requested = 0);
 
 }  // namespace bpart

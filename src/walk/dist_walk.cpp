@@ -1,0 +1,100 @@
+#include "walk/dist_walk.hpp"
+
+#include "dist/dist_graph.hpp"
+#include "dist/runtime.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace bpart::walk {
+
+namespace {
+
+struct Walker {
+  std::uint64_t id;
+  std::uint32_t steps;
+  graph::VertexId at;  // global id in transit, local id while queued
+};
+
+struct WalkMachine {
+  std::vector<Walker> queue;  // walkers currently on this machine (local ids)
+  Xoshiro256 rng{0};
+  std::uint64_t total_steps = 0;
+  std::uint64_t message_walks = 0;
+};
+
+}  // namespace
+
+DistWalkReport run_simple_walks_dist(const graph::Graph& g,
+                                     const partition::Partition& parts,
+                                     const ThreadedWalkConfig& cfg) {
+  BPART_CHECK(g.num_vertices() == parts.num_vertices());
+  BPART_CHECK(parts.fully_assigned());
+  const graph::VertexId n = g.num_vertices();
+  const cluster::MachineId machines = parts.num_parts();
+
+  const dist::DistGraph dg(g, parts);
+  std::vector<WalkMachine> state(machines);
+  for (unsigned r = 0; r < cfg.walks_per_vertex; ++r)
+    for (graph::VertexId v = 0; v < n; ++v)
+      state[parts[v]].queue.push_back(
+          Walker{static_cast<std::uint64_t>(r) * n + v, 0, dg.owner_local(v)});
+
+  // One independent RNG stream per machine (jump() spacing).
+  Xoshiro256 master(cfg.seed);
+  for (cluster::MachineId m = 0; m < machines; ++m) {
+    state[m].rng = master;
+    master.jump();
+  }
+
+  dist::RuntimeConfig rcfg;
+  rcfg.max_supersteps = cfg.max_supersteps;
+  dist::RunResult run = dist::Runtime<Walker>::run(
+      machines, rcfg, [&](dist::Runtime<Walker>::Context& ctx, std::size_t) {
+        WalkMachine& me = state[ctx.self()];
+        const partition::Subgraph& sub = dg.subgraph(ctx.self());
+        const graph::VertexId num_local = sub.num_local;
+
+        ctx.for_each_message([&](const Walker& w) {
+          me.queue.push_back(
+              Walker{w.id, w.steps, dg.owner_local(w.at)});
+        });
+
+        std::uint64_t steps = 0;
+        for (const Walker& w : me.queue) {
+          std::uint32_t taken = w.steps;
+          graph::VertexId at = w.at;
+          // Greedy local phase: advance until done, dead end, or crossing.
+          while (taken < cfg.length) {
+            const auto degree = sub.local.out_degree(at);
+            if (degree == 0) break;
+            const graph::VertexId next =
+                sub.local.out_neighbor(at, me.rng.bounded(degree));
+            ++taken;
+            ++steps;
+            if (next >= num_local) {
+              const graph::VertexId ghost = next - num_local;
+              ctx.send(sub.ghost_owner[ghost],
+                       Walker{w.id, taken, sub.global_id[num_local + ghost]});
+              ++me.message_walks;
+              break;
+            }
+            at = next;
+          }
+        }
+        me.queue.clear();
+        me.total_steps += steps;
+        ctx.add_work(steps);
+        return dist::Vote::kHalt;  // in-flight walkers keep the run alive
+      });
+
+  DistWalkReport report;
+  for (const WalkMachine& m : state) {
+    report.total_steps += m.total_steps;
+    report.message_walks += m.message_walks;
+  }
+  report.supersteps = run.supersteps;
+  report.run = std::move(run.report);
+  return report;
+}
+
+}  // namespace bpart::walk

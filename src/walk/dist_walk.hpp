@@ -1,0 +1,28 @@
+// Random-walk engine on the dist:: measured runtime — the walker-shipping
+// counterpart of run_simple_walks_threaded, but over Channel<Walker> typed
+// batches instead of packed 64-bit envelopes. The struct payload lifts the
+// packed format's limits (2^24 walkers, 255 steps) and the returned
+// cluster::RunReport carries measured per-machine compute/wait seconds and
+// walker bytes shipped, so walk workloads plot on the same axes as the
+// cost-model simulations (fig13's measured column).
+#pragma once
+
+#include "cluster/bsp.hpp"
+#include "walk/threaded_walk.hpp"
+
+namespace bpart::walk {
+
+struct DistWalkReport {
+  std::uint64_t total_steps = 0;
+  std::uint64_t message_walks = 0;  ///< Walkers shipped across machines.
+  std::size_t supersteps = 0;
+  cluster::RunReport run;  ///< Measured wall-clock, not cost-model.
+};
+
+/// Runs walks_per_vertex × |V| fixed-length uniform walks, one machine per
+/// partition, over the dist runtime. No walker-count or length limits.
+DistWalkReport run_simple_walks_dist(const graph::Graph& g,
+                                     const partition::Partition& parts,
+                                     const ThreadedWalkConfig& cfg = {});
+
+}  // namespace bpart::walk

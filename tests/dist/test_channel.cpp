@@ -1,0 +1,64 @@
+#include "dist/channel.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bpart::dist {
+namespace {
+
+TEST(Channel, MessagesInvisibleUntilFlip) {
+  Channel<int> ch(2);
+  ch.send(0, 1, 7);
+  EXPECT_EQ(ch.incoming_count(1), 0u) << "delivery before the barrier";
+  EXPECT_EQ(ch.flip(), 1u);
+  ASSERT_EQ(ch.incoming_count(1), 1u);
+  EXPECT_EQ(ch.incoming(1, 0)[0], 7);
+  // Consumed at the next flip; nothing new was sent.
+  EXPECT_EQ(ch.flip(), 0u);
+  EXPECT_EQ(ch.incoming_count(1), 0u);
+}
+
+TEST(Channel, PreservesSendOrderAndSourceSegments) {
+  Channel<int> ch(3);
+  ch.send(0, 2, 1);
+  ch.send(0, 2, 2);
+  ch.send(1, 2, 3);
+  ch.flip();
+  const auto from0 = ch.incoming(2, 0);
+  ASSERT_EQ(from0.size(), 2u);
+  EXPECT_EQ(from0[0], 1);
+  EXPECT_EQ(from0[1], 2);
+  ASSERT_EQ(ch.incoming(2, 1).size(), 1u);
+  EXPECT_EQ(ch.incoming(2, 1)[0], 3);
+
+  int sum = 0;
+  ch.drain(2, [&](int m) { sum += m; });
+  EXPECT_EQ(sum, 6);
+}
+
+TEST(Channel, RecyclesBufferCapacityAcrossFlips) {
+  Channel<std::uint64_t> ch(2);
+  constexpr std::size_t kPerStep = 100;
+  auto pump = [&] {
+    for (std::size_t i = 0; i < kPerStep; ++i) ch.send(0, 1, i);
+    ch.flip();
+  };
+  pump();
+  pump();  // both generations now warm
+  const std::size_t warm = ch.outgoing_capacity(0);
+  ASSERT_GE(warm, 2 * kPerStep);
+  for (int step = 0; step < 20; ++step) {
+    pump();
+    EXPECT_EQ(ch.outgoing_capacity(0), warm) << "reallocated at step " << step;
+  }
+}
+
+TEST(Channel, SelfSendDeliversNextSuperstep) {
+  Channel<int> ch(1);
+  ch.send(0, 0, 5);
+  EXPECT_EQ(ch.incoming_count(0), 0u);
+  EXPECT_EQ(ch.flip(), 1u);
+  EXPECT_EQ(ch.incoming(0, 0)[0], 5);
+}
+
+}  // namespace
+}  // namespace bpart::dist

@@ -1,0 +1,56 @@
+#include "util/env.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+namespace bpart {
+namespace {
+
+class ThreadCountTest : public ::testing::Test {
+ protected:
+  void TearDown() override { unsetenv("BPART_THREADS"); }
+};
+
+TEST_F(ThreadCountTest, DefaultsToAtLeastOne) {
+  unsetenv("BPART_THREADS");
+  EXPECT_GE(thread_count(), 1u);
+}
+
+TEST_F(ThreadCountTest, HonorsEnvOverride) {
+  setenv("BPART_THREADS", "3", 1);
+  EXPECT_EQ(thread_count(), 3u);
+}
+
+TEST_F(ThreadCountTest, RequestedCapsTheResult) {
+  setenv("BPART_THREADS", "16", 1);
+  EXPECT_EQ(thread_count(4), 4u);
+  EXPECT_EQ(thread_count(32), 16u);
+}
+
+TEST_F(ThreadCountTest, ClampsHugeValues) {
+  setenv("BPART_THREADS", "100000", 1);
+  EXPECT_EQ(thread_count(), 256u);
+}
+
+TEST_F(ThreadCountTest, JunkFallsThroughToDefault) {
+  setenv("BPART_THREADS", "banana", 1);
+  const unsigned junk = thread_count();
+  unsetenv("BPART_THREADS");
+  EXPECT_EQ(junk, thread_count());
+
+  setenv("BPART_THREADS", "0", 1);
+  EXPECT_EQ(thread_count(), junk);
+  setenv("BPART_THREADS", "-2", 1);
+  EXPECT_EQ(thread_count(), junk);
+}
+
+TEST_F(ThreadCountTest, RereadsEnvironmentEachCall) {
+  setenv("BPART_THREADS", "2", 1);
+  EXPECT_EQ(thread_count(), 2u);
+  setenv("BPART_THREADS", "5", 1);
+  EXPECT_EQ(thread_count(), 5u);
+}
+
+}  // namespace
+}  // namespace bpart
