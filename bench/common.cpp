@@ -131,6 +131,11 @@ double app_total_seconds(const graph::Graph& g,
   return walk::run_walks(g, parts, *walk_app, cfg).run.total_seconds();
 }
 
+obs::BenchReport& report() {
+  static obs::BenchReport r;
+  return r;
+}
+
 void emit(const std::string& title, const Table& table,
           const std::string& csv_name) {
   std::cout << "\n== " << title << " ==\n" << table.to_ascii();
@@ -139,6 +144,13 @@ void emit(const std::string& title, const Table& table,
     const std::string path = dir + "/" + csv_name + ".csv";
     if (table.write_csv(path))
       std::cout << "(csv: " << path << ")\n";
+    obs::BenchReport& r = report();
+    if (r.name() == "unnamed") r.set_name(csv_name);
+    r.set_table(table);
+    r.add_info("title", title);
+    r.add_info("dataset_scale", dataset_scale());
+    const std::string json_path = r.write(dir);
+    if (!json_path.empty()) std::cout << "(report: " << json_path << ")\n";
   }
   std::cout.flush();
 }

@@ -7,12 +7,18 @@
 
 #include "graph/csr.hpp"
 #include "graph/datasets.hpp"
+#include "obs/bench_report.hpp"
 #include "partition/partition.hpp"
 #include "pipeline/artifact_store.hpp"
 #include "util/options.hpp"
 #include "util/table.hpp"
 
 namespace bpart::bench {
+
+/// The process-wide machine-readable report. Benches attach runs/quality/
+/// pipeline stats to it as they go; emit() fills in the table and writes
+/// BENCH_<name>.json next to the CSV (name defaults to csv_name).
+obs::BenchReport& report();
 
 /// Parse --graphs=a,b,c (default: all three paper datasets).
 std::vector<std::string> graphs_from(const Options& opts);

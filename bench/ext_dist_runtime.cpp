@@ -50,6 +50,7 @@ struct AppRun {
 int main(int argc, char** argv) {
   const Options opts(argc, argv);
   const auto k = static_cast<partition::PartId>(opts.get_int("parts", 8));
+  bench::report().set_name("dist_runtime");
 
   graph::CommunityGraphConfig gcfg;
   gcfg.num_vertices =
@@ -95,8 +96,11 @@ int main(int argc, char** argv) {
       return r;
     };
 
+    bench::report().add_quality(algo, partition::evaluate(g, parts));
     for (const std::string app_name : {"pagerank", "cc", "sssp", "walk"}) {
       const AppRun r = app(app_name);
+      bench::report().add_run(algo + "/" + app_name + "/measured", r.measured);
+      bench::report().add_run(algo + "/" + app_name + "/model", r.model);
       table.row()
           .cell(algo)
           .cell(app_name)

@@ -31,6 +31,8 @@ int main(int argc, char** argv) {
   const auto k = static_cast<partition::PartId>(opts.get_int("parts", 8));
   const auto edges_target = static_cast<graph::EdgeId>(
       static_cast<double>(opts.get_int("edges", 1 << 20)) * dataset_scale());
+  bench::report().set_name("ingest");
+  bench::report().add_info("threads", static_cast<double>(threads));
 
   const auto tmp = std::filesystem::temp_directory_path() /
                    ("bpart_ext_ingest_" + std::to_string(::getpid()));
@@ -95,6 +97,7 @@ int main(int argc, char** argv) {
     t.reset();
     (void)cold.run_file(text_path, "bpart", k);
     const auto& r = cold.report();
+    bench::report().add_pipeline("cold", r);
     row("cold_run_total", t.seconds(), legacy_s, r.edges,
         "ingest+csr+partition(bpart,k=" + std::to_string(k) + ")");
     row("cold_run_partition", r.partition_seconds, legacy_s, r.edges, "");
@@ -104,6 +107,7 @@ int main(int argc, char** argv) {
     t.reset();
     (void)warm.run_file(text_path, "bpart", k);
     const auto& r = warm.report();
+    bench::report().add_pipeline("warm", r);
     row("warm_run_cache_hit", t.seconds(), legacy_s, r.edges,
         std::string("graph_hit=") + (r.graph_cache_hit ? "1" : "0") +
             " partition_hit=" + (r.partition_cache_hit ? "1" : "0"));

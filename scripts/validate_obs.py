@@ -1,0 +1,133 @@
+#!/usr/bin/env python3
+"""Validate observability artifacts: Chrome trace files and BENCH_*.json
+bench reports.
+
+Usage:
+  validate_obs.py trace <trace.json> [--require-cats ingest partition ...]
+  validate_obs.py bench <BENCH_name.json>
+
+Exits non-zero with a message on the first schema violation. Used by the CI
+observability-smoke job and handy locally after running a bench with
+BPART_TRACE / BPART_OUT_DIR set.
+"""
+
+import argparse
+import json
+import sys
+
+BENCH_SCHEMA = "bpart-bench-report/v1"
+
+
+def fail(msg: str) -> None:
+    print(f"validate_obs: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check(cond: bool, msg: str) -> None:
+    if not cond:
+        fail(msg)
+
+
+def validate_trace(path: str, require_cats) -> None:
+    with open(path, "rb") as f:
+        doc = json.load(f)
+    check(isinstance(doc, dict), "top level must be an object")
+    check("traceEvents" in doc, "missing traceEvents")
+    events = doc["traceEvents"]
+    check(isinstance(events, list), "traceEvents must be an array")
+
+    complete = [e for e in events if e.get("ph") == "X"]
+    check(len(complete) > 0, "no complete ('X') events in trace")
+    for e in complete:
+        for key in ("name", "cat", "ts", "dur", "pid", "tid"):
+            check(key in e, f"event {e.get('name', '?')!r} missing {key!r}")
+        check(isinstance(e["ts"], (int, float)), "ts must be numeric")
+        check(isinstance(e["dur"], (int, float)), "dur must be numeric")
+        check(e["dur"] >= 0, f"negative duration on {e['name']!r}")
+        check(
+            isinstance(e.get("args", {}), dict),
+            f"args of {e['name']!r} must be an object",
+        )
+
+    cats = {e["cat"] for e in complete}
+    missing = set(require_cats or []) - cats
+    check(not missing, f"missing categories {sorted(missing)}; have {sorted(cats)}")
+
+    other = doc.get("otherData", {})
+    check("dropped_events" in other, "missing otherData.dropped_events")
+
+    print(
+        f"validate_obs: OK: {path}: {len(complete)} events, "
+        f"{len(cats)} categories {sorted(cats)}, "
+        f"{other['dropped_events']} dropped"
+    )
+
+
+def validate_bench(path: str) -> None:
+    with open(path, "rb") as f:
+        doc = json.load(f)
+    check(doc.get("schema") == BENCH_SCHEMA, f"schema != {BENCH_SCHEMA!r}")
+    check(bool(doc.get("name")), "missing name")
+    check(isinstance(doc.get("created_unix"), int), "created_unix must be int")
+    check(isinstance(doc.get("info"), dict), "info must be an object")
+
+    table = doc.get("table")
+    check(isinstance(table, dict), "table must be an object")
+    headers = table.get("headers")
+    rows = table.get("rows")
+    check(isinstance(headers, list), "table.headers must be an array")
+    check(isinstance(rows, list), "table.rows must be an array")
+    for i, row in enumerate(rows):
+        check(len(row) == len(headers), f"row {i} width != header count")
+
+    for section in ("runs", "quality", "pipeline"):
+        if section not in doc:
+            continue
+        for entry in doc[section]:
+            check("label" in entry and "report" in entry,
+                  f"{section} entry missing label/report")
+
+    for run in doc.get("runs", []):
+        report = run["report"]
+        for key in ("num_machines", "totals", "iterations"):
+            check(key in report, f"run {run['label']!r} missing {key!r}")
+        totals = report["totals"]
+        for key in ("seconds", "wait_seconds", "wait_ratio", "messages",
+                    "work", "bytes_sent", "iterations"):
+            check(key in totals, f"run {run['label']!r} totals missing {key!r}")
+
+    metrics = doc.get("metrics")
+    check(isinstance(metrics, dict), "metrics must be an object")
+    for key in ("counters", "gauges", "latencies"):
+        check(isinstance(metrics.get(key), dict), f"metrics.{key} must be an object")
+    for name, lat in metrics["latencies"].items():
+        for key in ("count", "sum_ns", "max_ns", "p50_ns", "p90_ns", "p99_ns",
+                    "buckets"):
+            check(key in lat, f"latency {name!r} missing {key!r}")
+
+    print(
+        f"validate_obs: OK: {path}: name={doc['name']!r}, "
+        f"{len(rows)} table rows, {len(doc.get('runs', []))} runs, "
+        f"{len(metrics['counters'])} counters"
+    )
+
+
+def main() -> None:
+    ap = argparse.ArgumentParser(description=__doc__)
+    sub = ap.add_subparsers(dest="kind", required=True)
+    tp = sub.add_parser("trace", help="validate a Chrome trace-event file")
+    tp.add_argument("path")
+    tp.add_argument("--require-cats", nargs="*", default=[],
+                    help="categories that must appear among X events")
+    bp = sub.add_parser("bench", help="validate a BENCH_<name>.json report")
+    bp.add_argument("path")
+    args = ap.parse_args()
+
+    if args.kind == "trace":
+        validate_trace(args.path, args.require_cats)
+    else:
+        validate_bench(args.path)
+
+
+if __name__ == "__main__":
+    main()

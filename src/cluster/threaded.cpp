@@ -4,6 +4,7 @@
 #include <barrier>
 #include <thread>
 
+#include "obs/trace.hpp"
 #include "util/check.hpp"
 #include "util/env.hpp"
 
@@ -63,11 +64,18 @@ std::size_t ThreadedBsp::run(
     const MachineId hi = range_begin(t + 1);
     for (std::size_t s = 0;; ++s) {
       std::uint32_t my_continues = 0;
-      for (MachineId m = lo; m < hi; ++m)
-        if (step(ctx[m], s) == Vote::kContinue) ++my_continues;
+      {
+        BPART_SPAN("superstep/cluster_compute", "superstep",
+                   static_cast<double>(s));
+        for (MachineId m = lo; m < hi; ++m)
+          if (step(ctx[m], s) == Vote::kContinue) ++my_continues;
+      }
       if (my_continues != 0)
         continue_votes.fetch_add(my_continues, std::memory_order_relaxed);
-      barrier.arrive_and_wait();
+      {
+        BPART_SPAN("barrier/wait", "superstep", static_cast<double>(s));
+        barrier.arrive_and_wait();
+      }
       if (done.load(std::memory_order_relaxed)) return;
     }
   };

@@ -27,6 +27,8 @@
 
 #include "cluster/bsp.hpp"
 #include "dist/channel.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/check.hpp"
 #include "util/env.hpp"
 #include "util/timer.hpp"
@@ -158,6 +160,8 @@ class Runtime {
     // re-arrived).
     auto on_sync = [&]() noexcept {
       const std::uint64_t in_flight = channel.flip();
+      obs::counter("dist.supersteps").add(1);
+      if (in_flight != 0) obs::counter("dist.messages_delivered").add(in_flight);
       cluster::IterationReport it;
       it.machines.resize(machines);
       for (MachineId m = 0; m < machines; ++m) {
@@ -188,9 +192,14 @@ class Runtime {
     auto worker = [&](unsigned t) {
       const MachineId lo = range_begin(t);
       const MachineId hi = range_begin(t + 1);
+      // Per-worker phase accounting; AccumTimer is single-thread-owned, so
+      // each worker carries its own and publishes totals at shutdown.
+      AccumTimer barrier_accum;
       for (std::size_t s = 0;; ++s) {
         std::uint32_t my_continues = 0;
         for (MachineId m = lo; m < hi; ++m) {
+          BPART_SPAN("superstep/compute", "machine", static_cast<double>(m),
+                     "superstep", static_cast<double>(s));
           Context& c = ctx[m];
           c.work_ = 0;
           c.sent_ = 0;
@@ -211,7 +220,11 @@ class Runtime {
         if (my_continues != 0)
           continue_votes.fetch_add(my_continues, std::memory_order_relaxed);
         Timer wait_timer;
-        barrier.arrive_and_wait();
+        {
+          BPART_SPAN("barrier/wait", "superstep", static_cast<double>(s));
+          ScopedAccum accum(barrier_accum);
+          barrier.arrive_and_wait();
+        }
         // Attribute the measured barrier wait (straggler wait + completion
         // work) to this thread's machines on the row the completion just
         // pushed. The last thread to arrive measures ~the completion cost
@@ -219,7 +232,11 @@ class Runtime {
         const double waited = wait_timer.seconds();
         auto& row = iterations.back();
         for (MachineId m = lo; m < hi; ++m) row.machines[m].wait_seconds = waited;
-        if (done.load(std::memory_order_relaxed)) return;
+        if (done.load(std::memory_order_relaxed)) {
+          obs::latency("dist.worker_barrier_wait").record_seconds(
+              barrier_accum.seconds());
+          return;
+        }
       }
     };
 

@@ -1,10 +1,15 @@
 #include "engine/pagerank.hpp"
 
+#include "obs/trace.hpp"
+
 namespace bpart::engine {
 
 PageRankResult pagerank(const graph::Graph& g,
                         const partition::Partition& parts,
                         const PageRankConfig& cfg, cluster::CostModel model) {
+  BPART_SPAN("engine/pagerank", "vertices",
+             static_cast<double>(g.num_vertices()), "iterations",
+             static_cast<double>(cfg.iterations));
   DistContext ctx(g, parts, model);
   const graph::VertexId n = g.num_vertices();
   const double inv_n = n > 0 ? 1.0 / static_cast<double>(n) : 0.0;
@@ -13,6 +18,7 @@ PageRankResult pagerank(const graph::Graph& g,
   std::vector<double> next(n, 0.0);
 
   for (unsigned iter = 0; iter < cfg.iterations; ++iter) {
+    BPART_SPAN("engine/iteration", "iteration", static_cast<double>(iter));
     ctx.sim().begin_iteration();
     std::fill(next.begin(), next.end(), 0.0);
     double dangling_mass = 0.0;

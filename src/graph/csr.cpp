@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "obs/trace.hpp"
 #include "util/check.hpp"
 
 namespace bpart::graph {
@@ -39,6 +40,9 @@ void build_adjacency(std::span<const Edge> edges, VertexId n, bool reverse,
 }  // namespace
 
 Graph Graph::from_edges(const EdgeList& edges) {
+  BPART_SPAN("ingest/csr_build", "vertices",
+             static_cast<double>(edges.num_vertices()), "edges",
+             static_cast<double>(edges.edges().size()));
   Graph g;
   const VertexId n = edges.num_vertices();
   build_adjacency(edges.edges(), n, /*reverse=*/false, g.out_offsets_,

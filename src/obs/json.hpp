@@ -1,0 +1,115 @@
+// Minimal JSON writer and parser for the observability layer.
+//
+// The writer is a streaming emitter with automatic comma/indent management,
+// used by the trace exporter (Chrome trace-event files), the metrics dump
+// and the bench report sink. The parser is a small recursive-descent reader
+// used by tests to load those files back and by the report round-trip
+// (obs::run_report_from_json). Neither aims to be a general JSON library:
+// no comments, no trailing commas, UTF-8 passed through verbatim.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+namespace bpart::obs::json {
+
+/// Escape a string for embedding between double quotes.
+std::string escape(std::string_view s);
+
+/// Streaming JSON emitter. Usage:
+///   Writer w;
+///   w.begin_object().key("n").value(3).key("xs").begin_array()
+///    .value(1.5).value(2.5).end_array().end_object();
+///   w.str();
+/// Structural errors (value without key inside an object, unbalanced
+/// end_*) are programming bugs and abort via BPART_CHECK.
+class Writer {
+ public:
+  Writer& begin_object();
+  Writer& end_object();
+  Writer& begin_array();
+  Writer& end_array();
+  Writer& key(std::string_view k);
+  Writer& value(std::string_view v);
+  Writer& value(const char* v) { return value(std::string_view(v)); }
+  Writer& value(const std::string& v) { return value(std::string_view(v)); }
+  Writer& value(double v);
+  Writer& value(std::int64_t v);
+  Writer& value(std::uint64_t v);
+  Writer& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  Writer& value(unsigned v) { return value(static_cast<std::uint64_t>(v)); }
+  Writer& value(bool v);
+  Writer& null();
+
+  /// Shorthand for key(k) followed by value(v).
+  template <typename T>
+  Writer& kv(std::string_view k, const T& v) {
+    key(k);
+    return value(v);
+  }
+
+  /// The document so far. Call after the outermost end_*.
+  [[nodiscard]] const std::string& str() const { return out_; }
+
+ private:
+  void pre_value();
+
+  enum class Frame : std::uint8_t { kObject, kArray };
+  std::string out_;
+  std::vector<Frame> stack_;
+  bool need_comma_ = false;
+  bool have_key_ = false;
+};
+
+/// Parsed JSON value. Numbers are stored as double (plenty for trace
+/// timestamps and report metrics; exact integers survive up to 2^53).
+class Value {
+ public:
+  using Array = std::vector<Value>;
+  using Object = std::map<std::string, Value>;
+  using Storage =
+      std::variant<std::nullptr_t, bool, double, std::string, Array, Object>;
+
+  Value() : v_(nullptr) {}
+  explicit Value(Storage v) : v_(std::move(v)) {}
+
+  [[nodiscard]] bool is_null() const { return std::holds_alternative<std::nullptr_t>(v_); }
+  [[nodiscard]] bool is_bool() const { return std::holds_alternative<bool>(v_); }
+  [[nodiscard]] bool is_number() const { return std::holds_alternative<double>(v_); }
+  [[nodiscard]] bool is_string() const { return std::holds_alternative<std::string>(v_); }
+  [[nodiscard]] bool is_array() const { return std::holds_alternative<Array>(v_); }
+  [[nodiscard]] bool is_object() const { return std::holds_alternative<Object>(v_); }
+
+  /// Typed accessors; throw std::runtime_error on a type mismatch so test
+  /// failures carry a message instead of a variant abort.
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] double as_double() const;
+  [[nodiscard]] std::int64_t as_int() const;
+  [[nodiscard]] std::uint64_t as_uint() const;
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const Array& as_array() const;
+  [[nodiscard]] const Object& as_object() const;
+
+  /// Object member access; throws if not an object or key missing.
+  [[nodiscard]] const Value& at(const std::string& key) const;
+  [[nodiscard]] bool contains(const std::string& key) const;
+  /// Array element access; throws if not an array or out of range.
+  [[nodiscard]] const Value& at(std::size_t index) const;
+  [[nodiscard]] std::size_t size() const;
+
+ private:
+  Storage v_;
+};
+
+/// Parse a complete JSON document. Throws std::runtime_error with the byte
+/// offset of the first error; trailing non-whitespace is an error too.
+Value parse(std::string_view text);
+
+/// Parse the contents of a file (convenience for tests and tools).
+Value parse_file(const std::string& path);
+
+}  // namespace bpart::obs::json

@@ -1,0 +1,271 @@
+#include "obs/trace.hpp"
+
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include <unistd.h>
+
+#include "obs/json.hpp"
+#include "util/logging.hpp"
+
+namespace bpart::obs {
+
+namespace detail {
+std::atomic<int> g_trace_state{kTraceUninit};
+}  // namespace detail
+
+namespace {
+
+/// Per-thread ring capacity. At ~96 bytes per event this is ~1.5 MiB per
+/// traced thread; long runs overwrite the oldest events (flight-recorder
+/// semantics) and report the overwrite count in otherData.
+constexpr std::size_t kRingCapacity = std::size_t{1} << 14;
+
+std::uint64_t now_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+struct Event {
+  const char* name = nullptr;
+  std::uint64_t t0_ns = 0;
+  std::uint64_t dur_ns = 0;
+  std::uint32_t depth = 0;
+  std::uint32_t nargs = 0;
+  struct {
+    const char* key = nullptr;
+    double value = 0;
+  } args[Span::kMaxArgs];
+};
+
+/// One thread's buffered events. The owning thread pushes under `mu`; the
+/// exporter locks the same mutex, so export is safe even mid-run. Kept
+/// alive by the registry's shared_ptr after the thread exits.
+struct ThreadBuf {
+  std::mutex mu;
+  std::uint32_t tid = 0;
+  std::vector<Event> ring;           // guarded by mu
+  std::size_t head = 0;              // next overwrite slot once full
+  bool full = false;                 // guarded by mu
+  std::uint64_t overwritten = 0;     // guarded by mu
+  std::uint32_t depth = 0;           // owner thread only
+};
+
+struct TraceState {
+  std::mutex mu;  ///< Guards bufs, path, epoch registration.
+  std::vector<std::shared_ptr<ThreadBuf>> bufs;
+  std::string path;
+  std::uint64_t epoch_ns = 0;
+  std::uint32_t next_tid = 1;
+  bool atexit_registered = false;
+};
+
+/// Intentionally leaked (atexit + late thread-exit safety).
+TraceState& state() {
+  static TraceState* s = new TraceState;
+  return *s;
+}
+
+ThreadBuf& thread_buf() {
+  thread_local std::shared_ptr<ThreadBuf> buf = [] {
+    auto b = std::make_shared<ThreadBuf>();
+    TraceState& st = state();
+    std::lock_guard<std::mutex> lock(st.mu);
+    b->tid = st.next_tid++;
+    st.bufs.push_back(b);
+    return b;
+  }();
+  return *buf;
+}
+
+void write_trace_at_exit() { trace_flush(); }
+
+void enable(const std::string& path) {
+  TraceState& st = state();
+  {
+    std::lock_guard<std::mutex> lock(st.mu);
+    st.path = path;
+    if (st.epoch_ns == 0) st.epoch_ns = now_ns();
+    if (!st.atexit_registered) {
+      std::atexit(write_trace_at_exit);
+      st.atexit_registered = true;
+    }
+  }
+  detail::g_trace_state.store(detail::kTraceOn, std::memory_order_release);
+}
+
+/// Serialize all buffered events as Chrome trace-event JSON.
+std::string export_json() {
+  TraceState& st = state();
+  json::Writer w;
+  const auto pid = static_cast<std::int64_t>(::getpid());
+
+  std::lock_guard<std::mutex> lock(st.mu);
+  std::uint64_t dropped = 0;
+
+  w.begin_object();
+  w.kv("displayTimeUnit", "ms");
+  w.key("traceEvents").begin_array();
+  // Process-name metadata so Perfetto labels the track group.
+  w.begin_object()
+      .kv("ph", "M")
+      .kv("name", "process_name")
+      .kv("pid", pid)
+      .key("args")
+      .begin_object()
+      .kv("name", "bpart")
+      .end_object()
+      .end_object();
+
+  for (const auto& buf : st.bufs) {
+    std::lock_guard<std::mutex> buf_lock(buf->mu);
+    dropped += buf->overwritten;
+    const std::size_t n = buf->ring.size();
+    const std::size_t start = buf->full ? buf->head : 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const Event& e = buf->ring[(start + i) % n];
+      const char* slash = std::strchr(e.name, '/');
+      const std::string_view cat =
+          slash != nullptr
+              ? std::string_view(e.name, static_cast<std::size_t>(slash - e.name))
+              : std::string_view("misc");
+      w.begin_object()
+          .kv("name", e.name)
+          .kv("cat", cat)
+          .kv("ph", "X")
+          .kv("ts", static_cast<double>(e.t0_ns - st.epoch_ns) / 1e3)
+          .kv("dur", static_cast<double>(e.dur_ns) / 1e3)
+          .kv("pid", pid)
+          .kv("tid", static_cast<std::uint64_t>(buf->tid));
+      w.key("args").begin_object();
+      w.kv("depth", static_cast<std::uint64_t>(e.depth));
+      for (std::uint32_t a = 0; a < e.nargs; ++a)
+        w.kv(e.args[a].key, e.args[a].value);
+      w.end_object();
+      w.end_object();
+    }
+  }
+  w.end_array();
+  w.key("otherData")
+      .begin_object()
+      .kv("dropped_events", dropped)
+      .end_object();
+  w.end_object();
+  return w.str();
+}
+
+}  // namespace
+
+namespace detail {
+
+int trace_init_from_env() noexcept {
+  // Races are benign: both threads resolve the same environment.
+  const char* env = std::getenv("BPART_TRACE");
+  if (env != nullptr && *env != '\0') {
+    enable(env);
+    return kTraceOn;
+  }
+  int expected = kTraceUninit;
+  g_trace_state.compare_exchange_strong(expected, kTraceOff,
+                                        std::memory_order_acq_rel);
+  return g_trace_state.load(std::memory_order_acquire);
+}
+
+}  // namespace detail
+
+void trace_start(const std::string& path) { enable(path); }
+
+std::string trace_flush() {
+  if (detail::g_trace_state.load(std::memory_order_acquire) !=
+      detail::kTraceOn)
+    return "";
+  const std::string out = export_json();
+  std::string path;
+  {
+    TraceState& st = state();
+    std::lock_guard<std::mutex> lock(st.mu);
+    path = st.path;
+  }
+  if (path.empty()) return "";
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  if (!f) {
+    LOG_WARN << "[obs] cannot write trace file " << path;
+    return "";
+  }
+  f << out << '\n';
+  LOG_INFO << "[obs] trace written to " << path;
+  return path;
+}
+
+std::string trace_stop() {
+  const std::string path = trace_flush();
+  detail::g_trace_state.store(detail::kTraceOff, std::memory_order_release);
+  TraceState& st = state();
+  std::lock_guard<std::mutex> lock(st.mu);
+  for (const auto& buf : st.bufs) {
+    std::lock_guard<std::mutex> buf_lock(buf->mu);
+    buf->ring.clear();
+    buf->head = 0;
+    buf->full = false;
+    buf->overwritten = 0;
+  }
+  return path;
+}
+
+std::uint64_t trace_dropped_events() {
+  TraceState& st = state();
+  std::lock_guard<std::mutex> lock(st.mu);
+  std::uint64_t dropped = 0;
+  for (const auto& buf : st.bufs) {
+    std::lock_guard<std::mutex> buf_lock(buf->mu);
+    dropped += buf->overwritten;
+  }
+  return dropped;
+}
+
+void Span::open(const char* name) noexcept {
+  name_ = name;
+  t0_ns_ = now_ns();
+  ThreadBuf& buf = thread_buf();
+  depth_ = buf.depth++;
+  live_ = true;
+}
+
+void Span::close() noexcept {
+  const std::uint64_t t1 = now_ns();
+  ThreadBuf& buf = thread_buf();
+  if (buf.depth > 0) --buf.depth;
+  live_ = false;
+  // A span that outlived trace_stop() is discarded (state already cleared).
+  if (detail::g_trace_state.load(std::memory_order_acquire) !=
+      detail::kTraceOn)
+    return;
+  Event e;
+  e.name = name_;
+  e.t0_ns = t0_ns_;
+  e.dur_ns = t1 >= t0_ns_ ? t1 - t0_ns_ : 0;
+  e.depth = depth_;
+  e.nargs = nargs_;
+  for (std::uint32_t a = 0; a < nargs_; ++a) {
+    e.args[a].key = args_[a].key;
+    e.args[a].value = args_[a].value;
+  }
+  std::lock_guard<std::mutex> lock(buf.mu);
+  if (buf.ring.size() < kRingCapacity) {
+    buf.ring.push_back(e);
+  } else {
+    buf.ring[buf.head] = e;
+    buf.head = (buf.head + 1) % kRingCapacity;
+    buf.full = true;
+    ++buf.overwritten;
+  }
+}
+
+}  // namespace bpart::obs

@@ -1,0 +1,124 @@
+// Scoped span tracing with Chrome trace-event export.
+//
+//   void fennel_pass(...) {
+//     BPART_SPAN("partition/fennel_pass", "vertices", n);
+//     ...
+//   }
+//
+// Each BPART_SPAN opens an RAII span on the current thread; spans nest
+// naturally with scope. Completed spans are buffered in a fixed-capacity
+// per-thread ring (oldest events overwritten, overwrites counted) and
+// exported as Chrome trace-event JSON — load the file in chrome://tracing
+// or https://ui.perfetto.dev. The span's category is the name segment
+// before the first '/' ("partition/fennel_pass" -> cat "partition"), which
+// Perfetto uses for filtering.
+//
+// Enablement: set $BPART_TRACE=<path> before launch (the file is written at
+// process exit), or call trace_start()/trace_stop() programmatically. When
+// tracing is off a span costs one relaxed atomic load and a branch, so the
+// macros can sit on hot paths (per-superstep, per-shard) permanently.
+//
+// Span names and arg keys must be string literals (or otherwise outlive the
+// trace): the ring stores the pointers, not copies.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace bpart::obs {
+
+namespace detail {
+inline constexpr int kTraceUninit = -1;
+inline constexpr int kTraceOff = 0;
+inline constexpr int kTraceOn = 1;
+extern std::atomic<int> g_trace_state;
+/// Resolves $BPART_TRACE once; returns the resulting state.
+int trace_init_from_env() noexcept;
+}  // namespace detail
+
+/// Fast gate used by Span; first call resolves $BPART_TRACE.
+inline bool trace_enabled() noexcept {
+  const int s = detail::g_trace_state.load(std::memory_order_acquire);
+  if (s != detail::kTraceUninit) return s == detail::kTraceOn;
+  return detail::trace_init_from_env() == detail::kTraceOn;
+}
+
+/// Enable tracing programmatically; events collected from now on are
+/// written to `path` by trace_stop() / trace_flush() / process exit.
+void trace_start(const std::string& path);
+
+/// Write buffered events to the configured path and keep tracing.
+/// Returns the path written, or "" if tracing is off / the write failed.
+std::string trace_flush();
+
+/// Flush, then disable tracing and clear the buffers.
+std::string trace_stop();
+
+/// Events dropped so far to ring-buffer overwrites (diagnostic; also
+/// recorded in the exported file's otherData).
+std::uint64_t trace_dropped_events();
+
+class Span {
+ public:
+  static constexpr std::size_t kMaxArgs = 4;
+
+  explicit Span(const char* name) noexcept {
+    if (trace_enabled()) open(name);
+  }
+  Span(const char* name, const char* k1, double v1) noexcept {
+    if (trace_enabled()) {
+      open(name);
+      arg(k1, v1);
+    }
+  }
+  Span(const char* name, const char* k1, double v1, const char* k2,
+       double v2) noexcept {
+    if (trace_enabled()) {
+      open(name);
+      arg(k1, v1);
+      arg(k2, v2);
+    }
+  }
+  ~Span() {
+    if (live_) close();
+  }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// Attach a numeric argument (shown in the Perfetto detail pane). At most
+  /// kMaxArgs stick; extras are ignored. No-op when tracing is off.
+  void arg(const char* key, double value) noexcept {
+    if (live_ && nargs_ < kMaxArgs) {
+      args_[nargs_].key = key;
+      args_[nargs_].value = value;
+      ++nargs_;
+    }
+  }
+
+ private:
+  struct Arg {
+    const char* key = nullptr;
+    double value = 0;
+  };
+
+  void open(const char* name) noexcept;
+  void close() noexcept;
+
+  const char* name_ = nullptr;
+  std::uint64_t t0_ns_ = 0;
+  std::uint32_t depth_ = 0;
+  Arg args_[kMaxArgs];
+  std::uint32_t nargs_ = 0;
+  bool live_ = false;
+};
+
+}  // namespace bpart::obs
+
+#define BPART_OBS_CONCAT_INNER(a, b) a##b
+#define BPART_OBS_CONCAT(a, b) BPART_OBS_CONCAT_INNER(a, b)
+
+/// Open a scoped span: BPART_SPAN("cat/name") or
+/// BPART_SPAN("cat/name", "key", value[, "key2", value2]).
+#define BPART_SPAN(...) \
+  ::bpart::obs::Span BPART_OBS_CONCAT(bpart_span_, __LINE__){__VA_ARGS__}

@@ -5,6 +5,7 @@
 #include <limits>
 #include <numeric>
 
+#include "obs/trace.hpp"
 #include "util/check.hpp"
 #include "util/logging.hpp"
 
@@ -176,6 +177,9 @@ Partition BPart::partition(const graph::Graph& g, PartId k) const {
 Partition BPart::partition_traced(const graph::Graph& g, PartId k,
                                   BPartTrace* trace) const {
   BPART_CHECK(k >= 1);
+  BPART_SPAN("partition/bpart", "vertices",
+             static_cast<double>(g.num_vertices()), "parts",
+             static_cast<double>(k));
   const graph::VertexId n = g.num_vertices();
   Partition result(n, k);
   if (n == 0) return result;
@@ -211,6 +215,8 @@ Partition BPart::partition_traced(const graph::Graph& g, PartId k,
 
   for (unsigned layer = 1; layer <= cfg_.max_layers && !remaining.empty();
        ++layer) {
+    BPART_SPAN("partition/combine_layer", "layer", static_cast<double>(layer),
+               "remaining", static_cast<double>(remaining.size()));
     const PartId parts_owed = k - next_final_part;
     BPART_CHECK(parts_owed >= 1);
 

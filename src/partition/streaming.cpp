@@ -3,6 +3,8 @@
 #include <limits>
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "partition/partitioner.hpp"
 #include "util/check.hpp"
 
@@ -24,6 +26,11 @@ Partition greedy_stream_partition(const graph::Graph& g,
   BPART_CHECK(k >= 1);
   BPART_CHECK(cfg.balance_weight_c >= 0.0 && cfg.balance_weight_c <= 1.0);
   BPART_CHECK(cfg.gamma > 1.0);
+  BPART_SPAN("partition/stream_pass", "vertices",
+             static_cast<double>(vertices.size()), "parts",
+             static_cast<double>(k));
+  obs::ScopedLatency pass_latency(obs::latency("partition.stream_pass"));
+  obs::counter("partition.stream_vertices").add(vertices.size());
 
   Partition p(g.num_vertices(), k);
   if (vertices.empty()) return p;

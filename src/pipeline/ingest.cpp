@@ -11,6 +11,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "pipeline/bounded_queue.hpp"
 #include "util/check.hpp"
 #include "util/env.hpp"
@@ -108,6 +110,8 @@ struct IngestState {
 /// exactly one shard.
 void parse_shard(const std::string& path, std::uint32_t shard,
                  ShardRange range, const IngestConfig& cfg, IngestState& st) {
+  BPART_SPAN("ingest/parse_shard", "shard", static_cast<double>(shard),
+             "bytes", static_cast<double>(range.end - range.begin));
   std::ifstream f(path, std::ios::binary);
   if (!f) {
     st.report_error(range.begin, "cannot open edge list: " + path);
@@ -253,6 +257,8 @@ void ingest_text_batches(const std::string& path, const IngestConfig& cfg,
                          IngestReport* report) {
   BPART_CHECK(cfg.batch_edges >= 1);
   BPART_CHECK(cfg.queue_capacity >= 1);
+  BPART_SPAN("ingest/text_file");
+  obs::ScopedLatency ingest_latency(obs::latency("ingest.text_file"));
   Timer timer;
 
   std::error_code ec;
@@ -342,6 +348,8 @@ void ingest_text_batches(const std::string& path, const IngestConfig& cfg,
     throw std::runtime_error(st.error);
   }
 
+  obs::counter("ingest.edges").add(edges);
+  obs::counter("ingest.bytes").add(bytes);
   if (report != nullptr) {
     report->seconds = timer.seconds();
     report->bytes = bytes;

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "obs/trace.hpp"
 #include "partition/registry.hpp"
 #include "util/logging.hpp"
 #include "util/timer.hpp"
@@ -32,6 +33,7 @@ CacheKey PipelineRunner::graph_key(const std::string& path) const {
 }
 
 graph::Graph PipelineRunner::load_graph(const std::string& path) {
+  BPART_SPAN("ingest/load_graph");
   report_ = PipelineReport{};
   Timer cache_timer;
   if (cache_on_) {
@@ -108,6 +110,7 @@ partition::Partition PipelineRunner::partition_graph(const graph::Graph& g,
   }
   report_.cache_seconds += cache_timer.seconds();
 
+  BPART_SPAN("partition/run", "parts", static_cast<double>(k));
   Timer t;
   partition::Partition p = partition::create(algo)->partition(g, k);
   report_.partition_seconds = t.seconds();

@@ -104,6 +104,25 @@ std::string LogHistogram::render(std::size_t width) const {
   return os.str();
 }
 
+double LogHistogram::quantile(double q) const {
+  BPART_CHECK(q >= 0.0 && q <= 1.0);
+  if (total_ == 0) return 0.0;
+  const double target = q * static_cast<double>(total_);
+  double cum = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const double next = cum + static_cast<double>(counts_[i]);
+    if (next >= target && counts_[i] > 0) {
+      const double lo = i == 0 ? 0.0 : std::ldexp(1.0, static_cast<int>(i));
+      const double hi = std::ldexp(1.0, static_cast<int>(i + 1));
+      const double frac = (target - cum) / static_cast<double>(counts_[i]);
+      return lo + frac * (hi - lo);
+    }
+    cum = next;
+  }
+  // Unreachable with total_ > 0; return the top edge for safety.
+  return std::ldexp(1.0, static_cast<int>(counts_.size()));
+}
+
 double LogHistogram::log_log_slope() const {
   // Simple least squares over (i, log2(count_i)) for non-empty buckets;
   // bucket index i is already log2(degree).

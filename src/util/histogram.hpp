@@ -53,6 +53,11 @@ class LogHistogram {
   [[nodiscard]] std::uint64_t total() const { return total_; }
   [[nodiscard]] std::string render(std::size_t width = 50) const;
 
+  /// Approximate quantile: linear interpolation inside the log2 bucket
+  /// [2^i, 2^(i+1)) (bucket 0 spans [0, 2)). Used by the observability
+  /// layer's latency histograms for p50/p99 reporting.
+  [[nodiscard]] double quantile(double q) const;
+
   /// Least-squares slope of log(count) vs log(degree) over non-empty
   /// buckets — a quick power-law-exponent estimate used by generator tests.
   [[nodiscard]] double log_log_slope() const;

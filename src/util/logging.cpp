@@ -4,13 +4,19 @@
 #include <cctype>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <ctime>
 
 namespace bpart::log {
 
 namespace {
-std::atomic<int> g_level{static_cast<int>(Level::kWarn)};
+constexpr int kLevelUninit = -1;
+/// kLevelUninit until the first level() query or set_level() call; the
+/// lazy $BPART_LOG read happens on the uninit path only, so an explicit
+/// set_level() that ran first always wins.
+std::atomic<int> g_level{kLevelUninit};
 std::mutex g_write_mutex;
+std::atomic<bool> g_warned_unknown_level{false};
 
 const char* level_tag(Level lvl) {
   switch (lvl) {
@@ -23,15 +29,10 @@ const char* level_tag(Level lvl) {
   }
   return "?????";
 }
-}  // namespace
-
-Level level() noexcept { return static_cast<Level>(g_level.load(std::memory_order_relaxed)); }
-
-void set_level(Level lvl) noexcept {
-  g_level.store(static_cast<int>(lvl), std::memory_order_relaxed);
-}
-
-Level parse_level(const std::string& name) noexcept {
+/// parse_level without the unknown-value warning; *unknown reports whether
+/// the fallback was taken.
+Level parse_level_quiet(const std::string& name, bool* unknown) noexcept {
+  if (unknown != nullptr) *unknown = false;
   std::string lower;
   lower.reserve(name.size());
   for (char c : name) lower.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
@@ -41,7 +42,59 @@ Level parse_level(const std::string& name) noexcept {
   if (lower == "warn" || lower == "warning") return Level::kWarn;
   if (lower == "error") return Level::kError;
   if (lower == "off" || lower == "none") return Level::kOff;
+  if (unknown != nullptr) *unknown = true;
   return Level::kInfo;
+}
+
+void warn_unknown_level(const std::string& name) noexcept {
+  if (g_warned_unknown_level.exchange(true)) return;
+  write(Level::kWarn,
+        "unknown log level '" + name + "', using info (valid: trace, debug, "
+        "info, warn, error, off)");
+}
+
+/// Resolve $BPART_LOG into g_level. CAS from kLevelUninit so a set_level()
+/// racing with the first level() query keeps its value.
+Level init_level_from_env() noexcept {
+  bool unknown = false;
+  Level lvl = Level::kWarn;
+  std::string raw;
+  if (const char* env = std::getenv("BPART_LOG");
+      env != nullptr && *env != '\0') {
+    raw = env;
+    lvl = parse_level_quiet(raw, &unknown);
+  }
+  int expected = kLevelUninit;
+  g_level.compare_exchange_strong(expected, static_cast<int>(lvl),
+                                  std::memory_order_relaxed);
+  // Warn after the level is installed so the warning itself can pass the
+  // threshold check without recursing into initialization.
+  if (unknown) warn_unknown_level(raw);
+  return static_cast<Level>(g_level.load(std::memory_order_relaxed));
+}
+
+}  // namespace
+
+Level level() noexcept {
+  const int v = g_level.load(std::memory_order_relaxed);
+  if (v != kLevelUninit) return static_cast<Level>(v);
+  return init_level_from_env();
+}
+
+void set_level(Level lvl) noexcept {
+  g_level.store(static_cast<int>(lvl), std::memory_order_relaxed);
+}
+
+Level parse_level(const std::string& name) noexcept {
+  bool unknown = false;
+  const Level lvl = parse_level_quiet(name, &unknown);
+  if (unknown) warn_unknown_level(name);
+  return lvl;
+}
+
+void reinit_from_env() noexcept {
+  g_level.store(kLevelUninit, std::memory_order_relaxed);
+  init_level_from_env();
 }
 
 void write(Level lvl, const std::string& msg) {

@@ -1,8 +1,11 @@
 // Minimal leveled logger.
 //
 // The library never logs by default (level = kWarn); benches and examples
-// raise the level for progress reporting. Thread-safe: each log line is
-// formatted into a local buffer and written with a single mutex-guarded call.
+// raise the level for progress reporting, and $BPART_LOG=trace|debug|info|
+// warn|error|off overrides the default without code changes (applied on the
+// first level() query, like $BPART_THREADS in util/env; an explicit
+// set_level() always wins). Thread-safe: each log line is formatted into a
+// local buffer and written with a single mutex-guarded call.
 #pragma once
 
 #include <mutex>
@@ -18,8 +21,14 @@ Level level() noexcept;
 void set_level(Level lvl) noexcept;
 
 /// Parse "trace" / "debug" / "info" / "warn" / "error" / "off"
-/// (case-insensitive). Unknown strings map to kInfo.
+/// (case-insensitive). Unknown strings map to kInfo, with a once-per-process
+/// warning naming the rejected value.
 Level parse_level(const std::string& name) noexcept;
+
+/// Re-read $BPART_LOG and apply it (unset restores the kWarn default).
+/// Normal code never needs this — the first level() call applies the
+/// environment automatically; tests use it after setenv().
+void reinit_from_env() noexcept;
 
 /// Emit one formatted line; used by the LOG macros below.
 void write(Level lvl, const std::string& msg);

@@ -44,6 +44,9 @@ class Table {
 
   [[nodiscard]] std::size_t rows() const { return rows_.size(); }
   [[nodiscard]] std::size_t cols() const { return headers_.size(); }
+  [[nodiscard]] const std::vector<std::string>& headers() const {
+    return headers_;
+  }
   [[nodiscard]] const Cell& at(std::size_t r, std::size_t c) const;
 
   /// Number of fraction digits for double cells (default 4).

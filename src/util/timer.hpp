@@ -1,8 +1,12 @@
 // Wall-clock timing helpers.
 #pragma once
 
+#include <cassert>
 #include <chrono>
 #include <cstdint>
+#ifndef NDEBUG
+#include <thread>
+#endif
 
 namespace bpart {
 
@@ -32,33 +36,72 @@ class Timer {
 };
 
 /// Accumulates elapsed time across multiple start/stop intervals; used for
-/// phase accounting (e.g. "time spent in combining across all layers").
+/// phase accounting (e.g. "time spent in combining across all layers" or a
+/// dist worker's total barrier wait).
+///
+/// Ownership: NOT thread-safe. Each AccumTimer belongs to exactly one
+/// thread — in the dist runtime that means one instance per worker thread,
+/// never one shared across the machine threads. Debug builds assert the
+/// single-thread contract (the owning thread is captured on first use and
+/// released by reset()). Prefer ScopedAccum over manual start()/stop() so
+/// early returns and exceptions cannot leak a running interval.
 class AccumTimer {
  public:
   void start() {
+    assert_owner();
     if (!running_) {
       t_.reset();
       running_ = true;
     }
   }
   void stop() {
+    assert_owner();
     if (running_) {
       total_ += t_.seconds();
       running_ = false;
     }
   }
   [[nodiscard]] double seconds() const {
+    assert_owner();
     return running_ ? total_ + t_.seconds() : total_;
   }
   void reset() {
     total_ = 0;
     running_ = false;
+#ifndef NDEBUG
+    owner_ = std::thread::id{};
+#endif
   }
 
  private:
+#ifndef NDEBUG
+  void assert_owner() const {
+    const std::thread::id self = std::this_thread::get_id();
+    if (owner_ == std::thread::id{}) owner_ = self;
+    assert(owner_ == self &&
+           "AccumTimer used from two threads; give each thread its own");
+  }
+  mutable std::thread::id owner_{};
+#else
+  void assert_owner() const {}
+#endif
+
   Timer t_;
   double total_ = 0;
   bool running_ = false;
+};
+
+/// RAII interval for an AccumTimer: starts on construction, stops on scope
+/// exit, so phase accounting cannot leak a missing stop() on early return.
+class ScopedAccum {
+ public:
+  explicit ScopedAccum(AccumTimer& t) : t_(t) { t_.start(); }
+  ~ScopedAccum() { t_.stop(); }
+  ScopedAccum(const ScopedAccum&) = delete;
+  ScopedAccum& operator=(const ScopedAccum&) = delete;
+
+ private:
+  AccumTimer& t_;
 };
 
 }  // namespace bpart

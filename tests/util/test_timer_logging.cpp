@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <thread>
 
 #include "util/logging.hpp"
@@ -64,6 +65,61 @@ TEST(AccumTimer, DoubleStartAndStopAreIdempotent) {
   EXPECT_GE(t.seconds(), 0.0);
   t.reset();
   EXPECT_DOUBLE_EQ(t.seconds(), 0.0);
+}
+
+TEST(ScopedAccum, AccumulatesWhileInScope) {
+  AccumTimer t;
+  {
+    ScopedAccum guard(t);
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  const double first = t.seconds();
+  EXPECT_GE(first, 0.008);
+  // Outside the scope nothing accumulates.
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_NEAR(t.seconds(), first, 1e-4);
+  // A second scope adds on top of the first.
+  {
+    ScopedAccum guard(t);
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_GE(t.seconds(), first + 0.008);
+}
+
+TEST(Logging, EnvVarSetsLevel) {
+  const auto before = log::level();
+  ASSERT_EQ(setenv("BPART_LOG", "debug", 1), 0);
+  log::reinit_from_env();
+  EXPECT_EQ(log::level(), log::Level::kDebug);
+
+  ASSERT_EQ(setenv("BPART_LOG", "ERROR", 1), 0);
+  log::reinit_from_env();
+  EXPECT_EQ(log::level(), log::Level::kError);
+
+  // Unset restores the library default (kWarn).
+  ASSERT_EQ(unsetenv("BPART_LOG"), 0);
+  log::reinit_from_env();
+  EXPECT_EQ(log::level(), log::Level::kWarn);
+  log::set_level(before);
+}
+
+TEST(Logging, UnknownEnvValueFallsBackToInfo) {
+  const auto before = log::level();
+  ASSERT_EQ(setenv("BPART_LOG", "shouting", 1), 0);
+  log::reinit_from_env();
+  EXPECT_EQ(log::level(), log::Level::kInfo);
+  ASSERT_EQ(unsetenv("BPART_LOG"), 0);
+  log::reinit_from_env();
+  log::set_level(before);
+}
+
+TEST(Logging, SetLevelWinsOverLaterEnvQueries) {
+  ASSERT_EQ(setenv("BPART_LOG", "trace", 1), 0);
+  log::set_level(log::Level::kError);
+  // level() must not re-read the environment once a level is installed.
+  EXPECT_EQ(log::level(), log::Level::kError);
+  ASSERT_EQ(unsetenv("BPART_LOG"), 0);
+  log::reinit_from_env();
 }
 
 TEST(Logging, ParseLevelSpellsOut) {
