@@ -1,0 +1,13 @@
+#!/usr/bin/env sh
+# Format (or with --check, verify) the C++ tree with the repo .clang-format.
+# CI's lint job runs the --check form; run the in-place form before pushing.
+set -eu
+cd "$(dirname "$0")/.."
+
+mode="-i"
+if [ "${1:-}" = "--check" ]; then
+  mode="--dry-run --Werror"
+fi
+
+# shellcheck disable=SC2086  # $mode is intentionally word-split
+find src tests bench -name '*.cpp' -o -name '*.hpp' | xargs clang-format $mode

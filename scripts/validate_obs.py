@@ -1,14 +1,26 @@
 #!/usr/bin/env python3
 """Validate observability artifacts: Chrome trace files and BENCH_*.json
-bench reports.
+bench reports, and diff fresh reports against checked-in baselines.
 
 Usage:
   validate_obs.py trace <trace.json> [--require-cats ingest partition ...]
   validate_obs.py bench <BENCH_name.json>
+  validate_obs.py compare <fresh.json> <baseline.json> \
+      [--time-tol 0.20] [--quality-tol 0.10] [--time-floor 0.05]
 
-Exits non-zero with a message on the first schema violation. Used by the CI
-observability-smoke job and handy locally after running a bench with
+Exits non-zero with a message on the first schema violation (trace/bench) or
+after listing every regression (compare). Used by the CI observability-smoke
+and perf-gate jobs, and handy locally after running a bench with
 BPART_TRACE / BPART_OUT_DIR set.
+
+The compare rules are keyed off table headers and quality labels:
+  * columns containing "seconds" regress when fresh > base*(1+time_tol),
+    ignored while the baseline is under --time-floor (noise guard);
+  * columns containing "speedup" regress when fresh < base*(1-time_tol);
+  * quality columns (bias / cut / skew / wait) and the per-label quality
+    section regress when fresh > base*(1+quality_tol) + 0.01.
+Rows are matched by their string-valued cells (e.g. algorithm + app); a row
+that disappears from the fresh report is itself a regression.
 """
 
 import argparse
@@ -112,6 +124,128 @@ def validate_bench(path: str) -> None:
     )
 
 
+def _row_key(row, index):
+    key = tuple(cell for cell in row if isinstance(cell, str))
+    return key if key else (f"row#{index}",)
+
+
+def _classify(header: str):
+    h = header.lower()
+    if "speedup" in h:
+        return "speedup"
+    if "seconds" in h:
+        return "time"
+    if "measured" in h:
+        # Measured-concurrency columns (skew_measured, wait_ratio_measured)
+        # wobble with scheduler noise; the deterministic model columns and
+        # the wall-time columns are what the gate holds.
+        return None
+    if any(p in h for p in ("bias", "cut", "skew", "wait")):
+        return "quality"
+    return None
+
+
+def compare_reports(fresh_path: str, base_path: str, time_tol: float,
+                    quality_tol: float, time_floor: float) -> None:
+    with open(fresh_path, "rb") as f:
+        fresh = json.load(f)
+    with open(base_path, "rb") as f:
+        base = json.load(f)
+    for doc, path in ((fresh, fresh_path), (base, base_path)):
+        check(doc.get("schema") == BENCH_SCHEMA,
+              f"{path}: schema != {BENCH_SCHEMA!r}")
+    check(fresh.get("name") == base.get("name"),
+          f"report name mismatch: {fresh.get('name')!r} vs {base.get('name')!r}")
+
+    regressions = []
+    checked = 0
+
+    def judge(where, kind, fresh_v, base_v):
+        nonlocal checked
+        if not isinstance(fresh_v, (int, float)) or not isinstance(
+                base_v, (int, float)):
+            return
+        if kind == "time":
+            if base_v < time_floor:
+                return  # below the noise floor, a ratio gate is meaningless
+            checked += 1
+            if fresh_v > base_v * (1.0 + time_tol):
+                regressions.append(
+                    f"{where}: {fresh_v:.4f}s vs baseline {base_v:.4f}s "
+                    f"(+{(fresh_v / base_v - 1.0) * 100:.1f}% > "
+                    f"{time_tol * 100:.0f}%)")
+        elif kind == "speedup":
+            if base_v <= 0:
+                return
+            checked += 1
+            if fresh_v < base_v * (1.0 - time_tol):
+                regressions.append(
+                    f"{where}: speedup {fresh_v:.2f} vs baseline {base_v:.2f} "
+                    f"(-{(1.0 - fresh_v / base_v) * 100:.1f}% > "
+                    f"{time_tol * 100:.0f}%)")
+        elif kind == "quality":
+            checked += 1
+            if fresh_v > base_v * (1.0 + quality_tol) + 0.01:
+                regressions.append(
+                    f"{where}: {fresh_v:.4f} vs baseline {base_v:.4f} "
+                    f"(quality tolerance {quality_tol * 100:.0f}%)")
+
+    # --- table rows, matched by their string cells --------------------------
+    fresh_headers = fresh["table"]["headers"]
+    base_headers = base["table"]["headers"]
+    fresh_rows = {}
+    for i, row in enumerate(fresh["table"]["rows"]):
+        fresh_rows.setdefault(_row_key(row, i), row)
+    for i, row in enumerate(base["table"]["rows"]):
+        key = _row_key(row, i)
+        if key not in fresh_rows:
+            regressions.append(f"table row {key!r} missing from fresh report")
+            continue
+        fresh_row = fresh_rows[key]
+        for col, header in enumerate(base_headers):
+            kind = _classify(header)
+            if kind is None or header not in fresh_headers:
+                continue
+            fresh_col = fresh_headers.index(header)
+            judge(f"table[{'/'.join(key)}].{header}", kind,
+                  fresh_row[fresh_col], row[col])
+
+    # --- quality section, matched by label ----------------------------------
+    fresh_quality = {q["label"]: q["report"] for q in fresh.get("quality", [])}
+    for entry in base.get("quality", []):
+        label = entry["label"]
+        if label not in fresh_quality:
+            regressions.append(f"quality label {label!r} missing from fresh")
+            continue
+        fq, bq = fresh_quality[label], entry["report"]
+        judge(f"quality[{label}].edge_cut_ratio", "quality",
+              fq.get("edge_cut_ratio"), bq.get("edge_cut_ratio"))
+        for dim in ("vertex_summary", "edge_summary"):
+            judge(f"quality[{label}].{dim}.bias", "quality",
+                  fq.get(dim, {}).get("bias"), bq.get(dim, {}).get("bias"))
+
+    # --- runs section: end-to-end seconds per labelled run ------------------
+    fresh_runs = {r["label"]: r["report"] for r in fresh.get("runs", [])}
+    for entry in base.get("runs", []):
+        label = entry["label"]
+        if label not in fresh_runs:
+            regressions.append(f"run label {label!r} missing from fresh")
+            continue
+        judge(f"runs[{label}].totals.seconds", "time",
+              fresh_runs[label].get("totals", {}).get("seconds"),
+              entry["report"].get("totals", {}).get("seconds"))
+
+    if regressions:
+        print(f"validate_obs: COMPARE FAIL: {fresh.get('name')!r}: "
+              f"{len(regressions)} regression(s) vs {base_path}:",
+              file=sys.stderr)
+        for r in regressions:
+            print(f"  - {r}", file=sys.stderr)
+        sys.exit(1)
+    print(f"validate_obs: COMPARE OK: {fresh.get('name')!r}: "
+          f"{checked} gated values within tolerance of {base_path}")
+
+
 def main() -> None:
     ap = argparse.ArgumentParser(description=__doc__)
     sub = ap.add_subparsers(dest="kind", required=True)
@@ -121,12 +255,25 @@ def main() -> None:
                     help="categories that must appear among X events")
     bp = sub.add_parser("bench", help="validate a BENCH_<name>.json report")
     bp.add_argument("path")
+    cp = sub.add_parser("compare",
+                        help="diff a fresh report against a baseline")
+    cp.add_argument("fresh")
+    cp.add_argument("baseline")
+    cp.add_argument("--time-tol", type=float, default=0.20,
+                    help="relative wall-time regression tolerance")
+    cp.add_argument("--quality-tol", type=float, default=0.10,
+                    help="relative quality regression tolerance")
+    cp.add_argument("--time-floor", type=float, default=0.05,
+                    help="skip wall-time gates when the baseline is faster")
     args = ap.parse_args()
 
     if args.kind == "trace":
         validate_trace(args.path, args.require_cats)
-    else:
+    elif args.kind == "bench":
         validate_bench(args.path)
+    else:
+        compare_reports(args.fresh, args.baseline, args.time_tol,
+                        args.quality_tol, args.time_floor)
 
 
 if __name__ == "__main__":

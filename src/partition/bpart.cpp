@@ -206,6 +206,15 @@ Partition BPart::partition_traced(const graph::Graph& g, PartId k,
   stream_cfg.alpha = cfg_.alpha;
   stream_cfg.alpha_scale = cfg_.alpha_scale;
   stream_cfg.capacity_slack = cfg_.capacity_slack;
+  stream_cfg.batch_size = cfg_.stream_batch;
+  stream_cfg.threads = cfg_.stream_threads;
+  stream_cfg.refine_passes = cfg_.refine_passes;
+  // One scratch for every layer's streaming pass: the combining loop calls
+  // greedy_stream_partition once per layer over ever-smaller remainders,
+  // and the |V|-sized membership bitset dominates the cost of the small
+  // late-layer pieces when rebuilt from scratch each time.
+  StreamScratch scratch;
+  stream_cfg.scratch = &scratch;
 
   std::vector<graph::VertexId> remaining(n);
   std::iota(remaining.begin(), remaining.end(), graph::VertexId{0});

@@ -70,6 +70,19 @@ struct BPartConfig {
   unsigned max_layers = 3;
 
   PairingRule pairing = PairingRule::kGreedyBins;
+
+  /// Buffered-streaming pass-through (StreamConfig::batch_size): 0 defers
+  /// to $BPART_STREAM_BATCH, whose own default keeps the sequential pass.
+  std::uint32_t stream_batch = 0;
+
+  /// Worker threads for the buffered pass (StreamConfig::threads); 0
+  /// defers to $BPART_THREADS / hardware concurrency.
+  unsigned stream_threads = 0;
+
+  /// Prioritized-restream refinement passes run inside each layer's
+  /// streaming pass (StreamConfig::refine_passes). The default keeps the
+  /// auto rule: one restream whenever the buffered pass engages.
+  unsigned refine_passes = StreamConfig::kRefineAuto;
 };
 
 /// Diagnostics of one partition run, exposed for tests/ablations: how many

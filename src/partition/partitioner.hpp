@@ -29,6 +29,19 @@ class Partitioner {
                                             PartId k) const = 0;
 };
 
+/// Reusable scratch state of the streaming pass. `greedy_stream_partition`
+/// builds a |V|-sized membership bitset per call; during BPart's multilevel
+/// combining (and recursive bisection) that rebuild happens once per piece,
+/// which for small pieces costs more than the scoring itself (see
+/// bench/ext_parallel_stream's scratch note). Passing one StreamScratch via
+/// StreamConfig::scratch amortizes the allocation: the bitset is grown once
+/// and only the entries of the current subset are flipped back afterwards.
+///
+/// Not thread-safe: one StreamScratch per concurrent streaming pass.
+struct StreamScratch {
+  std::vector<bool> in_subset;  ///< Invariant: all-false between passes.
+};
+
 /// Configuration of the greedy streaming pass shared by Fennel and BPart.
 struct StreamConfig {
   /// Weighting factor c in the paper's Eq. 1. c=1 reduces W_i to |V_i|
@@ -56,6 +69,45 @@ struct StreamConfig {
   /// social graphs of the paper this is a no-op; on directed graphs it
   /// substantially lowers cuts.
   bool use_in_neighbors = true;
+
+  /// Buffered-streaming batch size (Chhabra et al. style). 0 defers to the
+  /// $BPART_STREAM_BATCH environment knob, whose own default of 0 selects
+  /// the classic one-vertex-at-a-time sequential pass. Any value > 0
+  /// switches to the batched pass: vertices are scored in batches of this
+  /// size against an immutable snapshot of the per-part state and committed
+  /// in stream order. The batched result is independent of `threads` (the
+  /// same partition at 1 or 8 workers) but differs from the sequential pass,
+  /// because vertices within one batch do not see each other's assignments.
+  std::uint32_t batch_size = 0;
+
+  /// Worker threads for batched scoring; 0 defers to util::thread_count()
+  /// ($BPART_THREADS, else hardware concurrency). Ignored by the
+  /// sequential pass. Never changes the result, only the wall-clock.
+  unsigned threads = 0;
+
+  /// Sentinel for refine_passes: one restream pass when the buffered pass
+  /// engages, none after a sequential pass.
+  static constexpr unsigned kRefineAuto = static_cast<unsigned>(-1);
+
+  /// Prioritized-restreaming refinement passes (Awadelkarim & Ugander):
+  /// re-score already-assigned vertices in descending-degree order, moving
+  /// each to its best part under the capacity cap. The restream runs the
+  /// same batched snapshot/score/commit protocol as the initial pass (so it
+  /// parallelizes), with moves capacity-checked against exact state at
+  /// commit. kRefineAuto (default) ties refinement to buffering: batched
+  /// scoring trades cut quality for parallelism and the restream is what
+  /// buys it back (measured in bench/ext_parallel_stream). Explicit 0
+  /// disables refinement even when buffered; explicit N always runs N
+  /// passes (after a sequential pass they restream with batch 1, i.e.
+  /// against fully exact state).
+  unsigned refine_passes = kRefineAuto;
+
+  /// Per-pass multiplier on α during refinement; values > 1 tighten balance
+  /// pressure as restreaming proceeds (the "prioritized" schedule).
+  double refine_alpha_boost = 1.0;
+
+  /// Optional reusable scratch (see StreamScratch). May be nullptr.
+  StreamScratch* scratch = nullptr;
 };
 
 /// Stream `vertices` (in the given order) into k fresh parts, greedily
@@ -66,6 +118,12 @@ struct StreamConfig {
 /// Returns a full-size Partition in which vertices outside the subset are
 /// kUnassigned. Passing all vertices of g gives the classic whole-graph
 /// streaming partition.
+///
+/// With cfg.batch_size > 0 (or $BPART_STREAM_BATCH set) the pass runs the
+/// parallel buffered protocol documented in DESIGN.md §9: score a batch of
+/// vertices concurrently against a part-state snapshot, merge sharded
+/// per-worker accumulators at the batch boundary, commit in stream order.
+/// Deterministic for a fixed (graph, subset, k, cfg) at any thread count.
 Partition greedy_stream_partition(const graph::Graph& g,
                                   std::span<const graph::VertexId> vertices,
                                   PartId k, const StreamConfig& cfg);

@@ -1,12 +1,29 @@
+// The shared streaming-partition driver: one sequential pass (classic
+// Fennel-style, exact state) and one parallel buffered pass (DESIGN.md §9).
+//
+// The buffered pass follows Buffered Streaming Edge Partitioning: the vertex
+// stream is cut into batches; worker threads score a batch concurrently
+// against an immutable snapshot of the per-part state, tentative loads are
+// collected in sharded atomic accumulators, and assignments are committed
+// deterministically in stream order with an exact-state capacity fallback.
+// An optional prioritized-restreaming refinement (Awadelkarim & Ugander)
+// re-scores assigned vertices against exact state to recover the edge-cut
+// quality the snapshot scoring gives up.
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <cstdint>
+#include <future>
 #include <limits>
+#include <optional>
 #include <vector>
 
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "partition/partitioner.hpp"
 #include "util/check.hpp"
+#include "util/env.hpp"
+#include "util/thread_pool.hpp"
 
 namespace bpart::partition {
 
@@ -17,6 +34,421 @@ struct PartState {
   std::uint64_t vertices = 0;
   std::uint64_t edges = 0;  ///< Sum of out-degrees of assigned vertices.
 };
+
+/// One shard entry of the batch accumulator. Each scoring worker adds its
+/// slice's tentative deltas into its own shard with relaxed atomics; the
+/// commit step drains every shard with an associative integer sum, so the
+/// merged totals are independent of worker count and interleaving.
+struct AtomicPartState {
+  std::atomic<std::uint64_t> vertices{0};
+  std::atomic<std::uint64_t> edges{0};
+};
+
+/// Stream-pass calibration shared by the sequential pass, the buffered pass
+/// and the refinement restream (all derived from the subset totals).
+struct Calibration {
+  double c = 1.0;           ///< Eq. 1 weighting factor.
+  double avg_degree = 1.0;  ///< Subset-local d̄ normalizing the edge term.
+  double alpha = 0.0;
+  double gamma = 1.5;
+  double capacity = std::numeric_limits<double>::infinity();
+
+  /// W_i = c·|V_i| + (1−c)·|E_i|/d̄ (Eq. 1). Both terms are in "vertices"
+  /// units, so ΣW == n_subset and Fennel's α calibration carries over.
+  [[nodiscard]] double weight(const PartState& s) const {
+    return c * static_cast<double>(s.vertices) +
+           (1.0 - c) * static_cast<double>(s.edges) / avg_degree;
+  }
+
+  [[nodiscard]] double penalty(double w, double a) const {
+    return a * gamma * std::pow(w, gamma - 1.0);
+  }
+};
+
+/// Classic one-vertex-at-a-time pass over `verts` with exact state. Also
+/// serves as the warm-up prefix of the buffered pass: scoring the first
+/// batch against an all-empty snapshot would dump it onto one part, so the
+/// buffered pass streams its first batch exactly and buffers the rest.
+void sequential_stream(const graph::Graph& g,
+                       std::span<const graph::VertexId> verts, PartId k,
+                       const StreamConfig& cfg, const Calibration& cal,
+                       const std::vector<bool>& in_subset, Partition& p,
+                       std::vector<PartState>& state) {
+  // Scatter buffer: overlap[i] = |V_i ∩ N(v)| for the current vertex; only
+  // the entries touched via `touched` are reset afterwards, keeping the
+  // per-vertex cost O(deg) instead of O(k).
+  std::vector<std::uint32_t> overlap(k, 0);
+  std::vector<PartId> touched;
+  touched.reserve(64);
+
+  for (graph::VertexId v : verts) {
+    auto count_neighbor = [&](graph::VertexId u) {
+      if (!in_subset[u]) return;
+      const PartId pu = p[u];
+      if (pu == kUnassigned) return;
+      if (overlap[pu]++ == 0) touched.push_back(pu);
+    };
+    for (graph::VertexId u : g.out_neighbors(v)) count_neighbor(u);
+    if (cfg.use_in_neighbors)
+      for (graph::VertexId u : g.in_neighbors(v)) count_neighbor(u);
+
+    // Score every part. The penalty derivative α·γ·W^(γ−1) is monotone in
+    // W, so among parts with equal overlap the least-loaded wins.
+    double best_score = -std::numeric_limits<double>::infinity();
+    PartId best = kUnassigned;
+    double min_weight = std::numeric_limits<double>::infinity();
+    PartId least_loaded = 0;
+    for (PartId i = 0; i < k; ++i) {
+      const double w = cal.weight(state[i]);
+      if (w < min_weight) {
+        min_weight = w;
+        least_loaded = i;
+      }
+      if (w >= cal.capacity) continue;  // hard cap
+      const double score =
+          static_cast<double>(overlap[i]) - cal.penalty(w, cal.alpha);
+      if (score > best_score) {
+        best_score = score;
+        best = i;
+      }
+    }
+    // All parts at capacity can only happen with a tight slack; fall back
+    // to the least-loaded part rather than failing.
+    if (best == kUnassigned) best = least_loaded;
+
+    p.assign(v, best);
+    ++state[best].vertices;
+    state[best].edges += g.out_degree(v);
+
+    for (PartId t : touched) overlap[t] = 0;
+    touched.clear();
+  }
+}
+
+/// Run fn(lo, hi, slice_id) over [0, n) in contiguous slices: one slice per
+/// pool worker when a pool is given, inline as a single slice otherwise.
+/// slice_id < pool->size() always, so it can index per-worker shards.
+template <typename Fn>
+void run_slices(ThreadPool* pool, std::size_t n, Fn&& fn) {
+  if (pool == nullptr) {
+    fn(std::size_t{0}, n, 0u);
+    return;
+  }
+  const auto slices =
+      static_cast<unsigned>(std::min<std::size_t>(pool->size(), n));
+  std::vector<std::future<void>> done;
+  done.reserve(slices);
+  const std::size_t step = n / slices;
+  const std::size_t rem = n % slices;
+  std::size_t lo = 0;
+  for (unsigned s = 0; s < slices; ++s) {
+    const std::size_t hi = lo + step + (s < rem ? 1 : 0);
+    done.push_back(pool->submit([&fn, lo, hi, s] { fn(lo, hi, s); }));
+    lo = hi;
+  }
+  for (std::future<void>& f : done) f.get();
+}
+
+/// Parallel buffered pass over `verts` (DESIGN.md §9). Per batch:
+///   1. snapshot — freeze per-part weights and penalty terms (O(k));
+///   2. score   — workers pick each vertex's best part against the frozen
+///                snapshot and accumulate tentative loads into their shard;
+///   3. merge   — drain the shards into per-part batch deltas (O(k·shards));
+///   4. commit  — apply choices in stream order; when the merged deltas
+///                prove no part can reach capacity the commit is a bulk
+///                write, otherwise each vertex re-checks capacity against
+///                exact state and falls back to the least-loaded part.
+/// The result depends only on (graph, verts, k, cfg) — never on the worker
+/// count — because choices are pure functions of the snapshot and the
+/// committed prefix, and the shard merge is an integer sum.
+void buffered_stream(const graph::Graph& g,
+                     std::span<const graph::VertexId> verts, PartId k,
+                     const StreamConfig& cfg, const Calibration& cal,
+                     std::uint32_t batch, ThreadPool* pool,
+                     const std::vector<bool>& in_subset, Partition& p,
+                     std::vector<PartState>& state) {
+  const std::size_t n = verts.size();
+  std::vector<double> snap_weight(k, 0.0);
+  std::vector<double> snap_penalty(k, 0.0);
+  std::vector<PartState> merged(k);
+  std::vector<PartId> choice(batch, kUnassigned);
+
+  const unsigned workers = pool != nullptr ? pool->size() : 1;
+  std::vector<std::vector<AtomicPartState>> shards;
+  shards.reserve(workers);
+  for (unsigned w = 0; w < workers; ++w) shards.emplace_back(k);
+
+  obs::Counter& batch_counter = obs::counter("partition.stream_batches");
+  obs::Counter& fallback_counter =
+      obs::counter("partition.stream_commit_fallbacks");
+
+  for (std::size_t base = 0; base < n; base += batch) {
+    const std::size_t bn = std::min<std::size_t>(batch, n - base);
+    BPART_SPAN("partition/stream_batch", "vertices",
+               static_cast<double>(bn));
+    batch_counter.add(1);
+
+    // --- 1. snapshot ------------------------------------------------------
+    // `least_open` is the least-loaded part still under capacity: it is the
+    // best zero-overlap candidate (the penalty is monotone in W), which
+    // lets scoring consider only the parts a vertex actually touches.
+    PartId least_open = kUnassigned;
+    double least_open_weight = std::numeric_limits<double>::infinity();
+    for (PartId i = 0; i < k; ++i) {
+      const double w = cal.weight(state[i]);
+      snap_weight[i] = w;
+      snap_penalty[i] = cal.penalty(w, cal.alpha);
+      if (w < cal.capacity && w < least_open_weight) {
+        least_open_weight = w;
+        least_open = i;
+      }
+    }
+    const double zero_overlap_score =
+        least_open == kUnassigned
+            ? -std::numeric_limits<double>::infinity()
+            : -snap_penalty[least_open];
+
+    // --- 2. score ---------------------------------------------------------
+    std::atomic<std::uint32_t> capped{0};
+    auto score_slice = [&](std::size_t lo, std::size_t hi,
+                           unsigned shard_id) {
+      std::vector<AtomicPartState>& acc = shards[shard_id];
+      std::vector<std::uint32_t> overlap(k, 0);
+      std::vector<PartId> touched;
+      touched.reserve(64);
+      for (std::size_t idx = lo; idx < hi; ++idx) {
+        const graph::VertexId v = verts[base + idx];
+        auto count_neighbor = [&](graph::VertexId u) {
+          if (!in_subset[u]) return;
+          const PartId pu = p[u];
+          if (pu == kUnassigned) return;  // includes same-batch neighbors
+          if (overlap[pu]++ == 0) touched.push_back(pu);
+        };
+        for (graph::VertexId u : g.out_neighbors(v)) count_neighbor(u);
+        if (cfg.use_in_neighbors)
+          for (graph::VertexId u : g.in_neighbors(v)) count_neighbor(u);
+
+        // Ties break toward the lower part id regardless of the order
+        // neighbors were seen in, so slicing cannot change the choice.
+        PartId best = least_open;
+        double best_score = zero_overlap_score;
+        for (PartId t : touched) {
+          if (snap_weight[t] < cal.capacity) {
+            const double score =
+                static_cast<double>(overlap[t]) - snap_penalty[t];
+            if (score > best_score ||
+                (score == best_score && t < best)) {
+              best_score = score;
+              best = t;
+            }
+          }
+          overlap[t] = 0;
+        }
+        touched.clear();
+
+        choice[idx] = best;
+        if (best == kUnassigned) {
+          capped.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          acc[best].vertices.fetch_add(1, std::memory_order_relaxed);
+          acc[best].edges.fetch_add(g.out_degree(v),
+                                    std::memory_order_relaxed);
+        }
+      }
+    };
+
+    run_slices(pool, bn, score_slice);
+
+    // --- 3. merge ---------------------------------------------------------
+    bool needs_exact_commit = capped.load(std::memory_order_relaxed) != 0;
+    for (PartId i = 0; i < k; ++i) {
+      std::uint64_t dv = 0;
+      std::uint64_t de = 0;
+      for (std::vector<AtomicPartState>& shard : shards) {
+        dv += shard[i].vertices.exchange(0, std::memory_order_relaxed);
+        de += shard[i].edges.exchange(0, std::memory_order_relaxed);
+      }
+      merged[i] = {dv, de};
+      const PartState after{state[i].vertices + dv, state[i].edges + de};
+      if (cal.weight(after) >= cal.capacity) needs_exact_commit = true;
+    }
+
+    // --- 4. commit in stream order ---------------------------------------
+    if (!needs_exact_commit) {
+      // Even the post-batch loads stay under the cap, so no per-vertex
+      // check could have fired: bulk-apply the choices and the deltas.
+      for (std::size_t idx = 0; idx < bn; ++idx)
+        p.assign(verts[base + idx], choice[idx]);
+      for (PartId i = 0; i < k; ++i) {
+        state[i].vertices += merged[i].vertices;
+        state[i].edges += merged[i].edges;
+      }
+    } else {
+      std::uint64_t fallbacks = 0;
+      for (std::size_t idx = 0; idx < bn; ++idx) {
+        const graph::VertexId v = verts[base + idx];
+        PartId c = choice[idx];
+        if (c == kUnassigned || cal.weight(state[c]) >= cal.capacity) {
+          double min_weight = std::numeric_limits<double>::infinity();
+          c = 0;
+          for (PartId i = 0; i < k; ++i) {
+            const double w = cal.weight(state[i]);
+            if (w < min_weight) {
+              min_weight = w;
+              c = i;
+            }
+          }
+          ++fallbacks;
+        }
+        p.assign(v, c);
+        ++state[c].vertices;
+        state[c].edges += g.out_degree(v);
+      }
+      fallback_counter.add(fallbacks);
+    }
+  }
+}
+
+/// Prioritized restreaming (Awadelkarim & Ugander) running the same batched
+/// snapshot/score/commit protocol as the initial pass: revisit assigned
+/// vertices in descending-degree order, re-score each batch concurrently
+/// against a frozen snapshot (with the vertex's own contribution removed
+/// when scoring its current part), and commit moves in order with an
+/// exact-state capacity check. High-degree vertices move first so the long
+/// tail re-scores against near-final hub placements. Each pass multiplies α
+/// by `refine_alpha_boost`, tightening balance pressure as the restream
+/// proceeds; a pass that moves nothing ends the refinement early.
+///
+/// batch=1 degenerates to the classic exact restream (the snapshot is the
+/// exact state for every vertex); larger batches trade a little staleness
+/// for parallel scoring. A vertex only moves when the move is a strict
+/// improvement under the snapshot, so the restream converges instead of
+/// oscillating between equal-score parts.
+void restream_refine(const graph::Graph& g,
+                     std::span<const graph::VertexId> verts, PartId k,
+                     const StreamConfig& cfg, const Calibration& cal,
+                     unsigned passes, std::uint32_t batch, ThreadPool* pool,
+                     const std::vector<bool>& in_subset, Partition& p,
+                     std::vector<PartState>& state) {
+  std::vector<graph::VertexId> order(verts.begin(), verts.end());
+  std::sort(order.begin(), order.end(),
+            [&](graph::VertexId a, graph::VertexId b) {
+              const auto da = g.out_degree(a);
+              const auto db = g.out_degree(b);
+              return da != db ? da > db : a < b;
+            });
+  const std::size_t n = order.size();
+
+  std::vector<double> snap_weight(k, 0.0);
+  std::vector<double> snap_penalty(k, 0.0);
+  std::vector<PartId> choice(batch, kUnassigned);
+  obs::Counter& moves_counter = obs::counter("partition.stream_refine_moves");
+
+  double alpha = cal.alpha;
+  for (unsigned pass = 0; pass < passes; ++pass) {
+    alpha *= cfg.refine_alpha_boost;
+    BPART_SPAN("partition/stream_refine", "pass",
+               static_cast<double>(pass + 1), "vertices",
+               static_cast<double>(n));
+    std::uint64_t moves = 0;
+    for (std::size_t base = 0; base < n; base += batch) {
+      const std::size_t bn = std::min<std::size_t>(batch, n - base);
+
+      // --- snapshot (same shape as the initial pass) -----------------------
+      PartId least_open = kUnassigned;
+      double least_open_weight = std::numeric_limits<double>::infinity();
+      for (PartId i = 0; i < k; ++i) {
+        const double w = cal.weight(state[i]);
+        snap_weight[i] = w;
+        snap_penalty[i] = cal.penalty(w, alpha);
+        if (w < cal.capacity && w < least_open_weight) {
+          least_open_weight = w;
+          least_open = i;
+        }
+      }
+
+      // --- score: pick each vertex's destination against the snapshot -----
+      auto score_slice = [&](std::size_t lo, std::size_t hi, unsigned) {
+        std::vector<std::uint32_t> overlap(k, 0);
+        std::vector<PartId> touched;
+        touched.reserve(64);
+        for (std::size_t idx = lo; idx < hi; ++idx) {
+          const graph::VertexId v = order[base + idx];
+          const PartId old_part = p[v];
+          auto count_neighbor = [&](graph::VertexId u) {
+            if (u == v || !in_subset[u]) return;
+            const PartId pu = p[u];
+            if (pu == kUnassigned) return;
+            if (overlap[pu]++ == 0) touched.push_back(pu);
+          };
+          for (graph::VertexId u : g.out_neighbors(v)) count_neighbor(u);
+          if (cfg.use_in_neighbors)
+            for (graph::VertexId u : g.in_neighbors(v)) count_neighbor(u);
+
+          // Staying put is the baseline: score the current part with v's own
+          // Eq. 1 contribution removed (it is part of the snapshot weight),
+          // and require a strictly better score to move. Candidates are the
+          // touched parts plus the least-loaded open part (the best
+          // zero-overlap destination); both are capacity-gated on the
+          // snapshot, with the exact re-check at commit.
+          const double contrib =
+              cal.c + (1.0 - cal.c) *
+                          static_cast<double>(g.out_degree(v)) /
+                          cal.avg_degree;
+          const double old_w = std::max(snap_weight[old_part] - contrib, 0.0);
+          PartId best = old_part;
+          double best_score = static_cast<double>(overlap[old_part]) -
+                              cal.penalty(old_w, alpha);
+          if (least_open != kUnassigned && least_open != old_part) {
+            const double score = static_cast<double>(overlap[least_open]) -
+                                 snap_penalty[least_open];
+            if (score > best_score) {
+              best_score = score;
+              best = least_open;
+            }
+          }
+          for (PartId t : touched) {
+            if (t != old_part && snap_weight[t] < cal.capacity) {
+              const double score =
+                  static_cast<double>(overlap[t]) - snap_penalty[t];
+              if (score > best_score ||
+                  (score == best_score && best != old_part && t < best)) {
+                best_score = score;
+                best = t;
+              }
+            }
+            overlap[t] = 0;
+          }
+          touched.clear();
+          choice[idx] = best;
+        }
+      };
+      run_slices(pool, bn, score_slice);
+
+      // --- commit moves in order against exact state -----------------------
+      for (std::size_t idx = 0; idx < bn; ++idx) {
+        const graph::VertexId v = order[base + idx];
+        const PartId old_part = p[v];
+        const PartId c = choice[idx];
+        if (c == old_part) continue;
+        --state[old_part].vertices;
+        state[old_part].edges -= g.out_degree(v);
+        if (cal.weight(state[c]) >= cal.capacity) {
+          // Snapshot said open, exact state says full: keep the vertex put.
+          ++state[old_part].vertices;
+          state[old_part].edges += g.out_degree(v);
+          continue;
+        }
+        p.assign(v, c);
+        ++state[c].vertices;
+        state[c].edges += g.out_degree(v);
+        ++moves;
+      }
+    }
+    moves_counter.add(moves);
+    if (moves == 0) break;
+  }
+}
 
 }  // namespace
 
@@ -35,88 +467,84 @@ Partition greedy_stream_partition(const graph::Graph& g,
   Partition p(g.num_vertices(), k);
   if (vertices.empty()) return p;
 
+  // Subset membership lives in the (possibly caller-provided) scratch so
+  // multi-piece callers — BPart's combining layers, recursive bisection —
+  // pay the |V|-sized allocation once instead of once per piece. The guard
+  // restores the all-false invariant on every exit path, including the
+  // BPART_CHECK throws below, by clearing exactly the subset's entries.
+  StreamScratch local_scratch;
+  StreamScratch& scratch =
+      cfg.scratch != nullptr ? *cfg.scratch : local_scratch;
+  if (scratch.in_subset.size() < g.num_vertices())
+    scratch.in_subset.resize(g.num_vertices(), false);
+  std::vector<bool>& in_subset = scratch.in_subset;
+  struct MarkGuard {
+    std::vector<bool>& bits;
+    std::span<const graph::VertexId> verts;
+    ~MarkGuard() {
+      for (graph::VertexId v : verts)
+        if (v < bits.size()) bits[v] = false;
+    }
+  } guard{in_subset, vertices};
+
   // Subset-local totals drive the calibration of α and the capacity cap.
   const auto n_subset = static_cast<double>(vertices.size());
   std::uint64_t m_subset = 0;
-  std::vector<bool> in_subset(g.num_vertices(), false);
   for (graph::VertexId v : vertices) {
     BPART_CHECK(v < g.num_vertices());
     BPART_CHECK_MSG(!in_subset[v], "duplicate vertex " << v << " in subset");
     in_subset[v] = true;
     m_subset += g.out_degree(v);
   }
-  const double avg_degree =
+
+  Calibration cal;
+  cal.c = cfg.balance_weight_c;
+  cal.avg_degree =
       m_subset == 0 ? 1.0 : static_cast<double>(m_subset) / n_subset;
-
-  // W_i = c·|V_i| + (1−c)·|E_i|/d̄ (Eq. 1). Both terms are in "vertices"
-  // units, so ΣW == n_subset and Fennel's α calibration carries over.
-  const double c = cfg.balance_weight_c;
-  auto weight_of = [&](const PartState& s) {
-    return c * static_cast<double>(s.vertices) +
-           (1.0 - c) * static_cast<double>(s.edges) / avg_degree;
-  };
-
-  const double alpha =
-      cfg.alpha > 0.0
-          ? cfg.alpha
-          : cfg.alpha_scale * std::sqrt(static_cast<double>(k)) *
-                static_cast<double>(m_subset) / std::pow(n_subset, 1.5);
-  const double gamma = cfg.gamma;
-  const double capacity =
-      cfg.capacity_slack > 0.0 ? cfg.capacity_slack * n_subset /
-                                     static_cast<double>(k)
-                               : std::numeric_limits<double>::infinity();
+  cal.gamma = cfg.gamma;
+  cal.alpha = cfg.alpha > 0.0
+                  ? cfg.alpha
+                  : cfg.alpha_scale * std::sqrt(static_cast<double>(k)) *
+                        static_cast<double>(m_subset) /
+                        std::pow(n_subset, 1.5);
+  cal.capacity = cfg.capacity_slack > 0.0
+                     ? cfg.capacity_slack * n_subset / static_cast<double>(k)
+                     : std::numeric_limits<double>::infinity();
 
   std::vector<PartState> state(k);
-  // Scatter buffer: overlap[i] = |V_i ∩ N(v)| for the current vertex; only
-  // the entries touched via `touched` are reset afterwards, keeping the
-  // per-vertex cost O(deg) instead of O(k).
-  std::vector<std::uint32_t> overlap(k, 0);
-  std::vector<PartId> touched;
-  touched.reserve(64);
 
-  for (graph::VertexId v : vertices) {
-    auto count_neighbor = [&](graph::VertexId u) {
-      if (!in_subset[u]) return;
-      const PartId pu = p[u];
-      if (pu == kUnassigned) return;
-      if (overlap[pu]++ == 0) touched.push_back(pu);
-    };
-    for (graph::VertexId u : g.out_neighbors(v)) count_neighbor(u);
-    if (cfg.use_in_neighbors)
-      for (graph::VertexId u : g.in_neighbors(v)) count_neighbor(u);
+  const std::uint32_t batch =
+      cfg.batch_size != 0 ? cfg.batch_size : stream_batch_size();
+  // The buffered pass only engages when there is more than one batch; a
+  // subset that fits in one batch keeps exact sequential scoring (BPart's
+  // late combining layers and small bisection pieces stay bit-identical).
+  const bool buffered = batch != 0 && vertices.size() > batch;
+  const unsigned workers = cfg.threads != 0 ? cfg.threads : thread_count();
+  std::optional<ThreadPool> pool;
+  if (buffered && workers > 1) pool.emplace(workers);
+  ThreadPool* pool_ptr = pool ? &*pool : nullptr;
 
-    // Score every part. The penalty derivative α·γ·W^(γ−1) is monotone in
-    // W, so among parts with equal overlap the least-loaded wins.
-    double best_score = -std::numeric_limits<double>::infinity();
-    PartId best = kUnassigned;
-    double min_weight = std::numeric_limits<double>::infinity();
-    PartId least_loaded = 0;
-    for (PartId i = 0; i < k; ++i) {
-      const double w = weight_of(state[i]);
-      if (w < min_weight) {
-        min_weight = w;
-        least_loaded = i;
-      }
-      if (w >= capacity) continue;  // hard cap
-      const double score = static_cast<double>(overlap[i]) -
-                           alpha * gamma * std::pow(w, gamma - 1.0);
-      if (score > best_score) {
-        best_score = score;
-        best = i;
-      }
-    }
-    // All parts at capacity can only happen with a tight slack; fall back
-    // to the least-loaded part rather than failing.
-    if (best == kUnassigned) best = least_loaded;
-
-    p.assign(v, best);
-    ++state[best].vertices;
-    state[best].edges += g.out_degree(v);
-
-    for (PartId t : touched) overlap[t] = 0;
-    touched.clear();
+  if (!buffered) {
+    sequential_stream(g, vertices, k, cfg, cal, in_subset, p, state);
+  } else {
+    // Warm-up: stream the first batch exactly. Scoring it against the
+    // initial all-empty snapshot would give every vertex the same zero
+    // overlap and the same penalty, collapsing the batch onto one part.
+    sequential_stream(g, vertices.first(batch), k, cfg, cal, in_subset, p,
+                      state);
+    buffered_stream(g, vertices.subspan(batch), k, cfg, cal, batch, pool_ptr,
+                    in_subset, p, state);
   }
+
+  // kRefineAuto ties refinement to buffering: the snapshot scoring trades
+  // cut quality for parallelism and one restream buys it back (measured in
+  // bench/ext_parallel_stream). After a sequential pass the restream uses
+  // batch 1, i.e. fully exact state.
+  unsigned refine = cfg.refine_passes;
+  if (refine == StreamConfig::kRefineAuto) refine = buffered ? 1 : 0;
+  if (refine > 0)
+    restream_refine(g, vertices, k, cfg, cal, refine, buffered ? batch : 1,
+                    pool_ptr, in_subset, p, state);
   return p;
 }
 

@@ -52,4 +52,25 @@ unsigned thread_count(unsigned requested) {
   return n;
 }
 
+std::uint32_t stream_batch_size() {
+  constexpr long kMaxBatch = 1L << 24;
+  const char* env = std::getenv("BPART_STREAM_BATCH");
+  if (env == nullptr) return 0;
+  try {
+    const long v = std::stol(env);
+    if (v < 0) {
+      LOG_WARN << "BPART_STREAM_BATCH must be >= 0, got " << env;
+      return 0;
+    }
+    if (v > kMaxBatch) {
+      LOG_WARN << "BPART_STREAM_BATCH=" << v << " clamped to " << kMaxBatch;
+      return static_cast<std::uint32_t>(kMaxBatch);
+    }
+    return static_cast<std::uint32_t>(v);
+  } catch (const std::exception&) {
+    LOG_WARN << "BPART_STREAM_BATCH is not a number: " << env;
+    return 0;
+  }
+}
+
 }  // namespace bpart

@@ -19,4 +19,11 @@ double dataset_scale();
 /// every call (it is only consulted at run setup) so tests can override.
 unsigned thread_count(unsigned requested = 0);
 
+/// Default batch size of the buffered streaming partitioner, read from
+/// $BPART_STREAM_BATCH on every call (junk or values < 0 fall through to 0).
+/// 0 means "sequential pass" — the knob is an opt-in, so existing callers
+/// keep the exact classic streaming semantics unless the environment (or an
+/// explicit StreamConfig::batch_size) says otherwise. Clamped to 2^24.
+std::uint32_t stream_batch_size();
+
 }  // namespace bpart
