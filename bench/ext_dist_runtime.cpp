@@ -43,7 +43,16 @@ struct AppRun {
   cluster::RunReport measured;
   cluster::RunReport model;
   double seconds = 0;  ///< Wall-clock of the measured run.
+  /// Total measured compute seconds (summed over machines) of a second run
+  /// with 2 exec workers per machine — the per-machine compute on real
+  /// threads. 0 for walk, which bypasses the exec core.
+  double compute_mt = 0;
 };
+
+double total_compute(const cluster::RunReport& r) {
+  const auto per_machine = r.compute_seconds_per_machine();
+  return std::accumulate(per_machine.begin(), per_machine.end(), 0.0);
+}
 
 }  // namespace
 
@@ -63,8 +72,10 @@ int main(int argc, char** argv) {
            << g.num_edges() << " directed edges, " << k << " machines";
 
   Table table({"algorithm", "app", "machines", "skew_measured", "skew_model",
-               "wait_ratio_measured", "wait_ratio_model", "mb_sent",
-               "seconds"});
+               "wait_ratio_measured", "wait_ratio_model",
+               "compute_measured_mt", "mb_sent", "seconds"});
+  dist::DistOptions mt_opts;
+  mt_opts.exec.threads = 2;
   for (const std::string& algo : partition::all_algorithms()) {
     const partition::Partition parts = bench::run_partitioner(g, algo, k);
 
@@ -75,14 +86,20 @@ int main(int argc, char** argv) {
         r.measured = dist::pagerank(g, parts).run;
         r.seconds = timer.seconds();
         r.model = engine::pagerank(g, parts).run;
+        r.compute_mt = total_compute(
+            dist::pagerank(g, parts, {}, dist::PrMode::kPush, mt_opts).run);
       } else if (name == "cc") {
         r.measured = dist::connected_components(g, parts).run;
         r.seconds = timer.seconds();
         r.model = engine::connected_components(g, parts).run;
+        r.compute_mt =
+            total_compute(dist::connected_components(g, parts, mt_opts).run);
       } else if (name == "sssp") {
         r.measured = dist::sssp(g, parts, 0).run;
         r.seconds = timer.seconds();
         r.model = engine::sssp(g, parts, 0).run;
+        r.compute_mt =
+            total_compute(dist::sssp(g, parts, 0, {}, mt_opts).run);
       } else {  // walk: |V| four-step walkers, the Fig. 13 workload
         walk::ThreadedWalkConfig wcfg;
         r.measured = walk::run_simple_walks_dist(g, parts, wcfg).run;
@@ -109,6 +126,7 @@ int main(int argc, char** argv) {
           .cell(skew(r.model.compute_seconds_per_machine()))
           .cell(r.measured.wait_ratio())
           .cell(r.model.wait_ratio())
+          .cell(r.compute_mt)
           .cell(static_cast<double>(r.measured.total_bytes_sent()) / 1e6)
           .cell(r.seconds);
     }

@@ -1,9 +1,11 @@
 #include "dist/components.hpp"
 
-#include <unordered_set>
+#include <memory>
 
 #include "dist/dist_graph.hpp"
 #include "dist/ghost_buffer.hpp"
+#include "exec/edge_map.hpp"
+#include "exec/scheduler.hpp"
 
 namespace bpart::dist {
 
@@ -25,6 +27,21 @@ struct CcMachine {
   // mirrors — the master -> mirror broadcast list.
   std::vector<graph::VertexId> changed_masters;
   std::vector<std::uint8_t> master_marked;
+};
+
+// Intra-machine parallel scan state. The parallel superstep freezes labels
+// and ghost values, each worker computes the closed-neighborhood minimum of
+// its vertices and offers it through per-worker min-shards (domain = owned
+// + ghost slots); the merge applies label drops, activations and ghost
+// combines on one thread. Min-merges are order-independent, so the final
+// labels match the sequential path's fixpoint for every thread count —
+// though the frozen reads can take more supersteps than the sequential
+// scan's in-place freshness.
+struct CcExecState {
+  std::unique_ptr<exec::Executor> ex;
+  exec::ChunkScheduler dense_plan;  // owned range, out-edge balanced
+  exec::ScatterShards<graph::VertexId> shards;
+  std::uint64_t dense_work = 0;  // Σ out+in degree over owned
 };
 
 }  // namespace
@@ -53,6 +70,23 @@ engine::ComponentsResult connected_components(const graph::Graph& g,
     me.in_frontier.assign(sub.num_local, 1);
     me.in_next.assign(sub.num_local, 0);
     me.master_marked.assign(sub.num_local, 0);
+  }
+
+  const unsigned exec_threads = opts.exec.resolved_threads();
+  const std::uint32_t chunk_edges = opts.exec.resolved_chunk_edges();
+  std::vector<CcExecState> cexec;
+  if (exec_threads > 0) {
+    cexec.resize(machines);
+    for (MachineId m = 0; m < machines; ++m) {
+      const partition::Subgraph& sub = dg.subgraph(m);
+      CcExecState& cx = cexec[m];
+      cx.ex = std::make_unique<exec::Executor>(exec_threads);
+      cx.dense_plan = exec::ChunkScheduler::over_range(
+          sub.local.out_offsets(), 0, sub.num_local, chunk_edges);
+      for (graph::VertexId v = 0; v < sub.num_local; ++v)
+        cx.dense_work +=
+            sub.local.out_degree(v) + sub.local.in_degree(v);
+    }
   }
 
   // Sparse/dense switch: machines report the edge mass of their next
@@ -167,7 +201,77 @@ engine::ComponentsResult connected_components(const graph::Graph& g,
           ctx.add_work(sub.local.out_degree(u) + sub.local.in_degree(u));
         };
 
-        if (scan_mode == FrontierMode::kDense) {
+        if (exec_threads > 0) {
+          CcExecState& cx = cexec[ctx.self()];
+          const std::size_t domain =
+              static_cast<std::size_t>(num_local) + sub.num_ghosts;
+          cx.shards.reset(cx.ex->threads(), domain);
+          // Frozen closed-neighborhood minimum of u, offered to every
+          // neighbor (and u itself) through the min-shards.
+          auto scan_vertex = [&](unsigned w, graph::VertexId u) {
+            graph::VertexId lu = me.lab[u];
+            const auto out = sub.local.out_neighbors(u);
+            const auto in = sub.local.in_neighbors(u);
+            for (graph::VertexId t : out) {
+              const graph::VertexId val = t < num_local
+                                              ? me.lab[t]
+                                              : me.ghosts.value(t - num_local);
+              if (val < lu) lu = val;
+            }
+            for (graph::VertexId t : in)
+              if (me.lab[t] < lu) lu = me.lab[t];
+            for (graph::VertexId t : out) {
+              if (t < num_local) {
+                if (lu < me.lab[t]) cx.shards.combine_min(w, t, lu);
+              } else if (lu < me.ghosts.value(t - num_local)) {
+                cx.shards.combine_min(w, t, lu);  // t == num_local + ghost
+              }
+            }
+            for (graph::VertexId t : in)
+              if (lu < me.lab[t]) cx.shards.combine_min(w, t, lu);
+            if (lu < me.lab[u]) cx.shards.combine_min(w, u, lu);
+          };
+          if (scan_mode == FrontierMode::kDense) {
+            cx.ex->run(cx.dense_plan,
+                       [&](unsigned w, std::uint32_t, graph::VertexId lo,
+                           graph::VertexId hi) {
+                         for (graph::VertexId u = lo; u < hi; ++u)
+                           scan_vertex(w, u);
+                       });
+            ctx.add_work(cx.dense_work);
+          } else {
+            std::uint64_t scan_work = 0;
+            for (graph::VertexId u : me.frontier)
+              scan_work +=
+                  sub.local.out_degree(u) + sub.local.in_degree(u);
+            const auto plan = exec::ChunkScheduler::over_list(
+                me.frontier.size(),
+                [&](std::size_t i) {
+                  return sub.local.out_degree(me.frontier[i]) +
+                         sub.local.in_degree(me.frontier[i]);
+                },
+                chunk_edges);
+            cx.ex->run(plan, [&](unsigned w, std::uint32_t, std::uint32_t lo,
+                                 std::uint32_t hi) {
+              for (std::uint32_t i = lo; i < hi; ++i)
+                scan_vertex(w, me.frontier[i]);
+            });
+            ctx.add_work(scan_work);
+          }
+          cx.shards.merge([&](std::size_t i, graph::VertexId val) {
+            if (i < num_local) {
+              const auto u = static_cast<graph::VertexId>(i);
+              if (val < me.lab[u]) {
+                me.lab[u] = val;
+                activate_next(u);
+                mark_master(u);
+              }
+            } else {
+              me.ghosts.combine_min(
+                  static_cast<graph::VertexId>(i - num_local), val);
+            }
+          });
+        } else if (scan_mode == FrontierMode::kDense) {
           for (graph::VertexId u = 0; u < num_local; ++u) relax(u);
         } else {
           // The frontier may grow while scanning (activate_now from ghost
@@ -212,9 +316,15 @@ engine::ComponentsResult connected_components(const graph::Graph& g,
     for (graph::VertexId v = 0; v < sub.num_local; ++v)
       result.label[sub.global_id[v]] = state[m].lab[v];
   }
-  const std::unordered_set<graph::VertexId> distinct(result.label.begin(),
-                                                     result.label.end());
-  result.num_components = static_cast<graph::VertexId>(distinct.size());
+  // Dense count: labels are vertex ids, so a byte-map replaces a hash set.
+  std::vector<std::uint8_t> seen(n, 0);
+  graph::VertexId num_components = 0;
+  for (const graph::VertexId l : result.label)
+    if (seen[l] == 0) {
+      seen[l] = 1;
+      ++num_components;
+    }
+  result.num_components = num_components;
   result.run = std::move(run.report);
   return result;
 }

@@ -1,9 +1,13 @@
 #include "dist/pagerank.hpp"
 
 #include <limits>
+#include <memory>
+#include <utility>
 
 #include "dist/dist_graph.hpp"
 #include "dist/ghost_buffer.hpp"
+#include "exec/edge_map.hpp"
+#include "exec/scheduler.hpp"
 
 namespace bpart::dist {
 
@@ -27,6 +31,24 @@ struct PrMachine {
   double dangling_received = 0;
 };
 
+// Per-machine state of the intra-machine parallel path. The parallel
+// superstep is pull-shaped regardless of PrMode: shares and per-chunk
+// dangling partials are computed over edge-balanced chunks, local mass is
+// gathered per destination in CSR order (deterministic for any worker
+// count), and only the precollected boundary edges scatter into ghost
+// slots, sequentially. Message traffic is identical to the sequential
+// path's.
+struct PrExecState {
+  std::unique_ptr<exec::Executor> ex;
+  exec::ChunkScheduler out_plan;  // owned range, out-edge balanced
+  exec::ChunkScheduler in_plan;   // owned range, local-in-edge balanced
+  // (source local id, ghost index) per boundary out-edge.
+  std::vector<std::pair<graph::VertexId, graph::VertexId>> boundary;
+  std::vector<double> chunk_dangling;
+  std::uint64_t emit_work = 0;    // Σ max(out_degree, 1) over owned
+  std::uint64_t gather_work = 0;  // Σ local in-degree over owned
+};
+
 }  // namespace
 
 engine::PageRankResult pagerank(const graph::Graph& g,
@@ -47,6 +69,31 @@ engine::PageRankResult pagerank(const graph::Graph& g,
     state[m].acc.assign(sub.num_local, 0.0);
     state[m].share.assign(sub.num_local, 0.0);
     state[m].ghosts.reset(sub.num_ghosts, 0.0);
+  }
+
+  const unsigned exec_threads = opts.exec.resolved_threads();
+  std::vector<PrExecState> pexec;
+  if (exec_threads > 0) {
+    const std::uint32_t chunk_edges = opts.exec.resolved_chunk_edges();
+    pexec.resize(machines);
+    for (MachineId m = 0; m < machines; ++m) {
+      const partition::Subgraph& sub = dg.subgraph(m);
+      PrExecState& px = pexec[m];
+      px.ex = std::make_unique<exec::Executor>(exec_threads);
+      px.out_plan = exec::ChunkScheduler::over_range(
+          sub.local.out_offsets(), 0, sub.num_local, chunk_edges);
+      px.in_plan = exec::ChunkScheduler::over_range(
+          sub.local.in_offsets(), 0, sub.num_local, chunk_edges);
+      px.chunk_dangling.assign(px.out_plan.num_chunks(), 0.0);
+      for (graph::VertexId v = 0; v < sub.num_local; ++v) {
+        const auto degree = sub.local.out_degree(v);
+        px.emit_work += degree == 0 ? 1 : degree;
+        px.gather_work += sub.local.in_degree(v);
+        for (graph::VertexId t : sub.local.out_neighbors(v))
+          if (t >= sub.num_local)
+            px.boundary.emplace_back(v, t - sub.num_local);
+      }
+    }
   }
 
   // Protocol per superstep s (s = 0 .. iterations):
@@ -74,6 +121,9 @@ engine::PageRankResult pagerank(const graph::Graph& g,
             me.acc[dg.owner_local(msg.vertex)] += msg.value;
         });
 
+        PrExecState* px =
+            exec_threads > 0 ? &pexec[ctx.self()] : nullptr;
+
         if (s > 0) {
           const double dangling = me.dangling_received + me.dangling_local;
           const double base =
@@ -81,14 +131,36 @@ engine::PageRankResult pagerank(const graph::Graph& g,
           if (mode == PrMode::kPull) {
             // Gather local in-edges against last round's shares; remote
             // in-edge mass already arrived via the drained messages.
-            for (graph::VertexId v = 0; v < num_local; ++v) {
-              double local_sum = 0;
-              const auto in = sub.local.in_neighbors(v);
-              for (graph::VertexId u : in) local_sum += me.share[u];
-              ctx.add_work(in.size());
-              me.rank[v] = base + cfg.damping * (local_sum + me.acc[v]);
-              me.acc[v] = 0.0;
+            if (px != nullptr) {
+              exec::process_edges_pull(
+                  *px->ex, px->in_plan,
+                  [&](unsigned, std::uint32_t, graph::VertexId v) {
+                    double local_sum = 0;
+                    for (graph::VertexId u : sub.local.in_neighbors(v))
+                      local_sum += me.share[u];
+                    me.rank[v] = base + cfg.damping * (local_sum + me.acc[v]);
+                    me.acc[v] = 0.0;
+                  });
+              ctx.add_work(px->gather_work);
+            } else {
+              for (graph::VertexId v = 0; v < num_local; ++v) {
+                double local_sum = 0;
+                const auto in = sub.local.in_neighbors(v);
+                for (graph::VertexId u : in) local_sum += me.share[u];
+                ctx.add_work(in.size());
+                me.rank[v] = base + cfg.damping * (local_sum + me.acc[v]);
+                me.acc[v] = 0.0;
+              }
             }
+          } else if (px != nullptr) {
+            px->ex->run(px->out_plan,
+                        [&](unsigned, std::uint32_t, graph::VertexId lo,
+                            graph::VertexId hi) {
+                          for (graph::VertexId v = lo; v < hi; ++v) {
+                            me.rank[v] = base + cfg.damping * me.acc[v];
+                            me.acc[v] = 0.0;
+                          }
+                        });
           } else {
             for (graph::VertexId v = 0; v < num_local; ++v) {
               me.rank[v] = base + cfg.damping * me.acc[v];
@@ -101,29 +173,68 @@ engine::PageRankResult pagerank(const graph::Graph& g,
 
         if (s >= cfg.iterations) return Vote::kHalt;
 
-        for (graph::VertexId v = 0; v < num_local; ++v) {
-          const auto degree = sub.local.out_degree(v);
-          if (degree == 0) {
-            me.dangling_local += me.rank[v];
-            ctx.add_work(1);
-            continue;
+        if (px != nullptr) {
+          // Parallel emit, pull-shaped for both modes: shares and per-chunk
+          // dangling partials over edge-balanced chunks; in push mode local
+          // mass is gathered per destination right away (CSR order), in
+          // pull mode it waits for the next finalize. Boundary edges
+          // scatter sequentially from the precollected list, so ghost
+          // traffic is identical to the sequential path's.
+          px->ex->run(px->out_plan,
+                      [&](unsigned, std::uint32_t chunk, graph::VertexId lo,
+                          graph::VertexId hi) {
+                        double dangling = 0.0;
+                        for (graph::VertexId v = lo; v < hi; ++v) {
+                          const auto degree = sub.local.out_degree(v);
+                          if (degree == 0) {
+                            dangling += me.rank[v];
+                            me.share[v] = 0.0;
+                          } else {
+                            me.share[v] =
+                                me.rank[v] / static_cast<double>(degree);
+                          }
+                        }
+                        px->chunk_dangling[chunk] = dangling;
+                      });
+          for (const double d : px->chunk_dangling) me.dangling_local += d;
+          if (mode == PrMode::kPush) {
+            exec::process_edges_pull(
+                *px->ex, px->in_plan,
+                [&](unsigned, std::uint32_t, graph::VertexId v) {
+                  double local_sum = 0;
+                  for (graph::VertexId u : sub.local.in_neighbors(v))
+                    local_sum += me.share[u];
+                  me.acc[v] += local_sum;
+                });
           }
-          const double share = me.rank[v] / static_cast<double>(degree);
-          if (mode == PrMode::kPull) {
-            // Local mass moves via next superstep's gather; only boundary
-            // edges scatter into ghost slots.
-            me.share[v] = share;
-            for (graph::VertexId t : sub.local.out_neighbors(v))
-              if (t >= num_local) me.ghosts.add(t - num_local, share);
-          } else {
-            for (graph::VertexId t : sub.local.out_neighbors(v)) {
-              if (t < num_local)
-                me.acc[t] += share;
-              else
-                me.ghosts.add(t - num_local, share);
+          for (const auto& [v, gi] : px->boundary)
+            me.ghosts.add(gi, me.share[v]);
+          ctx.add_work(px->emit_work);
+        } else {
+          for (graph::VertexId v = 0; v < num_local; ++v) {
+            const auto degree = sub.local.out_degree(v);
+            if (degree == 0) {
+              me.dangling_local += me.rank[v];
+              ctx.add_work(1);
+              continue;
             }
+            const double share = me.rank[v] / static_cast<double>(degree);
+            if (mode == PrMode::kPull) {
+              // Local mass moves via next superstep's gather; only boundary
+              // edges scatter into ghost slots.
+              me.share[v] = share;
+              for (graph::VertexId t : sub.local.out_neighbors(v))
+                if (t >= num_local) me.ghosts.add(t - num_local, share);
+            } else {
+              for (graph::VertexId t : sub.local.out_neighbors(v)) {
+                if (t < num_local)
+                  me.acc[t] += share;
+                else
+                  me.ghosts.add(t - num_local, share);
+              }
+            }
+            ctx.add_work(degree);
           }
-          ctx.add_work(degree);
         }
 
         ctx.mark_comm();

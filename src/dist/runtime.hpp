@@ -27,6 +27,7 @@
 
 #include "cluster/bsp.hpp"
 #include "dist/channel.hpp"
+#include "exec/exec_config.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "util/check.hpp"
@@ -42,6 +43,10 @@ struct DistOptions {
   /// OS worker threads; 0 = util::thread_count(machines), i.e. up to one
   /// per machine, capped by BPART_THREADS / hardware concurrency.
   unsigned threads = 0;
+  /// Intra-machine parallelism for each machine's per-superstep compute
+  /// (src/exec/). resolved_threads() == 0 — the default when
+  /// $BPART_EXEC_THREADS is unset — keeps the sequential step bodies.
+  exec::ExecConfig exec;
 };
 
 /// Gemini's sparse/dense (push/pull) switch: go dense once the active

@@ -1,5 +1,7 @@
 #include "engine/bfs.hpp"
 
+#include "exec/frontier.hpp"
+
 namespace bpart::engine {
 
 namespace {
@@ -83,13 +85,8 @@ BfsResult bfs(const graph::Graph& g, const partition::Partition& parts,
     if (cfg.direction_optimizing) {
       std::uint64_t frontier_edges = 0;
       for (graph::VertexId v : frontier) frontier_edges += g.out_degree(v);
-      const bool dense_edges =
-          static_cast<double>(frontier_edges) >
-          static_cast<double>(g.num_edges()) / cfg.alpha;
-      const bool big_frontier =
-          static_cast<double>(frontier.size()) >
-          static_cast<double>(n) / cfg.beta;
-      pull = dense_edges || big_frontier;
+      pull = exec::choose_pull(frontier_edges, frontier.size(), g.num_edges(),
+                               n, cfg.alpha, cfg.beta);
     }
 
     std::vector<graph::VertexId> next;

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "engine/context.hpp"
+#include "exec/exec_config.hpp"
 
 namespace bpart::engine {
 
@@ -18,9 +19,14 @@ struct ComponentsResult {
 /// label to all neighbors; a vertex adopting a smaller label activates for
 /// the next round. Operates on the undirected view (out+in neighbors), so
 /// labels equal the weakly connected component minima.
+/// `exec` routes the superstep scan through the exec core (threads >= 1 or
+/// $BPART_EXEC_THREADS set); labels, component count and the run report are
+/// bit-identical to the sequential path for every thread count (min-label
+/// merges are order-independent).
 ComponentsResult connected_components(const graph::Graph& g,
                                       const partition::Partition& parts,
                                       cluster::CostModel model = {},
-                                      unsigned max_iterations = 200);
+                                      unsigned max_iterations = 200,
+                                      const exec::ExecConfig& exec = {});
 
 }  // namespace bpart::engine

@@ -1,0 +1,63 @@
+// Per-worker accounting tallies for the engines' exec paths.
+//
+// The accounting engines report work items and cross-machine messages to a
+// BspSimulation, which is single-threaded by design. Under the exec core
+// each worker accumulates into a private tally (work per machine plus a
+// machine×machine message matrix) and the superstep folds them into the
+// simulation afterwards — integer sums, so the totals are identical to the
+// sequential engine's no matter how chunks were stolen.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/bsp.hpp"
+
+namespace bpart::engine {
+
+class WorkerTallies {
+ public:
+  WorkerTallies(unsigned workers, cluster::MachineId machines)
+      : machines_(machines),
+        work_(static_cast<std::size_t>(workers) * machines, 0),
+        msgs_(static_cast<std::size_t>(workers) * machines * machines, 0) {}
+
+  void add_work(unsigned w, cluster::MachineId m, std::uint64_t items) {
+    work_[static_cast<std::size_t>(w) * machines_ + m] += items;
+  }
+  void add_message(unsigned w, cluster::MachineId src,
+                   cluster::MachineId dst) {
+    ++msgs_[(static_cast<std::size_t>(w) * machines_ + src) * machines_ +
+            dst];
+  }
+
+  /// Fold every tally into the simulation and zero them for the next
+  /// superstep.
+  void flush(cluster::BspSimulation& sim) {
+    const std::size_t workers = work_.size() / machines_;
+    for (std::size_t w = 0; w < workers; ++w) {
+      for (cluster::MachineId m = 0; m < machines_; ++m) {
+        std::uint64_t& items = work_[w * machines_ + m];
+        if (items != 0) {
+          sim.add_work(m, items);
+          items = 0;
+        }
+        for (cluster::MachineId d = 0; d < machines_; ++d) {
+          std::uint64_t& count =
+              msgs_[(w * machines_ + m) * machines_ + d];
+          if (count != 0) {
+            sim.add_message(m, d, count);
+            count = 0;
+          }
+        }
+      }
+    }
+  }
+
+ private:
+  cluster::MachineId machines_;
+  std::vector<std::uint64_t> work_;
+  std::vector<std::uint64_t> msgs_;
+};
+
+}  // namespace bpart::engine

@@ -6,12 +6,18 @@
 #include <vector>
 
 #include "engine/context.hpp"
+#include "exec/exec_config.hpp"
 
 namespace bpart::engine {
 
 struct PageRankConfig {
   double damping = 0.85;
   unsigned iterations = 10;
+  /// Intra-machine parallel execution (src/exec/). Threads unset (and no
+  /// $BPART_EXEC_THREADS) keeps the sequential push loop bit-identical to
+  /// the pre-exec engine; threads >= 1 runs the chunk-scheduled pull path,
+  /// whose ranks are bit-identical across thread counts.
+  exec::ExecConfig exec;
 };
 
 struct PageRankResult {

@@ -1,0 +1,17 @@
+#include "exec/exec_config.hpp"
+
+#include "util/env.hpp"
+
+namespace bpart::exec {
+
+unsigned ExecConfig::resolved_threads() const {
+  if (threads != 0) return threads;
+  return bpart::exec_threads();
+}
+
+std::uint32_t ExecConfig::resolved_chunk_edges() const {
+  if (chunk_edges != 0) return chunk_edges;
+  return bpart::exec_chunk_edges();
+}
+
+}  // namespace bpart::exec

@@ -1,0 +1,35 @@
+#include "exec/scheduler.hpp"
+
+#include <algorithm>
+
+namespace bpart::exec {
+
+ChunkScheduler ChunkScheduler::over_range(
+    std::span<const graph::EdgeId> offsets, graph::VertexId lo,
+    graph::VertexId hi, std::uint32_t chunk_edges) {
+  BPART_CHECK(chunk_edges > 0);
+  BPART_CHECK(lo <= hi);
+  BPART_CHECK(offsets.size() >= static_cast<std::size_t>(hi) + 1 ||
+              (hi == 0 && offsets.empty()));
+  ChunkScheduler plan;
+  if (lo == hi) return plan;
+  plan.bounds_.push_back(lo);
+  graph::VertexId cur = lo;
+  while (cur < hi) {
+    // Last vertex whose cumulative edge count stays within chunk_edges of
+    // the chunk start; always advance by at least one so a hub heavier
+    // than chunk_edges becomes a singleton chunk.
+    const graph::EdgeId target = offsets[cur] + chunk_edges;
+    const auto it = std::upper_bound(offsets.begin() + cur + 1,
+                                     offsets.begin() + hi + 1, target);
+    auto next = static_cast<graph::VertexId>(
+        std::distance(offsets.begin(), it) - 1);
+    next = std::max(next, cur + 1);
+    next = std::min(next, hi);
+    plan.bounds_.push_back(next);
+    cur = next;
+  }
+  return plan;
+}
+
+}  // namespace bpart::exec

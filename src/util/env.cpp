@@ -52,6 +52,47 @@ unsigned thread_count(unsigned requested) {
   return n;
 }
 
+unsigned exec_threads() {
+  constexpr long kMaxThreads = 256;
+  const char* env = std::getenv("BPART_EXEC_THREADS");
+  if (env == nullptr) return 0;
+  try {
+    const long v = std::stol(env);
+    if (v < 1) {
+      LOG_WARN << "BPART_EXEC_THREADS must be >= 1, got " << env;
+      return 0;
+    }
+    if (v > kMaxThreads) {
+      LOG_WARN << "BPART_EXEC_THREADS=" << v << " clamped to " << kMaxThreads;
+      return static_cast<unsigned>(kMaxThreads);
+    }
+    return static_cast<unsigned>(v);
+  } catch (const std::exception&) {
+    LOG_WARN << "BPART_EXEC_THREADS is not a number: " << env;
+    return 0;
+  }
+}
+
+std::uint32_t exec_chunk_edges() {
+  constexpr std::uint32_t kDefault = 4096;
+  constexpr long kMin = 64;
+  constexpr long kMax = 1L << 22;
+  const char* env = std::getenv("BPART_EXEC_CHUNK");
+  if (env == nullptr) return kDefault;
+  try {
+    const long v = std::stol(env);
+    if (v < kMin || v > kMax) {
+      LOG_WARN << "BPART_EXEC_CHUNK=" << env << " outside [" << kMin << ", "
+               << kMax << "], using " << kDefault;
+      return kDefault;
+    }
+    return static_cast<std::uint32_t>(v);
+  } catch (const std::exception&) {
+    LOG_WARN << "BPART_EXEC_CHUNK is not a number: " << env;
+    return kDefault;
+  }
+}
+
 std::uint32_t stream_batch_size() {
   constexpr long kMaxBatch = 1L << 24;
   const char* env = std::getenv("BPART_STREAM_BATCH");

@@ -19,6 +19,18 @@ double dataset_scale();
 /// every call (it is only consulted at run setup) so tests can override.
 unsigned thread_count(unsigned requested = 0);
 
+/// Worker threads of the intra-machine exec core (src/exec/), read from
+/// $BPART_EXEC_THREADS on every call. 0 means "unset": engines keep their
+/// legacy sequential code path, so existing callers are bit-identical
+/// unless the environment (or an explicit ExecConfig) opts in. Values are
+/// clamped to [1, 256]; junk falls through to 0.
+unsigned exec_threads();
+
+/// Target edges per scheduler chunk of the exec core, read from
+/// $BPART_EXEC_CHUNK on every call (default 4096, clamped to [64, 2^22];
+/// junk falls through to the default).
+std::uint32_t exec_chunk_edges();
+
 /// Default batch size of the buffered streaming partitioner, read from
 /// $BPART_STREAM_BATCH on every call (junk or values < 0 fall through to 0).
 /// 0 means "sequential pass" — the knob is an opt-in, so existing callers

@@ -1,0 +1,92 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "exec/frontier.hpp"
+
+namespace bpart::exec {
+namespace {
+
+TEST(Frontier, AddTracksSizeMembershipAndEdgeMass) {
+  Frontier f(10);
+  EXPECT_TRUE(f.empty());
+  f.add(3, 5);
+  f.add(7, 2);
+  EXPECT_EQ(f.size(), 2u);
+  EXPECT_EQ(f.edge_mass(), 7u);
+  EXPECT_TRUE(f.contains(3));
+  EXPECT_TRUE(f.contains(7));
+  EXPECT_FALSE(f.contains(4));
+}
+
+TEST(Frontier, DuplicateAddIsNoOp) {
+  Frontier f(4);
+  f.add(2, 3);
+  f.add(2, 3);
+  EXPECT_EQ(f.size(), 1u);
+  EXPECT_EQ(f.edge_mass(), 3u);
+  EXPECT_EQ(f.active().size(), 1u);
+}
+
+TEST(Frontier, SparseDenseRoundTripPreservesMembership) {
+  Frontier f(100);
+  const std::vector<graph::VertexId> members = {90, 5, 42, 7, 99};
+  for (const graph::VertexId v : members) f.add(v);
+
+  f.to_dense();
+  EXPECT_TRUE(f.dense());
+  for (const graph::VertexId v : members) EXPECT_TRUE(f.contains(v));
+  EXPECT_EQ(f.size(), members.size());
+  // Adds keep working while dense.
+  f.add(1);
+  EXPECT_EQ(f.size(), members.size() + 1);
+
+  f.to_sparse();
+  EXPECT_FALSE(f.dense());
+  const auto active = f.active();
+  ASSERT_EQ(active.size(), members.size() + 1);
+  // to_sparse rebuilds in ascending order.
+  for (std::size_t i = 1; i < active.size(); ++i)
+    EXPECT_LT(active[i - 1], active[i]);
+  EXPECT_EQ(active.front(), 1u);
+  EXPECT_EQ(active.back(), 99u);
+}
+
+TEST(Frontier, ClearEmptiesBothRepresentations) {
+  Frontier f(50);
+  for (graph::VertexId v = 0; v < 50; v += 2) f.add(v, 1);
+  f.to_dense();
+  f.clear();
+  EXPECT_TRUE(f.empty());
+  EXPECT_EQ(f.edge_mass(), 0u);
+  for (graph::VertexId v = 0; v < 50; ++v) EXPECT_FALSE(f.contains(v));
+
+  f.add(9);
+  EXPECT_EQ(f.size(), 1u);
+  EXPECT_TRUE(f.contains(9));
+}
+
+TEST(Frontier, SwapExchangesEverything) {
+  Frontier a(10), b(10);
+  a.add(1, 4);
+  b.add(2, 6);
+  b.add(3, 1);
+  a.swap(b);
+  EXPECT_EQ(a.size(), 2u);
+  EXPECT_EQ(a.edge_mass(), 7u);
+  EXPECT_TRUE(a.contains(2));
+  EXPECT_EQ(b.size(), 1u);
+  EXPECT_TRUE(b.contains(1));
+}
+
+TEST(ChoosePull, MatchesBeamerPredicate) {
+  // alpha = 20: pull once frontier edge mass exceeds |E|/20.
+  EXPECT_FALSE(choose_pull(4, 1, 100, 1000, 20.0, 20.0));
+  EXPECT_TRUE(choose_pull(6, 1, 100, 1000, 20.0, 20.0));
+  // beta = 20: pull once the frontier exceeds |V|/20 vertices.
+  EXPECT_FALSE(choose_pull(0, 50, 100000, 1000, 20.0, 20.0));
+  EXPECT_TRUE(choose_pull(0, 51, 100000, 1000, 20.0, 20.0));
+}
+
+}  // namespace
+}  // namespace bpart::exec

@@ -39,8 +39,8 @@ TEST_F(PipelineTest, EveryPaperAlgorithmDrivesEveryApp) {
     const auto walk_report =
         walk::run_walks(g, parts, walk::SimpleRandomWalk(4), {});
     EXPECT_GT(walk_report.total_steps, 0u) << algo;
-    const auto pr = engine::pagerank(g, parts, {.damping = 0.85,
-                                                .iterations = 3});
+    const auto pr = engine::pagerank(
+        g, parts, {.damping = 0.85, .iterations = 3, .exec = {}});
     EXPECT_EQ(pr.run.iterations.size(), 3u) << algo;
   }
 }
