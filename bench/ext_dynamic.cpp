@@ -1,0 +1,280 @@
+// Extension — dynamic graph deltas + incremental repartitioning (DESIGN.md
+// §11). Replays a deterministic arrival trace against dyn::PartitionService
+// and against the strawman it replaces (periodic full repartition at the
+// same cadence), reporting wall-clock, final cut quality relative to a
+// from-scratch BPart run on the final graph, migration/compaction counts,
+// and the service's update-to-visibility and lookup latency percentiles.
+//
+// The acceptance bars of the dynamic subsystem are asserted here, not just
+// reported: the incremental leg must beat periodic full repartitioning by
+// >= 5x, land within 1.10x of the from-scratch cut, and produce
+// bit-identical assignments at 1 and 8 scoring threads. A violated bar
+// exits non-zero so CI fails loudly rather than quietly shipping a slower
+// or worse service.
+#include "common.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "dyn/service.hpp"
+#include "graph/generators.hpp"
+#include "obs/metrics.hpp"
+#include "partition/metrics.hpp"
+#include "partition/registry.hpp"
+#include "util/env.hpp"
+#include "util/logging.hpp"
+#include "util/timer.hpp"
+
+using namespace bpart;
+
+namespace {
+
+struct Trace {
+  graph::Graph base;
+  std::vector<std::vector<graph::Edge>> batches;  ///< Both directions/pair.
+  std::uint64_t arrival_edges = 0;
+};
+
+/// Deterministic trace: one community graph, the first 85% of its
+/// undirected pairs as the base CSR, the rest replayed in batches (id-mixed
+/// order, both directions per pair, so the graph stays symmetric).
+Trace make_trace(std::size_t batch_pairs) {
+  graph::CommunityGraphConfig gcfg;
+  gcfg.num_vertices = static_cast<graph::VertexId>(65536 * dataset_scale());
+  gcfg.avg_degree = 18.0;
+  gcfg.seed = 11;
+  graph::EdgeList el = graph::community_scale_free(gcfg);
+  el.remove_self_loops();
+  el.symmetrize();
+
+  std::vector<graph::Edge> pairs;
+  for (std::size_t i = 0; i < el.size(); ++i)
+    if (el[i].src < el[i].dst) pairs.push_back(el[i]);
+  std::sort(pairs.begin(), pairs.end(),
+            [](const graph::Edge& a, const graph::Edge& b) {
+              const std::uint64_t ha = (a.src * 2654435761u) ^ a.dst;
+              const std::uint64_t hb = (b.src * 2654435761u) ^ b.dst;
+              return ha != hb ? ha < hb
+                              : std::pair(a.src, a.dst) <
+                                    std::pair(b.src, b.dst);
+            });
+
+  const auto split = static_cast<std::size_t>(
+      static_cast<double>(pairs.size()) * 0.85);
+  graph::EdgeList base;
+  for (std::size_t i = 0; i < split; ++i)
+    base.add_undirected(pairs[i].src, pairs[i].dst);
+
+  Trace t;
+  t.base = graph::Graph::from_edges(base);
+  for (std::size_t i = split; i < pairs.size(); i += batch_pairs) {
+    std::vector<graph::Edge> batch;
+    for (std::size_t j = i; j < std::min(i + batch_pairs, pairs.size());
+         ++j) {
+      batch.push_back(pairs[j]);
+      batch.push_back({pairs[j].dst, pairs[j].src});
+      t.arrival_edges += 2;
+    }
+    t.batches.push_back(std::move(batch));
+  }
+  return t;
+}
+
+struct LegResult {
+  double seconds = 0;
+  std::uint64_t migrations = 0;
+  std::uint64_t compactions = 0;
+  std::vector<partition::PartId> part_of;
+  double vis_p50_ms = 0;
+  double vis_p99_ms = 0;
+  double lookup_p50_us = 0;
+  double lookup_p99_us = 0;
+};
+
+/// Replay the trace through the partition service, maintenance every
+/// `maintain_every` batches. Lookup latencies are sampled after each apply.
+LegResult run_incremental(const Trace& t, const partition::Partition& seed,
+                          unsigned threads, std::uint64_t budget,
+                          unsigned maintain_every) {
+  obs::metrics_reset();
+  dyn::ServiceConfig cfg;
+  cfg.stream.threads = threads;
+  cfg.migration_budget = budget;
+
+  LegResult r;
+  Timer timer;
+  dyn::PartitionService svc(t.base, seed, cfg);
+  std::size_t batches = 0;
+  for (const auto& batch : t.batches) {
+    const dyn::UpdateStats u = svc.apply(batch);
+    r.compactions += u.compacted ? 1 : 0;
+    if (++batches % maintain_every == 0) {
+      const dyn::MaintenanceStats m = svc.maintain();
+      r.migrations += m.migrated;
+      r.compactions += m.compacted ? 1 : 0;
+    }
+    // Sampled read-side latency, off the timed path's critical writers but
+    // inside the leg: every 64th vertex of the current epoch.
+    obs::LatencyHistogram& lookup = obs::latency("dyn.lookup");
+    for (graph::VertexId v = 0; v < svc.graph().num_vertices(); v += 64) {
+      const obs::ScopedLatency sample(lookup);
+      (void)svc.lookup(v);
+    }
+  }
+  const dyn::MaintenanceStats m = svc.maintain();
+  r.migrations += m.migrated;
+  r.compactions += m.compacted ? 1 : 0;
+  r.seconds = timer.seconds();
+
+  const auto snap = svc.snapshot();
+  r.part_of = snap->part_of;
+
+  const LogHistogram vis =
+      obs::latency("dyn.update_visibility").to_log_histogram();
+  r.vis_p50_ms = vis.quantile(0.5) / 1e6;
+  r.vis_p99_ms = vis.quantile(0.99) / 1e6;
+  const LogHistogram lk = obs::latency("dyn.lookup").to_log_histogram();
+  r.lookup_p50_us = lk.quantile(0.5) / 1e3;
+  r.lookup_p99_us = lk.quantile(0.99) / 1e3;
+  return r;
+}
+
+/// The strawman: at the same cadence, rebuild the CSR from scratch and run
+/// the full BPart partitioner on it.
+LegResult run_full_periodic(const Trace& t, partition::PartId k,
+                            unsigned maintain_every) {
+  LegResult r;
+  Timer timer;
+  std::vector<graph::Edge> edges;
+  for (graph::VertexId v = 0; v < t.base.num_vertices(); ++v)
+    for (graph::VertexId u : t.base.out_neighbors(v)) edges.push_back({v, u});
+
+  graph::VertexId n = t.base.num_vertices();
+  partition::Partition latest(0, 1);
+  std::size_t batches = 0;
+  auto repartition = [&] {
+    graph::EdgeList el;
+    for (const graph::Edge& e : edges) el.add(e.src, e.dst);
+    el.set_num_vertices(n);
+    const graph::Graph g = graph::Graph::from_edges(el);
+    latest = partition::create("bpart")->partition(g, k);
+  };
+  for (const auto& batch : t.batches) {
+    for (const graph::Edge& e : batch) {
+      edges.push_back(e);
+      n = std::max({n, e.src + 1, e.dst + 1});
+    }
+    if (++batches % maintain_every == 0) repartition();
+  }
+  repartition();
+  r.seconds = timer.seconds();
+  r.part_of.assign(latest.assignment().begin(), latest.assignment().end());
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options opts(argc, argv);
+  const auto k = static_cast<partition::PartId>(opts.get_int("parts", 8));
+  // Each pair replays as both directions, so $BPART_DYN_BATCH edges per
+  // apply() means half that many pairs per batch.
+  const auto batch_pairs = static_cast<std::size_t>(opts.get_int(
+      "batch", static_cast<std::int64_t>(std::max(1u, dyn_batch() / 2))));
+  const auto maintain_every =
+      static_cast<unsigned>(opts.get_int("maintain-every", 1));
+  const auto budget =
+      static_cast<std::uint64_t>(opts.get_int("budget", 1024));
+  bench::report().set_name("dynamic");
+
+  const Trace t = make_trace(batch_pairs);
+  LOG_INFO << "dynamic trace: base " << t.base.num_vertices()
+           << " vertices / " << t.base.num_edges() << " edges, "
+           << t.batches.size() << " arrival batches (" << t.arrival_edges
+           << " edges), k=" << k << ", budget=" << budget;
+
+  const partition::Partition seed =
+      partition::create("bpart")->partition(t.base, k);
+
+  const LegResult inc1 = run_incremental(t, seed, 1, budget, maintain_every);
+  const LegResult inc8 = run_incremental(t, seed, 8, budget, maintain_every);
+  const LegResult full = run_full_periodic(t, k, maintain_every);
+
+  // Everything is scored on the final graph, against a from-scratch BPart
+  // partition of it (the quality bar the service must stay near).
+  graph::EdgeList final_el;
+  {
+    std::vector<graph::Edge> all;
+    for (graph::VertexId v = 0; v < t.base.num_vertices(); ++v)
+      for (graph::VertexId u : t.base.out_neighbors(v)) all.push_back({v, u});
+    for (const auto& batch : t.batches)
+      for (const graph::Edge& e : batch) all.push_back(e);
+    for (const graph::Edge& e : all) final_el.add(e.src, e.dst);
+  }
+  const graph::Graph final_g = graph::Graph::from_edges(final_el);
+  const partition::Partition scratch =
+      partition::create("bpart")->partition(final_g, k);
+  const double scratch_cut = partition::edge_cut_ratio(final_g, scratch);
+
+  const bool identical_t8 = inc1.part_of == inc8.part_of;
+
+  Table table({"mode", "batches", "arrival_edges", "seconds", "x_faster",
+               "cut_ratio", "cut_vs_full", "migrations", "compactions",
+               "vis_p50_ms", "vis_p99_ms", "lookup_p50_us", "lookup_p99_us",
+               "identical_t8"});
+  auto add_row = [&](const std::string& mode, const LegResult& leg) {
+    const partition::Partition p(leg.part_of, k);
+    const partition::QualityReport q = partition::evaluate(final_g, p);
+    bench::report().add_quality(mode, q);
+    table.row()
+        .cell(mode)
+        .cell(static_cast<int>(t.batches.size()))
+        .cell(static_cast<double>(t.arrival_edges))
+        .cell(leg.seconds)
+        .cell(leg.seconds > 0 ? full.seconds / leg.seconds : 0.0)
+        .cell(q.edge_cut_ratio)
+        .cell(scratch_cut > 0 ? q.edge_cut_ratio / scratch_cut : 0.0)
+        .cell(static_cast<double>(leg.migrations))
+        .cell(static_cast<double>(leg.compactions))
+        .cell(leg.vis_p50_ms)
+        .cell(leg.vis_p99_ms)
+        .cell(leg.lookup_p50_us)
+        .cell(leg.lookup_p99_us)
+        .cell(identical_t8 ? 1 : 0);
+  };
+  add_row("incremental/t1", inc1);
+  add_row("incremental/t8", inc8);
+  add_row("full-periodic", full);
+
+  bench::emit("Extension: dynamic deltas + incremental repartitioning "
+              "(service vs periodic full repartition)",
+              table, "ext_dynamic");
+
+  // --- acceptance bars ----------------------------------------------------
+  const double x_faster = inc1.seconds > 0 ? full.seconds / inc1.seconds : 0;
+  const double cut_vs_full =
+      scratch_cut > 0
+          ? partition::edge_cut_ratio(final_g,
+                                      partition::Partition(inc1.part_of, k)) /
+                scratch_cut
+          : 0;
+  bool ok = true;
+  if (x_faster < 5.0) {
+    LOG_ERROR << "acceptance: incremental only " << x_faster
+              << "x faster than periodic full repartition (need >= 5x)";
+    ok = false;
+  }
+  if (cut_vs_full > 1.10) {
+    LOG_ERROR << "acceptance: incremental cut " << cut_vs_full
+              << "x the from-scratch cut (need <= 1.10x)";
+    ok = false;
+  }
+  if (!identical_t8) {
+    LOG_ERROR << "acceptance: 1-thread and 8-thread replays diverged";
+    ok = false;
+  }
+  return ok ? 0 : 1;
+}

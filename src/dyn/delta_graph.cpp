@@ -1,0 +1,61 @@
+#include "dyn/delta_graph.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace bpart::dyn {
+
+DeltaGraph::DeltaGraph(graph::Graph base)
+    : base_(std::move(base)), n_(base_.num_vertices()) {
+  delta_out_.resize(n_);
+  delta_in_.resize(n_);
+}
+
+graph::VertexId DeltaGraph::apply(std::span<const graph::Edge> batch) {
+  if (batch.empty()) return 0;
+  BPART_SPAN("dyn/delta_apply", "edges", static_cast<double>(batch.size()));
+
+  graph::VertexId batch_max = 0;
+  for (const graph::Edge& e : batch)
+    batch_max = std::max({batch_max, e.src, e.dst});
+  graph::VertexId created = 0;
+  if (batch_max >= n_) {
+    created = batch_max + 1 - n_;
+    n_ = batch_max + 1;
+    delta_out_.resize(n_);
+    delta_in_.resize(n_);
+  }
+
+  delta_.insert(delta_.end(), batch.begin(), batch.end());
+  for (const graph::Edge& e : batch) {
+    delta_out_[e.src].push_back(e.dst);
+    delta_in_[e.dst].push_back(e.src);
+  }
+  obs::counter("dyn.delta_edges").add(batch.size());
+  if (created != 0) obs::counter("dyn.new_vertices").add(created);
+  return created;
+}
+
+graph::EdgeId DeltaGraph::compact() {
+  const graph::EdgeId folded = delta_.size();
+  if (folded == 0 && n_ == base_.num_vertices()) return 0;
+  BPART_SPAN("dyn/compact", "delta_edges", static_cast<double>(folded));
+  base_ = base_.with_appended(delta_, n_);
+  delta_.clear();
+  delta_.shrink_to_fit();
+  for (auto& adj : delta_out_) {
+    adj.clear();
+    adj.shrink_to_fit();
+  }
+  for (auto& adj : delta_in_) {
+    adj.clear();
+    adj.shrink_to_fit();
+  }
+  obs::counter("dyn.compactions").add(1);
+  return folded;
+}
+
+}  // namespace bpart::dyn

@@ -1,0 +1,101 @@
+// Dynamic graph tier: a CSR base plus an append-only delta overlay.
+//
+// Production graphs churn, but the whole library (partitioners, engines,
+// walks) reads the immutable graph::Graph CSR. DeltaGraph bridges the two
+// worlds: batched edge/vertex arrivals land in a per-vertex overlay that
+// composes with the base CSR for degree and neighbor queries, and
+// compact() periodically folds the overlay into a fresh CSR via
+// Graph::with_appended so the heavy offline machinery (restream
+// refinement, full repartition, engines) always has a real CSR to chew
+// on. Endpoints at or beyond the current vertex count create new vertices
+// — exactly the arrival model of streaming partitioning.
+//
+// Not thread-safe; the partition service serializes writers and publishes
+// reader snapshots itself (see service.hpp).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "graph/types.hpp"
+
+namespace bpart::dyn {
+
+class DeltaGraph {
+ public:
+  explicit DeltaGraph(graph::Graph base);
+
+  /// Base vertices plus vertices created by arrivals.
+  [[nodiscard]] graph::VertexId num_vertices() const { return n_; }
+  /// Base edges plus overlay edges.
+  [[nodiscard]] graph::EdgeId num_edges() const {
+    return base_.num_edges() + delta_.size();
+  }
+
+  [[nodiscard]] graph::EdgeId out_degree(graph::VertexId v) const {
+    return base_degree_out(v) + delta_out_[v].size();
+  }
+  [[nodiscard]] graph::EdgeId in_degree(graph::VertexId v) const {
+    return base_degree_in(v) + delta_in_[v].size();
+  }
+
+  /// Visit v's out-neighbors across base + overlay. Iteration order is
+  /// base CSR run first, then overlay in arrival order — callers must not
+  /// depend on the combined order (compaction re-sorts runs).
+  template <typename Fn>
+  void for_out_neighbors(graph::VertexId v, Fn&& fn) const {
+    if (v < base_.num_vertices())
+      for (graph::VertexId u : base_.out_neighbors(v)) fn(u);
+    for (graph::VertexId u : delta_out_[v]) fn(u);
+  }
+  template <typename Fn>
+  void for_in_neighbors(graph::VertexId v, Fn&& fn) const {
+    if (v < base_.num_vertices())
+      for (graph::VertexId u : base_.in_neighbors(v)) fn(u);
+    for (graph::VertexId u : delta_in_[v]) fn(u);
+  }
+
+  /// Append a batch of directed edge arrivals. Endpoints >= num_vertices()
+  /// grow the vertex set (every id in the gap is materialized, like
+  /// EdgeList::add). Returns the number of vertices created.
+  graph::VertexId apply(std::span<const graph::Edge> batch);
+
+  /// Overlay edges awaiting compaction, in arrival order.
+  [[nodiscard]] std::span<const graph::Edge> delta_edges() const {
+    return delta_;
+  }
+  /// Overlay size relative to the base: |delta| / max(1, |base|). The
+  /// service compacts when this crosses its threshold.
+  [[nodiscard]] double delta_fraction() const {
+    return static_cast<double>(delta_.size()) /
+           static_cast<double>(std::max<graph::EdgeId>(base_.num_edges(), 1));
+  }
+
+  /// The current CSR tier. Only complete after compact(); between
+  /// compactions it lags the overlay.
+  [[nodiscard]] const graph::Graph& base() const { return base_; }
+
+  /// Fold the overlay into a fresh CSR (Graph::with_appended) and clear
+  /// it. After this, base() covers every arrival and the overlay is
+  /// empty. Returns the number of edges folded.
+  graph::EdgeId compact();
+
+ private:
+  [[nodiscard]] graph::EdgeId base_degree_out(graph::VertexId v) const {
+    return v < base_.num_vertices() ? base_.out_degree(v) : 0;
+  }
+  [[nodiscard]] graph::EdgeId base_degree_in(graph::VertexId v) const {
+    return v < base_.num_vertices() ? base_.in_degree(v) : 0;
+  }
+
+  graph::Graph base_;
+  graph::VertexId n_ = 0;            ///< Total vertices (>= base's).
+  std::vector<graph::Edge> delta_;   ///< Overlay edges in arrival order.
+  // Per-vertex overlay adjacency, indexed by vertex id (length n_).
+  std::vector<std::vector<graph::VertexId>> delta_out_;
+  std::vector<std::vector<graph::VertexId>> delta_in_;
+};
+
+}  // namespace bpart::dyn

@@ -1,0 +1,145 @@
+#include "dyn/service.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/check.hpp"
+#include "util/env.hpp"
+#include "util/timer.hpp"
+
+namespace bpart::dyn {
+
+using partition::kUnassigned;
+using partition::PartId;
+
+PartitionService::PartitionService(graph::Graph base, partition::Partition p,
+                                   ServiceConfig cfg)
+    : cfg_(cfg),
+      k_(p.num_parts()),
+      graph_(std::move(base)),
+      scorer_(partition::IncrementalScorer::from_partition(graph_.base(), p,
+                                                           cfg.stream)),
+      assign_(p.assignment().begin(), p.assignment().end()) {
+  BPART_CHECK(k_ >= 1);
+  BPART_CHECK(p.num_vertices() == graph_.base().num_vertices());
+  BPART_CHECK_MSG(p.fully_assigned(),
+                  "partition service needs a fully assigned base partition");
+  publish_locked();  // Epoch 0; construction is single-threaded.
+}
+
+partition::Partition PartitionService::partition_copy() const {
+  return partition::Partition(assign_, k_);
+}
+
+void PartitionService::publish_locked() {
+  auto snap = std::make_shared<Snapshot>();
+  snap->part_of = assign_;
+  snap->epoch = epoch_;
+  snap->assigned = assign_.size();
+  published_.store(std::move(snap), std::memory_order_release);
+  obs::gauge("dyn.epoch").set(static_cast<double>(epoch_));
+}
+
+void PartitionService::assign_new_vertices(graph::VertexId first_new) {
+  const graph::VertexId n = graph_.num_vertices();
+  for (graph::VertexId v = first_new; v < n; ++v) {
+    neighbor_parts_.clear();
+    auto collect = [&](graph::VertexId u) {
+      if (u != v && u < assign_.size() && assign_[u] != kUnassigned)
+        neighbor_parts_.push_back(assign_[u]);
+    };
+    graph_.for_out_neighbors(v, collect);
+    graph_.for_in_neighbors(v, collect);
+    const PartId part = scorer_.pick(neighbor_parts_);
+    assign_.push_back(part);
+    scorer_.add(part, graph_.out_degree(v));
+  }
+}
+
+UpdateStats PartitionService::apply(std::span<const graph::Edge> batch) {
+  UpdateStats stats;
+  if (batch.empty()) return stats;
+  const std::lock_guard<std::mutex> lock(writer_mu_);
+  Timer timer;
+  BPART_SPAN("dyn/apply", "edges", static_cast<double>(batch.size()));
+
+  const graph::VertexId old_n = graph_.num_vertices();
+  stats.edges = batch.size();
+  stats.new_vertices = graph_.apply(batch);
+
+  // Degree growth of settled sources: their part's edge dimension moves
+  // even though the vertex stays put. New vertices (>= old_n) are covered
+  // by scorer_.add() below, which reads their full current degree.
+  for (const graph::Edge& e : batch)
+    if (e.src < old_n) scorer_.add_edges(assign_[e.src], 1);
+
+  // New arrivals score against the live weights under the grown totals.
+  scorer_.calibrate(graph_.num_vertices(), graph_.num_edges());
+  assign_new_vertices(old_n);
+
+  // Both endpoints of every delta edge become maintenance candidates: the
+  // arrival changed their neighborhood, so their best part may have moved.
+  for (const graph::Edge& e : batch) {
+    dirty_.push_back(e.src);
+    dirty_.push_back(e.dst);
+  }
+
+  if (cfg_.compact_threshold > 0.0 &&
+      graph_.delta_fraction() >= cfg_.compact_threshold) {
+    graph_.compact();
+    stats.compacted = true;
+  }
+
+  ++epoch_;
+  publish_locked();
+  stats.epoch = epoch_;
+  stats.seconds = timer.seconds();
+  obs::counter("dyn.updates").add(1);
+  obs::counter("dyn.edges_applied").add(stats.edges);
+  obs::latency("dyn.update_visibility").record_seconds(stats.seconds);
+  return stats;
+}
+
+MaintenanceStats PartitionService::maintain() {
+  const std::lock_guard<std::mutex> lock(writer_mu_);
+  Timer timer;
+  MaintenanceStats stats;
+  BPART_SPAN("dyn/maintain", "dirty", static_cast<double>(dirty_.size()));
+
+  // The restream machinery needs the CSR tier complete: fold any overlay
+  // remainder first. (budgeted_restream scores against base() only, so an
+  // un-compacted overlay would hide the freshest edges from it.)
+  stats.compacted = graph_.compact() != 0;
+
+  stats.budget = cfg_.migration_budget != 0 ? cfg_.migration_budget
+                                            : dyn_budget();
+  if (!dirty_.empty() && stats.budget > 0) {
+    partition::Partition p(assign_, k_);
+    const partition::RestreamBudgetResult r = partition::budgeted_restream(
+        graph_.base(), dirty_, stats.budget, cfg_.stream, p);
+    stats.candidates = r.examined;
+    stats.eligible = r.eligible;
+    stats.migrated = r.moved;
+    if (r.moved != 0) {
+      assign_.assign(p.assignment().begin(), p.assignment().end());
+      // Rebuild the live weights from the migrated table; O(n), dwarfed
+      // by the restream's own O(candidate-degree) scoring.
+      scorer_ = partition::IncrementalScorer::from_partition(graph_.base(), p,
+                                                             cfg_.stream);
+    }
+  }
+  dirty_.clear();
+
+  ++epoch_;
+  publish_locked();
+  stats.epoch = epoch_;
+  stats.seconds = timer.seconds();
+  obs::counter("dyn.maintenance_passes").add(1);
+  obs::counter("dyn.migrations").add(stats.migrated);
+  obs::latency("dyn.maintenance").record_seconds(stats.seconds);
+  return stats;
+}
+
+}  // namespace bpart::dyn

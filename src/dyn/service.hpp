@@ -1,0 +1,161 @@
+// Long-lived partition service over a dynamic graph (DESIGN.md §11).
+//
+// Serving traffic needs exactly three operations, with very different
+// frequencies: vertex→part lookups (hot, concurrent, millions/sec),
+// delta-batch updates (warm, one writer), and maintenance (cold,
+// budgeted). PartitionService composes the pieces built below it:
+//
+//   apply()    — append the batch to the DeltaGraph overlay, assign the
+//                newly arrived vertices with the live-weight
+//                IncrementalScorer (same Eq. 2 greedy rule as the offline
+//                pass, exact state), and publish a fresh epoch.
+//   maintain() — compact the overlay into the CSR tier, then run one
+//                budget-capped prioritized-restream round
+//                (partition::budgeted_restream) over the vertices the
+//                deltas touched, migrating only the highest-gain ones.
+//   lookup()   — wait-free read of the latest published epoch.
+//
+// Concurrency model: RCU-style epoch publication. Writers (apply /
+// maintain, serialized by a mutex) mutate a private working table, then
+// publish an immutable snapshot via std::atomic<std::shared_ptr>. Readers
+// acquire-load the pointer and see either the old epoch or the new one,
+// never a half-applied batch; a snapshot they hold stays valid (and
+// immutable) for as long as they keep the shared_ptr.
+//
+// Observability: dyn.update_visibility / dyn.maintenance latency
+// histograms (apply-entry→publish and maintain-entry→publish),
+// dyn.updates / dyn.edges_applied / dyn.new_vertices / dyn.migrations /
+// dyn.compactions / dyn.delta_edges counters, dyn.epoch gauge.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "dyn/delta_graph.hpp"
+#include "graph/csr.hpp"
+#include "partition/incremental.hpp"
+#include "partition/partition.hpp"
+#include "partition/partitioner.hpp"
+
+namespace bpart::dyn {
+
+struct ServiceConfig {
+  /// Scoring parameters shared by incremental assignment and the
+  /// maintenance restream. The default matches BPart's two-dimensional
+  /// Eq. 1 weighting (c = 1/2) rather than StreamConfig's Fennel default.
+  partition::StreamConfig stream = [] {
+    partition::StreamConfig s;
+    s.balance_weight_c = 0.5;
+    return s;
+  }();
+
+  /// Max vertices migrated per maintain() round; 0 defers to
+  /// $BPART_DYN_BUDGET (default 256).
+  std::uint64_t migration_budget = 0;
+
+  /// apply() compacts eagerly once the overlay exceeds this fraction of
+  /// the base edges, bounding overlay memory and scan costs between
+  /// maintenance passes. <= 0 disables eager compaction (maintain() still
+  /// compacts).
+  double compact_threshold = 0.25;
+};
+
+/// Per-apply() outcome.
+struct UpdateStats {
+  std::uint64_t edges = 0;
+  std::uint64_t new_vertices = 0;
+  bool compacted = false;    ///< Eager overlay compaction ran.
+  std::uint64_t epoch = 0;   ///< Epoch the batch became visible in.
+  double seconds = 0;        ///< Apply-entry → publish (update-to-visibility).
+};
+
+/// Per-maintain() outcome.
+struct MaintenanceStats {
+  bool compacted = false;
+  std::uint64_t candidates = 0;  ///< Delta-touched vertices considered.
+  std::uint64_t eligible = 0;    ///< Of those, positive-gain movers.
+  std::uint64_t migrated = 0;    ///< Moves committed (<= budget).
+  std::uint64_t budget = 0;      ///< Budget the round ran under.
+  std::uint64_t epoch = 0;
+  double seconds = 0;
+};
+
+class PartitionService {
+ public:
+  /// Immutable published epoch: the full vertex→part table plus
+  /// self-describing consistency fields readers can verify against.
+  struct Snapshot {
+    std::vector<partition::PartId> part_of;
+    std::uint64_t epoch = 0;
+    /// Number of non-kUnassigned entries — always equals part_of.size()
+    /// for published epochs (every arrived vertex is assigned before its
+    /// batch becomes visible); readers use it to detect torn state in
+    /// tests.
+    std::uint64_t assigned = 0;
+  };
+
+  /// Take over `base` and its partition `p` (must cover base with >= 1
+  /// part, fully assigned) and publish epoch 0.
+  PartitionService(graph::Graph base, partition::Partition p,
+                   ServiceConfig cfg = {});
+
+  /// Apply one batch of directed edge arrivals: overlay append,
+  /// incremental assignment of new vertices (arrival order, exact live
+  /// weights), epoch publish. Serialized with maintain(); safe against
+  /// concurrent lookups.
+  UpdateStats apply(std::span<const graph::Edge> batch);
+
+  /// One maintenance round: compact the overlay, then one budgeted
+  /// prioritized-restream round over the delta-touched dirty set. The
+  /// migration epoch publishes once, after the whole round — readers see
+  /// all of the round's moves or none of them.
+  MaintenanceStats maintain();
+
+  /// Wait-free vertex→part lookup against the latest published epoch.
+  /// Vertices the service has never seen return kUnassigned.
+  [[nodiscard]] partition::PartId lookup(graph::VertexId v) const {
+    const std::shared_ptr<const Snapshot> snap =
+        published_.load(std::memory_order_acquire);
+    return v < snap->part_of.size() ? snap->part_of[v]
+                                    : partition::kUnassigned;
+  }
+
+  /// The latest published epoch; holding the pointer pins it.
+  [[nodiscard]] std::shared_ptr<const Snapshot> snapshot() const {
+    return published_.load(std::memory_order_acquire);
+  }
+
+  [[nodiscard]] std::uint64_t epoch() const {
+    return published_.load(std::memory_order_acquire)->epoch;
+  }
+  [[nodiscard]] partition::PartId num_parts() const { return k_; }
+
+  /// Writer-side views for tests/benches; not synchronized with readers.
+  [[nodiscard]] const DeltaGraph& graph() const { return graph_; }
+  [[nodiscard]] partition::Partition partition_copy() const;
+
+ private:
+  void assign_new_vertices(graph::VertexId first_new);
+  void publish_locked();
+
+  ServiceConfig cfg_;
+  partition::PartId k_;
+
+  std::mutex writer_mu_;
+  DeltaGraph graph_;
+  partition::IncrementalScorer scorer_;
+  std::vector<partition::PartId> assign_;   ///< Writer working table.
+  std::vector<graph::VertexId> dirty_;      ///< Delta-touched, for maintain().
+  std::uint64_t epoch_ = 0;
+
+  std::atomic<std::shared_ptr<const Snapshot>> published_;
+
+  // Reused pick() scratch: parts of the vertex being placed's neighbors.
+  std::vector<partition::PartId> neighbor_parts_;
+};
+
+}  // namespace bpart::dyn

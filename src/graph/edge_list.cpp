@@ -19,6 +19,15 @@ void EdgeList::add_undirected(VertexId src, VertexId dst) {
 
 void EdgeList::append(std::span<const Edge> batch, VertexId max_vertex) {
   if (batch.empty()) return;
+  // Never trust the caller's claimed bound: an undercounted max_vertex
+  // would leave num_vertices_ smaller than an endpoint and every CSR built
+  // from this list indexing out of bounds. The scan is branch-light and
+  // vectorizes, so the hot ingest path keeps its speed; debug builds
+  // assert the contract, release builds clamp to the real bound.
+  VertexId batch_max = 0;
+  for (const Edge& e : batch) batch_max = std::max({batch_max, e.src, e.dst});
+  BPART_DCHECK(batch_max <= max_vertex);
+  if (batch_max > max_vertex) max_vertex = batch_max;
   edges_.insert(edges_.end(), batch.begin(), batch.end());
   if (max_vertex >= num_vertices_) num_vertices_ = max_vertex + 1;
 }

@@ -28,7 +28,10 @@ class EdgeList {
 
   /// Bulk-append a parsed batch whose largest endpoint id is `max_vertex`.
   /// Equivalent to add() in a loop but without the per-edge vertex-count
-  /// update; the ingest pipeline's hot path.
+  /// update; the ingest pipeline's hot path. `max_vertex` is validated
+  /// against the batch: debug builds assert it covers every endpoint,
+  /// release builds clamp the vertex count to the real bound so an
+  /// undercounting caller can never produce an out-of-range edge list.
   void append(std::span<const Edge> batch, VertexId max_vertex);
 
   [[nodiscard]] std::size_t size() const { return edges_.size(); }

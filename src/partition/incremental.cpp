@@ -1,0 +1,108 @@
+#include "partition/incremental.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "util/check.hpp"
+
+namespace bpart::partition {
+
+IncrementalScorer::IncrementalScorer(PartId k, StreamConfig cfg)
+    : cfg_(cfg),
+      loads_(k),
+      capacity_(std::numeric_limits<double>::infinity()),
+      overlap_(k, 0) {
+  BPART_CHECK(k >= 1);
+  BPART_CHECK(cfg_.balance_weight_c >= 0.0 && cfg_.balance_weight_c <= 1.0);
+  BPART_CHECK(cfg_.gamma > 1.0);
+}
+
+IncrementalScorer IncrementalScorer::from_partition(const graph::Graph& g,
+                                                    const Partition& p,
+                                                    StreamConfig cfg) {
+  IncrementalScorer s(p.num_parts(), cfg);
+  for (graph::VertexId v = 0; v < p.num_vertices(); ++v) {
+    const PartId part = p[v];
+    if (part == kUnassigned) continue;
+    ++s.loads_[part].vertices;
+    s.loads_[part].edges += g.out_degree(v);
+  }
+  s.calibrate(g.num_vertices(), g.num_edges());
+  return s;
+}
+
+void IncrementalScorer::calibrate(std::uint64_t num_vertices,
+                                  std::uint64_t num_edges) {
+  const auto n = static_cast<double>(num_vertices);
+  const auto m = static_cast<double>(num_edges);
+  const auto k = static_cast<double>(loads_.size());
+  avg_degree_ = num_edges == 0 || num_vertices == 0 ? 1.0 : m / n;
+  alpha_ = cfg_.alpha > 0.0 ? cfg_.alpha
+                            : cfg_.alpha_scale * std::sqrt(k) * m /
+                                  std::pow(std::max(n, 1.0), 1.5);
+  capacity_ = cfg_.capacity_slack > 0.0
+                  ? cfg_.capacity_slack * n / k
+                  : std::numeric_limits<double>::infinity();
+}
+
+double IncrementalScorer::weight(PartId i) const {
+  const PartLoad& l = loads_[i];
+  return cfg_.balance_weight_c * static_cast<double>(l.vertices) +
+         (1.0 - cfg_.balance_weight_c) * static_cast<double>(l.edges) /
+             avg_degree_;
+}
+
+PartId IncrementalScorer::pick(std::span<const PartId> neighbor_parts) const {
+  const auto k = static_cast<PartId>(loads_.size());
+  for (PartId u : neighbor_parts)
+    if (u != kUnassigned) ++overlap_[u];
+
+  // Same scan as the sequential offline pass: strict > means the lowest
+  // part id wins ties, and an all-at-capacity state falls back to the
+  // least-loaded part instead of failing.
+  double best_score = -std::numeric_limits<double>::infinity();
+  PartId best = kUnassigned;
+  double min_weight = std::numeric_limits<double>::infinity();
+  PartId least_loaded = 0;
+  for (PartId i = 0; i < k; ++i) {
+    const double w = weight(i);
+    if (w < min_weight) {
+      min_weight = w;
+      least_loaded = i;
+    }
+    if (w >= capacity_) continue;
+    const double score = static_cast<double>(overlap_[i]) -
+                         alpha_ * cfg_.gamma * std::pow(w, cfg_.gamma - 1.0);
+    if (score > best_score) {
+      best_score = score;
+      best = i;
+    }
+  }
+  for (PartId u : neighbor_parts)
+    if (u != kUnassigned) overlap_[u] = 0;
+  return best == kUnassigned ? least_loaded : best;
+}
+
+void IncrementalScorer::add(PartId part, graph::EdgeId out_degree) {
+  BPART_CHECK(part < loads_.size());
+  ++loads_[part].vertices;
+  loads_[part].edges += out_degree;
+}
+
+void IncrementalScorer::move(PartId from, PartId to,
+                             graph::EdgeId out_degree) {
+  BPART_CHECK(from < loads_.size() && to < loads_.size());
+  if (from == to) return;
+  BPART_CHECK(loads_[from].vertices > 0 && loads_[from].edges >= out_degree);
+  --loads_[from].vertices;
+  loads_[from].edges -= out_degree;
+  ++loads_[to].vertices;
+  loads_[to].edges += out_degree;
+}
+
+void IncrementalScorer::add_edges(PartId part, std::uint64_t count) {
+  BPART_CHECK(part < loads_.size());
+  loads_[part].edges += count;
+}
+
+}  // namespace bpart::partition

@@ -1,0 +1,89 @@
+// Incremental streaming assignment against live per-part weights.
+//
+// The offline passes in streaming.cpp score a vertex stream once and throw
+// the per-part running state away. A long-lived partition service
+// (src/dyn/) needs the opposite: the W_i = c·|V_i| + (1−c)·|E_i|/d̄ totals
+// survive across arrival batches, newly arriving vertices are scored with
+// the same Eq. 2 greedy rule the offline pass used, and migrations /
+// degree growth adjust the totals in place. IncrementalScorer is that
+// state: seeded from an existing Partition, recalibrated as the graph
+// grows, and queried one vertex at a time.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "graph/types.hpp"
+#include "partition/partition.hpp"
+#include "partition/partitioner.hpp"
+
+namespace bpart::partition {
+
+/// Live load of one part: the two dimensions of the paper's Eq. 1.
+struct PartLoad {
+  std::uint64_t vertices = 0;
+  std::uint64_t edges = 0;  ///< Sum of out-degrees of the part's vertices.
+};
+
+/// Mutable per-part scoring state. One vertex at a time, always against
+/// exact totals — there is no snapshot staleness here, so a fixed arrival
+/// order gives a fixed assignment regardless of anything else. Not
+/// thread-safe: the owner serializes pick/add/move (the partition service
+/// holds its writer lock around them).
+class IncrementalScorer {
+ public:
+  /// Empty scorer for k parts. Call calibrate() before the first pick().
+  explicit IncrementalScorer(PartId k, StreamConfig cfg = {});
+
+  /// Seed the live loads from an existing assignment (kUnassigned entries
+  /// contribute nothing) and calibrate from g's totals.
+  static IncrementalScorer from_partition(const graph::Graph& g,
+                                          const Partition& p,
+                                          StreamConfig cfg = {});
+
+  /// Re-derive d̄, α and the capacity cap from current graph totals. The
+  /// same formulas the offline pass applies to its subset totals; cheap
+  /// (O(1)), call once per arrival batch as n and m grow.
+  void calibrate(std::uint64_t num_vertices, std::uint64_t num_edges);
+
+  /// Greedy Eq. 2 choice for one vertex given the parts of its already-
+  /// placed neighbors (kUnassigned entries ignored). Ties and the
+  /// all-parts-full fallback break exactly like the sequential offline
+  /// pass (lowest part id / least-loaded). Does not commit — call add()
+  /// with the returned part to update the totals.
+  [[nodiscard]] PartId pick(std::span<const PartId> neighbor_parts) const;
+
+  /// Commit a newly placed vertex of the given out-degree.
+  void add(PartId part, graph::EdgeId out_degree);
+
+  /// Migrate a settled vertex of the given out-degree between parts.
+  void move(PartId from, PartId to, graph::EdgeId out_degree);
+
+  /// Account `count` new out-edges on a settled vertex of `part` (degree
+  /// growth from arriving edges whose source is already placed).
+  void add_edges(PartId part, std::uint64_t count);
+
+  [[nodiscard]] PartId num_parts() const {
+    return static_cast<PartId>(loads_.size());
+  }
+  [[nodiscard]] std::span<const PartLoad> loads() const { return loads_; }
+
+  /// Eq. 1 weight of part i under the current calibration.
+  [[nodiscard]] double weight(PartId i) const;
+
+  [[nodiscard]] const StreamConfig& config() const { return cfg_; }
+
+ private:
+  StreamConfig cfg_;
+  std::vector<PartLoad> loads_;
+  double avg_degree_ = 1.0;
+  double alpha_ = 0.0;
+  double capacity_ = 0.0;  ///< +inf when uncapped.
+
+  // pick() scratch (k-sized overlap scatter); mutable so pick stays const.
+  mutable std::vector<std::uint32_t> overlap_;
+};
+
+}  // namespace bpart::partition

@@ -36,6 +36,8 @@ std::uint64_t fnv1a_str(std::string_view s,
   return fnv1a(s.data(), s.size(), seed);
 }
 
+// (graph_revision below also uses fnv1a; keep the helpers above it.)
+
 constexpr std::uint64_t kArtifactMagic = 0x314341'5452415042ULL;  // "BPARTAC1"
 constexpr std::uint32_t kFormatVersion = 1;
 constexpr std::uint32_t kKindGraph = 1;
@@ -191,6 +193,21 @@ bool write_artifact(const std::string& dir, const std::string& path,
 }
 
 }  // namespace
+
+std::uint64_t graph_revision(const graph::Graph& g) {
+  const std::uint64_t n = g.num_vertices();
+  const std::uint64_t m = g.num_edges();
+  std::uint64_t h = fnv1a(&n, sizeof(n));
+  h = fnv1a(&m, sizeof(m), h);
+  // Targets alone don't pin the structure (they lack the run boundaries),
+  // so fold the out-offsets in too; the in-side is derived from the same
+  // edge set and adds nothing.
+  const auto offsets = g.out_offsets();
+  const auto targets = g.out_targets();
+  h = fnv1a(offsets.data(), offsets.size_bytes(), h);
+  h = fnv1a(targets.data(), targets.size_bytes(), h);
+  return h;
+}
 
 CacheKey CacheKey::for_file(const std::string& path, std::string_view tag) {
   std::ifstream f(path, std::ios::binary);

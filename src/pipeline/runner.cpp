@@ -1,5 +1,6 @@
 #include "pipeline/runner.hpp"
 
+#include <cstdio>
 #include <utility>
 
 #include "obs/trace.hpp"
@@ -17,7 +18,17 @@ constexpr const char* kGraphKeyVersion = "gv1";
 
 /// Bumped whenever any registry partitioner's default configuration
 /// changes, so stale assignments never masquerade as current ones.
-constexpr const char* kPartitionKeyVersion = "pv1";
+/// pv2: the key gained the graph-content revision (see graph_revision) so
+/// a delta-mutated graph can never hit a partition cached for an earlier
+/// shape of the same input.
+constexpr const char* kPartitionKeyVersion = "pv2";
+
+std::string revision_hex(const graph::Graph& g) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(graph_revision(g)));
+  return buf;
+}
 
 }  // namespace
 
@@ -89,8 +100,12 @@ partition::Partition PipelineRunner::partition_graph(const graph::Graph& g,
                                                      const CacheKey& graph_key,
                                                      const std::string& algo,
                                                      partition::PartId k) {
+  // The base key identifies the *input* (file bytes / generator spec); the
+  // revision pins the in-memory graph actually being partitioned, which
+  // diverges from the input once dynamic deltas or compactions mutate it.
   const CacheKey key = graph_key.derive(":algo=" + algo +
-                                        ":k=" + std::to_string(k) + ":" +
+                                        ":k=" + std::to_string(k) +
+                                        ":rev=" + revision_hex(g) + ":" +
                                         kPartitionKeyVersion);
   Timer cache_timer;
   if (cache_on_) {

@@ -93,6 +93,47 @@ std::uint32_t exec_chunk_edges() {
   }
 }
 
+std::uint64_t dyn_budget() {
+  constexpr std::uint64_t kDefault = 256;
+  constexpr long long kMax = 1LL << 32;
+  const char* env = std::getenv("BPART_DYN_BUDGET");
+  if (env == nullptr) return kDefault;
+  try {
+    const long long v = std::stoll(env);
+    if (v < 0) {
+      LOG_WARN << "BPART_DYN_BUDGET must be >= 0, got " << env;
+      return kDefault;
+    }
+    if (v > kMax) {
+      LOG_WARN << "BPART_DYN_BUDGET=" << v << " clamped to " << kMax;
+      return static_cast<std::uint64_t>(kMax);
+    }
+    return static_cast<std::uint64_t>(v);
+  } catch (const std::exception&) {
+    LOG_WARN << "BPART_DYN_BUDGET is not a number: " << env;
+    return kDefault;
+  }
+}
+
+std::uint32_t dyn_batch() {
+  constexpr std::uint32_t kDefault = 4096;
+  constexpr long kMax = 1L << 24;
+  const char* env = std::getenv("BPART_DYN_BATCH");
+  if (env == nullptr) return kDefault;
+  try {
+    const long v = std::stol(env);
+    if (v < 1 || v > kMax) {
+      LOG_WARN << "BPART_DYN_BATCH=" << env << " outside [1, " << kMax
+               << "], using " << kDefault;
+      return kDefault;
+    }
+    return static_cast<std::uint32_t>(v);
+  } catch (const std::exception&) {
+    LOG_WARN << "BPART_DYN_BATCH is not a number: " << env;
+    return kDefault;
+  }
+}
+
 std::uint32_t stream_batch_size() {
   constexpr long kMaxBatch = 1L << 24;
   const char* env = std::getenv("BPART_STREAM_BATCH");

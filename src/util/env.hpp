@@ -31,6 +31,19 @@ unsigned exec_threads();
 /// junk falls through to the default).
 std::uint32_t exec_chunk_edges();
 
+/// Migration budget of the dynamic partition service's maintenance pass
+/// (max vertices moved per budgeted restream round), read from
+/// $BPART_DYN_BUDGET on every call. Default 256, clamped to [0, 2^32];
+/// junk falls through to the default. 0 disables migrations (maintenance
+/// still compacts).
+std::uint64_t dyn_budget();
+
+/// Default arrival-batch size (edge events per applied delta batch) of the
+/// dynamic partition service and the ext_dynamic trace replay, read from
+/// $BPART_DYN_BATCH on every call. Default 4096, clamped to [1, 2^24];
+/// junk falls through to the default.
+std::uint32_t dyn_batch();
+
 /// Default batch size of the buffered streaming partitioner, read from
 /// $BPART_STREAM_BATCH on every call (junk or values < 0 fall through to 0).
 /// 0 means "sequential pass" — the knob is an opt-in, so existing callers

@@ -1,0 +1,149 @@
+#include "dyn/delta_graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "graph/edge_list.hpp"
+#include "graph/generators.hpp"
+#include "util/check.hpp"
+
+namespace bpart::dyn {
+namespace {
+
+using graph::Edge;
+using graph::EdgeList;
+using graph::Graph;
+using graph::VertexId;
+
+EdgeList base_edges() {
+  EdgeList el;
+  el.add(0, 1);
+  el.add(1, 2);
+  el.add(2, 0);
+  el.add(3, 1);
+  el.set_num_vertices(5);  // 4 is isolated.
+  return el;
+}
+
+std::vector<VertexId> sorted_out(const DeltaGraph& dg, VertexId v) {
+  std::vector<VertexId> out;
+  dg.for_out_neighbors(v, [&](VertexId u) { out.push_back(u); });
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<VertexId> sorted_in(const DeltaGraph& dg, VertexId v) {
+  std::vector<VertexId> in;
+  dg.for_in_neighbors(v, [&](VertexId u) { in.push_back(u); });
+  std::sort(in.begin(), in.end());
+  return in;
+}
+
+TEST(DeltaGraph, OverlayMatchesFullRebuild) {
+  EdgeList all = base_edges();
+  DeltaGraph dg(Graph::from_edges(base_edges()));
+
+  const std::vector<Edge> batch1{{0, 3}, {4, 2}, {1, 0}};
+  const std::vector<Edge> batch2{{2, 4}, {0, 2}};
+  EXPECT_EQ(dg.apply(batch1), 0u);
+  EXPECT_EQ(dg.apply(batch2), 0u);
+  for (const Edge& e : batch1) all.add(e.src, e.dst);
+  for (const Edge& e : batch2) all.add(e.src, e.dst);
+
+  const Graph full = Graph::from_edges(all);
+  ASSERT_EQ(dg.num_vertices(), full.num_vertices());
+  ASSERT_EQ(dg.num_edges(), full.num_edges());
+  for (VertexId v = 0; v < full.num_vertices(); ++v) {
+    EXPECT_EQ(dg.out_degree(v), full.out_degree(v)) << "vertex " << v;
+    EXPECT_EQ(dg.in_degree(v), full.in_degree(v)) << "vertex " << v;
+    auto expect_out = std::vector<VertexId>(full.out_neighbors(v).begin(),
+                                            full.out_neighbors(v).end());
+    auto expect_in = std::vector<VertexId>(full.in_neighbors(v).begin(),
+                                           full.in_neighbors(v).end());
+    std::sort(expect_out.begin(), expect_out.end());
+    std::sort(expect_in.begin(), expect_in.end());
+    EXPECT_EQ(sorted_out(dg, v), expect_out) << "vertex " << v;
+    EXPECT_EQ(sorted_in(dg, v), expect_in) << "vertex " << v;
+  }
+}
+
+TEST(DeltaGraph, CompactMatchesFromEdgesBitExactly) {
+  // Both with_appended and from_edges leave every adjacency run sorted, so
+  // compaction must reproduce the from-scratch CSR exactly, arrays and all.
+  EdgeList all = base_edges();
+  DeltaGraph dg(Graph::from_edges(base_edges()));
+
+  const std::vector<Edge> batch{{4, 0}, {0, 4}, {2, 3}, {0, 2}};
+  dg.apply(batch);
+  for (const Edge& e : batch) all.add(e.src, e.dst);
+
+  EXPECT_EQ(dg.compact(), batch.size());
+  EXPECT_TRUE(dg.delta_edges().empty());
+  EXPECT_EQ(dg.delta_fraction(), 0.0);
+
+  const Graph full = Graph::from_edges(all);
+  const Graph& compacted = dg.base();
+  ASSERT_EQ(compacted.num_vertices(), full.num_vertices());
+  ASSERT_EQ(compacted.num_edges(), full.num_edges());
+  EXPECT_TRUE(std::ranges::equal(compacted.out_offsets(), full.out_offsets()));
+  EXPECT_TRUE(std::ranges::equal(compacted.out_targets(), full.out_targets()));
+
+  // Queries keep working against the folded tier; a second compact is a
+  // no-op.
+  EXPECT_EQ(dg.out_degree(0), full.out_degree(0));
+  EXPECT_EQ(dg.compact(), 0u);
+}
+
+TEST(DeltaGraph, ArrivalsBeyondBoundCreateVertices) {
+  DeltaGraph dg(Graph::from_edges(base_edges()));
+  ASSERT_EQ(dg.num_vertices(), 5u);
+
+  // Endpoint 8 materializes 5..8 (gap ids included, like EdgeList::add).
+  const std::vector<Edge> batch{{1, 8}, {8, 0}};
+  EXPECT_EQ(dg.apply(batch), 4u);
+  EXPECT_EQ(dg.num_vertices(), 9u);
+  EXPECT_EQ(dg.out_degree(8), 1u);
+  EXPECT_EQ(dg.in_degree(8), 1u);
+  EXPECT_EQ(dg.out_degree(6), 0u);  // Gap vertex exists, isolated.
+  EXPECT_EQ(sorted_out(dg, 8), (std::vector<VertexId>{0}));
+
+  // Compaction carries the grown vertex set into the CSR tier.
+  dg.compact();
+  EXPECT_EQ(dg.base().num_vertices(), 9u);
+  EXPECT_EQ(dg.base().out_degree(8), 1u);
+}
+
+TEST(DeltaGraph, WithAppendedValidatesItsContract) {
+  const Graph g = Graph::from_edges(base_edges());
+  const std::vector<Edge> out_of_range{{0, 7}};
+  EXPECT_THROW((void)g.with_appended(out_of_range, 5), CheckError);
+  const std::vector<Edge> fine{{0, 3}};
+  EXPECT_THROW((void)g.with_appended(fine, 4), CheckError);  // Shrink.
+
+  const Graph grown = g.with_appended(fine, 7);
+  EXPECT_EQ(grown.num_vertices(), 7u);
+  EXPECT_EQ(grown.num_edges(), g.num_edges() + 1);
+}
+
+TEST(DeltaGraph, DeltaFractionTracksOverlaySize) {
+  graph::CommunityGraphConfig gen;
+  gen.num_vertices = 1 << 8;
+  gen.avg_degree = 8;
+  gen.num_communities = 4;
+  gen.seed = 3;
+  DeltaGraph dg(Graph::from_edges(graph::community_scale_free(gen)));
+
+  const double before = dg.delta_fraction();
+  EXPECT_EQ(before, 0.0);
+  const std::vector<Edge> batch{{0, 1}, {1, 2}, {2, 3}, {3, 4}};
+  dg.apply(batch);
+  EXPECT_DOUBLE_EQ(dg.delta_fraction(),
+                   4.0 / static_cast<double>(dg.base().num_edges()));
+  EXPECT_EQ(dg.delta_edges().size(), 4u);
+}
+
+}  // namespace
+}  // namespace bpart::dyn

@@ -1,0 +1,180 @@
+#include "partition/incremental.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "graph/generators.hpp"
+#include "partition/metrics.hpp"
+#include "partition/partitioner.hpp"
+#include "partition/registry.hpp"
+
+namespace bpart::partition {
+namespace {
+
+graph::Graph community_graph(graph::VertexId n, std::uint64_t seed) {
+  graph::CommunityGraphConfig gen;
+  gen.num_vertices = n;
+  gen.avg_degree = 10;
+  gen.num_communities = 8;
+  gen.seed = seed;
+  graph::EdgeList el = graph::community_scale_free(gen);
+  el.remove_self_loops();
+  return graph::Graph::from_edges_symmetric(el);
+}
+
+TEST(IncrementalScorer, ReplaysSequentialStreamExactly) {
+  // The scorer's pick() claims to be the sequential offline scan, one
+  // vertex at a time against exact totals. Replaying the whole stream
+  // through it must therefore reproduce greedy_stream_partition bit for
+  // bit.
+  const graph::Graph g = community_graph(1 << 10, 17);
+  const PartId k = 6;
+  StreamConfig cfg;
+  cfg.balance_weight_c = 0.5;
+  cfg.batch_size = 0;       // Force the sequential pass.
+  cfg.refine_passes = 0;    // No restream after it.
+
+  std::vector<graph::VertexId> order(g.num_vertices());
+  std::iota(order.begin(), order.end(), 0);
+  const Partition expected = greedy_stream_partition(g, order, k, cfg);
+
+  IncrementalScorer scorer(k, cfg);
+  scorer.calibrate(g.num_vertices(), g.num_edges());
+  std::vector<PartId> assign(g.num_vertices(), kUnassigned);
+  std::vector<PartId> neighbor_parts;
+  for (graph::VertexId v : order) {
+    neighbor_parts.clear();
+    for (graph::VertexId u : g.out_neighbors(v))
+      if (assign[u] != kUnassigned) neighbor_parts.push_back(assign[u]);
+    for (graph::VertexId u : g.in_neighbors(v))
+      if (assign[u] != kUnassigned) neighbor_parts.push_back(assign[u]);
+    const PartId part = scorer.pick(neighbor_parts);
+    ASSERT_EQ(part, expected[v]) << "diverged at vertex " << v;
+    assign[v] = part;
+    scorer.add(part, g.out_degree(v));
+  }
+}
+
+TEST(IncrementalScorer, FromPartitionSeedsExactLoads) {
+  const graph::Graph g = community_graph(1 << 8, 5);
+  const Partition p = create("bpart")->partition(g, 4);
+  const auto scorer = IncrementalScorer::from_partition(g, p);
+
+  const auto vertex_counts = p.vertex_counts();
+  const auto edge_counts = p.edge_counts(g);
+  ASSERT_EQ(scorer.num_parts(), 4u);
+  for (PartId i = 0; i < 4; ++i) {
+    EXPECT_EQ(scorer.loads()[i].vertices, vertex_counts[i]);
+    EXPECT_EQ(scorer.loads()[i].edges, edge_counts[i]);
+  }
+}
+
+TEST(IncrementalScorer, MoveAndAddEdgesAdjustLoads) {
+  IncrementalScorer s(3);
+  s.calibrate(10, 20);
+  s.add(0, 4);
+  s.add(1, 2);
+  EXPECT_EQ(s.loads()[0].vertices, 1u);
+  EXPECT_EQ(s.loads()[0].edges, 4u);
+
+  s.move(0, 2, 4);
+  EXPECT_EQ(s.loads()[0].vertices, 0u);
+  EXPECT_EQ(s.loads()[0].edges, 0u);
+  EXPECT_EQ(s.loads()[2].vertices, 1u);
+  EXPECT_EQ(s.loads()[2].edges, 4u);
+
+  s.add_edges(2, 3);
+  EXPECT_EQ(s.loads()[2].edges, 7u);
+  s.move(2, 2, 4);  // Self-move is a no-op.
+  EXPECT_EQ(s.loads()[2].vertices, 1u);
+}
+
+class BudgetedRestreamTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    g_ = community_graph(1 << 12, 29);
+    // A hash partition ignores structure entirely: plenty of positive-gain
+    // moves for the restream to find.
+    bad_ = create("hash")->partition(g_, k_);
+    all_.resize(g_.num_vertices());
+    std::iota(all_.begin(), all_.end(), 0);
+    cfg_.balance_weight_c = 0.5;
+  }
+
+  graph::Graph g_;
+  Partition bad_;
+  std::vector<graph::VertexId> all_;
+  StreamConfig cfg_;
+  static constexpr PartId k_ = 8;
+};
+
+TEST_F(BudgetedRestreamTest, RespectsBudgetAndImprovesCut) {
+  Partition p = bad_;
+  const double cut_before = edge_cut_ratio(g_, p);
+
+  const RestreamBudgetResult small = budgeted_restream(g_, all_, 5, cfg_, p);
+  EXPECT_LE(small.moved, 5u);
+  EXPECT_EQ(small.examined, all_.size());
+  EXPECT_GE(small.eligible, small.moved);
+
+  // Loop rounds to a fixed point under a generous budget; on a hash
+  // partition of a community graph the cut must drop substantially.
+  for (int round = 0; round < 50; ++round)
+    if (budgeted_restream(g_, all_, 1 << 20, cfg_, p).moved == 0) break;
+  const double cut_after = edge_cut_ratio(g_, p);
+  EXPECT_LT(cut_after, cut_before * 0.9);
+  EXPECT_TRUE(p.fully_assigned());
+}
+
+TEST_F(BudgetedRestreamTest, ResultIndependentOfThreadCount) {
+  // > 1024 candidates, so the parallel scoring path engages; gains are
+  // pure functions of the frozen snapshot and the ranking is total, so the
+  // worker count must not change anything.
+  std::vector<Partition> results;
+  for (unsigned threads : {1u, 2u, 8u}) {
+    StreamConfig cfg = cfg_;
+    cfg.threads = threads;
+    Partition p = bad_;
+    const RestreamBudgetResult r = budgeted_restream(g_, all_, 64, cfg, p);
+    EXPECT_EQ(r.moved, 64u) << "hash partition should saturate the budget";
+    results.push_back(p);
+  }
+  for (std::size_t i = 1; i < results.size(); ++i)
+    EXPECT_TRUE(std::ranges::equal(results[0].assignment(),
+                                   results[i].assignment()))
+        << "thread count " << i << " diverged";
+}
+
+TEST_F(BudgetedRestreamTest, IgnoresBogusAndDuplicateCandidates) {
+  Partition p = bad_;
+  const std::vector<graph::VertexId> cands{7, 7, 7, g_.num_vertices(),
+                                           g_.num_vertices() + 100, 9};
+  const RestreamBudgetResult r = budgeted_restream(g_, cands, 10, cfg_, p);
+  EXPECT_EQ(r.examined, 2u);  // 7 and 9, deduplicated; out-of-range dropped.
+  EXPECT_LE(r.moved, 2u);
+
+  // Unassigned candidates are skipped, not moved.
+  Partition partial(g_.num_vertices(), k_);
+  for (graph::VertexId v = 0; v < g_.num_vertices() / 2; ++v)
+    partial.assign(v, bad_[v]);
+  const graph::VertexId hole = g_.num_vertices() - 1;
+  const std::vector<graph::VertexId> unassigned{hole};
+  const RestreamBudgetResult r2 =
+      budgeted_restream(g_, unassigned, 10, cfg_, partial);
+  EXPECT_EQ(r2.examined, 0u);
+  EXPECT_EQ(partial[hole], kUnassigned);
+}
+
+TEST_F(BudgetedRestreamTest, ZeroBudgetMovesNothing) {
+  Partition p = bad_;
+  const RestreamBudgetResult r = budgeted_restream(g_, all_, 0, cfg_, p);
+  EXPECT_EQ(r.moved, 0u);
+  EXPECT_TRUE(std::ranges::equal(p.assignment(), bad_.assignment()));
+}
+
+}  // namespace
+}  // namespace bpart::partition

@@ -1,0 +1,290 @@
+#include "dyn/service.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "graph/generators.hpp"
+#include "partition/metrics.hpp"
+#include "partition/registry.hpp"
+
+namespace bpart::dyn {
+namespace {
+
+using graph::Edge;
+using graph::VertexId;
+using partition::kUnassigned;
+using partition::PartId;
+
+struct Scenario {
+  graph::Graph base;
+  std::vector<std::vector<Edge>> batches;
+};
+
+/// Deterministic arrival trace: generate one community graph, keep the
+/// first `base_fraction` of its undirected pairs as the base CSR and replay
+/// the rest (both directions per pair, batched) as arrivals — so the final
+/// graph is symmetric and self-loop free, like the paper's datasets.
+Scenario make_scenario(VertexId n, std::uint64_t seed,
+                       std::size_t batch_pairs = 256,
+                       double base_fraction = 0.8) {
+  graph::CommunityGraphConfig gen;
+  gen.num_vertices = n;
+  gen.avg_degree = 10;
+  gen.num_communities = 8;
+  gen.seed = seed;
+  graph::EdgeList el = graph::community_scale_free(gen);
+  el.remove_self_loops();
+  el.symmetrize();
+
+  // Undirected pairs (src < dst), in a deterministic but id-mixed order.
+  std::vector<Edge> pairs;
+  for (std::size_t i = 0; i < el.size(); ++i)
+    if (el[i].src < el[i].dst) pairs.push_back(el[i]);
+  std::sort(pairs.begin(), pairs.end(), [](const Edge& a, const Edge& b) {
+    const std::uint64_t ha = (a.src * 2654435761u) ^ a.dst;
+    const std::uint64_t hb = (b.src * 2654435761u) ^ b.dst;
+    return ha != hb ? ha < hb
+                    : std::pair(a.src, a.dst) < std::pair(b.src, b.dst);
+  });
+
+  const std::size_t split =
+      static_cast<std::size_t>(static_cast<double>(pairs.size()) *
+                               base_fraction);
+  graph::EdgeList base;
+  for (std::size_t i = 0; i < split; ++i)
+    base.add_undirected(pairs[i].src, pairs[i].dst);
+
+  Scenario s;
+  s.base = graph::Graph::from_edges(base);
+  for (std::size_t i = split; i < pairs.size(); i += batch_pairs) {
+    std::vector<Edge> batch;
+    for (std::size_t j = i; j < std::min(i + batch_pairs, pairs.size()); ++j) {
+      batch.push_back(pairs[j]);
+      batch.push_back({pairs[j].dst, pairs[j].src});
+    }
+    s.batches.push_back(std::move(batch));
+  }
+  return s;
+}
+
+ServiceConfig config_with_budget(std::uint64_t budget) {
+  ServiceConfig cfg;
+  cfg.migration_budget = budget;
+  return cfg;
+}
+
+TEST(PartitionService, ApplyPublishesAssignmentsAndEpochs) {
+  const Scenario s = make_scenario(1 << 10, 7);
+  const partition::Partition p =
+      partition::create("bpart")->partition(s.base, 4);
+  PartitionService svc(s.base, p, config_with_budget(64));
+
+  EXPECT_EQ(svc.epoch(), 0u);
+  for (VertexId v = 0; v < s.base.num_vertices(); ++v)
+    EXPECT_EQ(svc.lookup(v), p[v]);
+
+  std::uint64_t expected_epoch = 0;
+  std::uint64_t applied = 0;
+  for (const auto& batch : s.batches) {
+    const UpdateStats stats = svc.apply(batch);
+    EXPECT_EQ(stats.edges, batch.size());
+    EXPECT_EQ(stats.epoch, ++expected_epoch);
+    applied += stats.edges;
+  }
+  EXPECT_EQ(svc.epoch(), expected_epoch);
+  EXPECT_EQ(svc.graph().num_edges(), s.base.num_edges() + applied);
+
+  // Every vertex that ever arrived is assigned in the published snapshot.
+  const auto snap = svc.snapshot();
+  ASSERT_EQ(snap->part_of.size(), svc.graph().num_vertices());
+  EXPECT_EQ(snap->assigned, snap->part_of.size());
+  for (const PartId part : snap->part_of) ASSERT_LT(part, 4u);
+
+  // Lookups past the vertex set stay kUnassigned rather than crashing.
+  EXPECT_EQ(svc.lookup(svc.graph().num_vertices() + 10), kUnassigned);
+}
+
+TEST(PartitionService, EmptyBatchIsANoOp) {
+  const Scenario s = make_scenario(1 << 8, 3);
+  PartitionService svc(s.base,
+                       partition::create("bpart")->partition(s.base, 4),
+                       config_with_budget(16));
+  const std::uint64_t before = svc.epoch();
+  const UpdateStats stats = svc.apply({});
+  EXPECT_EQ(stats.edges, 0u);
+  EXPECT_EQ(svc.epoch(), before);
+}
+
+TEST(PartitionService, MaintainRespectsBudgetAndCompacts) {
+  const Scenario s = make_scenario(1 << 10, 11);
+  ServiceConfig cfg = config_with_budget(3);
+  cfg.compact_threshold = 0.0;  // No eager compaction: maintain() must.
+  PartitionService svc(s.base,
+                       partition::create("hash")->partition(s.base, 8), cfg);
+
+  for (const auto& batch : s.batches) svc.apply(batch);
+  EXPECT_FALSE(svc.graph().delta_edges().empty());
+
+  const MaintenanceStats stats = svc.maintain();
+  EXPECT_TRUE(stats.compacted);
+  EXPECT_TRUE(svc.graph().delta_edges().empty());
+  EXPECT_EQ(stats.budget, 3u);
+  EXPECT_LE(stats.migrated, 3u);
+  EXPECT_GT(stats.candidates, 0u);
+  // The hash base partition leaves far more than 3 positive-gain movers, so
+  // the budget is what stopped it.
+  EXPECT_EQ(stats.migrated, 3u);
+  EXPECT_GE(stats.eligible, stats.migrated);
+
+  // The dirty set was consumed: an immediate second pass has no candidates.
+  const MaintenanceStats again = svc.maintain();
+  EXPECT_EQ(again.candidates, 0u);
+  EXPECT_EQ(again.migrated, 0u);
+}
+
+TEST(PartitionService, EagerCompactionTriggersOnThreshold) {
+  const Scenario s = make_scenario(1 << 9, 13);
+  ServiceConfig cfg = config_with_budget(16);
+  cfg.compact_threshold = 1e-6;  // Any overlay at all triggers compaction.
+  PartitionService svc(s.base,
+                       partition::create("bpart")->partition(s.base, 4), cfg);
+
+  const UpdateStats stats = svc.apply(s.batches.front());
+  EXPECT_TRUE(stats.compacted);
+  EXPECT_TRUE(svc.graph().delta_edges().empty());
+  EXPECT_EQ(svc.graph().base().num_edges(),
+            s.base.num_edges() + stats.edges);
+}
+
+TEST(PartitionService, SnapshotIsImmutableWhileServiceMovesOn) {
+  const Scenario s = make_scenario(1 << 9, 19);
+  PartitionService svc(s.base,
+                       partition::create("bpart")->partition(s.base, 4),
+                       config_with_budget(16));
+  const auto pinned = svc.snapshot();
+  const std::uint64_t pinned_epoch = pinned->epoch;
+  const std::vector<PartId> pinned_parts = pinned->part_of;
+
+  for (const auto& batch : s.batches) svc.apply(batch);
+  svc.maintain();
+
+  EXPECT_GT(svc.epoch(), pinned_epoch);
+  EXPECT_EQ(pinned->epoch, pinned_epoch);
+  EXPECT_TRUE(std::ranges::equal(pinned->part_of, pinned_parts));
+}
+
+TEST(PartitionService, DeterministicAcrossThreadCounts) {
+  // The acceptance bar: replaying the same trace with 1, 2 and 8 scoring
+  // threads gives bit-identical assignments — incremental picks are
+  // sequential by construction and budgeted_restream ranks against a
+  // frozen snapshot with a total order.
+  std::vector<std::vector<PartId>> finals;
+  for (unsigned threads : {1u, 2u, 8u}) {
+    const Scenario s = make_scenario(1 << 11, 23);
+    ServiceConfig cfg = config_with_budget(128);
+    cfg.stream.threads = threads;
+    PartitionService svc(s.base,
+                         partition::create("bpart")->partition(s.base, 8),
+                         cfg);
+    std::size_t i = 0;
+    for (const auto& batch : s.batches) {
+      svc.apply(batch);
+      if (++i % 2 == 0) svc.maintain();
+    }
+    svc.maintain();
+    const auto snap = svc.snapshot();
+    finals.push_back(snap->part_of);
+  }
+  ASSERT_EQ(finals[0].size(), finals[1].size());
+  EXPECT_EQ(finals[0], finals[1]);
+  EXPECT_EQ(finals[0], finals[2]);
+}
+
+TEST(PartitionService, MaintainedCutStaysNearFullRepartition) {
+  const Scenario s = make_scenario(1 << 11, 31);
+  PartitionService svc(s.base,
+                       partition::create("bpart")->partition(s.base, 8),
+                       config_with_budget(1 << 20));
+  for (const auto& batch : s.batches) {
+    svc.apply(batch);
+    svc.maintain();
+  }
+
+  // Rebuild the final graph from scratch and compare cut ratios. The bench
+  // enforces the 1.10× acceptance bound at scale; this is the smoke-sized
+  // version with a loose factor so it stays robust to generator tweaks.
+  svc.maintain();
+  const graph::Graph& final_g = svc.graph().base();
+  const partition::Partition full =
+      partition::create("bpart")->partition(final_g, 8);
+  const double incremental_cut =
+      partition::edge_cut_ratio(final_g, svc.partition_copy());
+  const double full_cut = partition::edge_cut_ratio(final_g, full);
+  EXPECT_LT(incremental_cut, std::max(full_cut * 1.5, full_cut + 0.05));
+}
+
+TEST(PartitionService, ConcurrentLookupsDuringUpdatesAndMaintenance) {
+  // TSan coverage: hammer lookup()/snapshot() from reader threads while the
+  // writer applies batches and runs maintenance. Readers verify snapshot
+  // invariants (epoch monotonic per reader, parts in range, fully
+  // assigned) and flag violations through atomics — no gtest asserts off
+  // the main thread.
+  const Scenario s = make_scenario(1 << 10, 37, /*batch_pairs=*/64);
+  const PartId k = 8;
+  PartitionService svc(s.base, partition::create("bpart")->partition(s.base, k),
+                       config_with_budget(64));
+
+  std::atomic<bool> stop{false};
+  std::atomic<bool> torn_snapshot{false};
+  std::atomic<bool> epoch_regressed{false};
+  std::atomic<bool> bad_part{false};
+  std::atomic<std::uint64_t> reads{0};
+
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 4; ++r) {
+    readers.emplace_back([&] {
+      std::uint64_t last_epoch = 0;
+      VertexId v = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        const auto snap = svc.snapshot();
+        if (snap->epoch < last_epoch)
+          epoch_regressed.store(true, std::memory_order_relaxed);
+        last_epoch = snap->epoch;
+        if (snap->assigned != snap->part_of.size())
+          torn_snapshot.store(true, std::memory_order_relaxed);
+        if (!snap->part_of.empty()) {
+          const PartId part = snap->part_of[v % snap->part_of.size()];
+          if (part >= k) bad_part.store(true, std::memory_order_relaxed);
+        }
+        const PartId direct = svc.lookup(v);
+        if (direct != kUnassigned && direct >= k)
+          bad_part.store(true, std::memory_order_relaxed);
+        ++v;
+        reads.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  for (std::size_t i = 0; i < s.batches.size(); ++i) {
+    svc.apply(s.batches[i]);
+    if (i % 2 == 1) svc.maintain();
+  }
+  svc.maintain();
+
+  stop.store(true);
+  for (auto& t : readers) t.join();
+
+  EXPECT_FALSE(torn_snapshot.load()) << "reader saw a half-published epoch";
+  EXPECT_FALSE(epoch_regressed.load()) << "epoch went backwards";
+  EXPECT_FALSE(bad_part.load()) << "part id out of range";
+  EXPECT_GT(reads.load(), 0u);
+}
+
+}  // namespace
+}  // namespace bpart::dyn

@@ -24,6 +24,34 @@ TEST(EdgeList, AddUndirectedAddsBothDirections) {
   EXPECT_EQ(el[1], (Edge{2, 1}));
 }
 
+TEST(EdgeList, AppendCoveringMaxVertexGrowsCount) {
+  EdgeList el;
+  const std::vector<Edge> batch{{0, 5}, {3, 2}};
+  el.append(batch, 5);
+  EXPECT_EQ(el.size(), 2u);
+  EXPECT_EQ(el.num_vertices(), 6u);
+}
+
+TEST(EdgeList, AppendValidatesClaimedMaxVertex) {
+  // Regression: append() used to trust the caller's max_vertex, so an
+  // undercount left num_vertices() smaller than an endpoint and every CSR
+  // built from the list indexed out of bounds. Debug builds assert the
+  // contract; release builds clamp to the real bound.
+  EdgeList el;
+  const std::vector<Edge> batch{{0, 7}, {2, 1}};
+#ifdef NDEBUG
+  el.append(batch, 1);  // Claims max endpoint 1; batch reaches 7.
+  EXPECT_EQ(el.num_vertices(), 8u);
+#else
+  EXPECT_THROW(el.append(batch, 1), CheckError);
+#endif
+  // A correct bound still works either way.
+  EdgeList ok;
+  ok.append(batch, 7);
+  EXPECT_EQ(ok.num_vertices(), 8u);
+  EXPECT_EQ(ok.out_degrees().size(), 8u);
+}
+
 TEST(EdgeList, SetNumVerticesAllowsIsolatedTail) {
   EdgeList el;
   el.add(0, 1);

@@ -147,5 +147,32 @@ TEST_F(RunnerTest, SymmetrizeModeMatchesLegacySymmetricBuild) {
   EXPECT_TRUE(std::ranges::equal(g.out_targets(), legacy.out_targets()));
 }
 
+TEST_F(RunnerTest, AppendedEdgesInvalidatePartitionCache) {
+  // Regression: the partition key used to hash only the input file + algo +
+  // k, so a graph mutated in memory (delta compaction) under the same base
+  // key served the stale pre-mutation partition. The key now folds in
+  // graph_revision(), a content hash of the CSR itself.
+  PipelineRunner runner(config());
+  const auto first = runner.run_file(input_, "fennel", 4);
+  ASSERT_FALSE(runner.report().partition_cache_hit);
+
+  const graph::Edge extra[] = {{0, 1}, {1, 0}};
+  const graph::Graph grown = first.graph.with_appended(
+      extra, first.graph.num_vertices());
+  ASSERT_NE(graph_revision(grown), graph_revision(first.graph));
+
+  PipelineRunner after(config());
+  const partition::Partition p =
+      after.partition_graph(grown, after.graph_key(input_), "fennel", 4);
+  EXPECT_FALSE(after.report().partition_cache_hit)
+      << "mutated graph must not reuse the base graph's cached partition";
+  EXPECT_EQ(p.num_vertices(), grown.num_vertices());
+
+  // The unmodified graph still hits its own entry.
+  PipelineRunner warm(config());
+  (void)warm.run_file(input_, "fennel", 4);
+  EXPECT_TRUE(warm.report().partition_cache_hit);
+}
+
 }  // namespace
 }  // namespace bpart::pipeline
