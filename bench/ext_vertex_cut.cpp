@@ -1,48 +1,231 @@
 // Extension: the vertex-cut family the paper's related work (§5) contrasts
 // with. Edge-cut partitioners pay communication per cut edge; vertex-cut
-// partitioners pay synchronization per vertex *replica*. This bench
-// reports the replication factor and edge balance of random edge
-// placement, DBH and HDRF on the paper's datasets — reproducing the
-// published ordering (HDRF < DBH < random on power-law graphs) — next to
-// BPart's edge-cut numbers for context.
+// partitioners pay synchronization per vertex *replica*. This bench runs
+// the whole vcut:: placer family (random, DBH, HDRF, buffered HDRF, 2PS)
+// on the paper's datasets and reports replication factor, balance and
+// partition time, then executes mirror-based PageRank on every placement
+// and prints its measured compute/wait/bytes next to the edge-cut dist
+// runtime on BPart and Hash partitions of the same graph.
+//
+// The bench *gates* the subsystem's contracts by exit code (the CI perf
+// gate only checks timings):
+//   - HDRF and 2PS replicate strictly less than random edge placement;
+//   - split-merge repairs a fully skewed partition to
+//     max pair load <= 1.05 * ceil(pairs / k);
+//   - buffered HDRF assignments are bit-identical at 1/2/8 scoring threads;
+//   - mirror PageRank matches the engine to 1e-10 for every registered
+//     placer, bit-identically across 1/2/8 runtime threads;
+//   - mirror CC labels equal the engine's exactly.
 #include "common.hpp"
 
+#include <algorithm>
+#include <cmath>
+#include <iostream>
+#include <numeric>
+#include <vector>
+
+#include "dist/mirror.hpp"
+#include "dist/pagerank.hpp"
+#include "engine/components.hpp"
+#include "engine/pagerank.hpp"
 #include "partition/metrics.hpp"
-#include "partition/vertex_cut.hpp"
+#include "util/env.hpp"
+#include "util/logging.hpp"
+#include "util/timer.hpp"
+#include "vcut/mirror_graph.hpp"
+#include "vcut/registry.hpp"
+#include "vcut/split_merge.hpp"
 
 using namespace bpart;
+
+namespace {
+
+std::vector<std::string> g_failures;
+
+void gate(bool ok, const std::string& what) {
+  if (ok) return;
+  g_failures.push_back(what);
+  LOG_ERROR << "GATE FAILED: " << what;
+}
+
+partition::Partition single_part(const graph::Graph& g) {
+  partition::Partition parts(g.num_vertices(), 1);
+  for (graph::VertexId v = 0; v < g.num_vertices(); ++v) parts.assign(v, 0);
+  return parts;
+}
+
+double max_abs_diff(const std::vector<double>& a,
+                    const std::vector<double>& b) {
+  double worst = 0;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    worst = std::max(worst, std::abs(a[i] - b[i]));
+  return worst;
+}
+
+double total_compute(const cluster::RunReport& r) {
+  const auto per_machine = r.compute_seconds_per_machine();
+  return std::accumulate(per_machine.begin(), per_machine.end(), 0.0);
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   const Options opts(argc, argv);
   const auto k = static_cast<partition::PartId>(opts.get_int("parts", 8));
+  const std::uint64_t seed = global_seed();
+  bench::report().set_name("vertex_cut");
 
-  Table table({"graph", "method", "replication_factor", "max_copies",
-               "edge_bias"});
+  // The pr_* columns are measured concurrency (real threads, real
+  // barriers): the "measured" marker exempts them from the perf-gate
+  // compare, like ext_dist_runtime's skew_measured columns.
+  Table table({"graph", "method", "seconds", "replication_factor",
+               "max_copies", "edge_bias", "max_load_ratio",
+               "pr_compute_measured", "pr_wait_measured", "pr_mb_measured"});
+
   for (const std::string& graph_name : bench::graphs_from(opts)) {
     const graph::Graph g = bench::build_graph(graph_name);
-    for (const std::string placer : {"random-edge", "dbh", "hdrf"}) {
-      const auto ep =
-          partition::create_edge_partitioner(placer)->partition(g, k);
-      const auto r = partition::replication_report(g, ep);
+    const auto pairs = vcut::canonical_pairs(g);
+    const std::uint64_t capacity = (pairs.size() + k - 1) / k;
+    const auto max_load_of = [&](const vcut::EdgePartition& ep) {
+      const auto loads = vcut::pair_counts(pairs, ep);
+      return *std::max_element(loads.begin(), loads.end());
+    };
+
+    const auto pr_reference = engine::pagerank(g, single_part(g));
+    const auto cc_reference = engine::connected_components(g, single_part(g));
+
+    double rf_random = 0, rf_hdrf = 0, rf_2ps = 0;
+    for (const std::string& placer : vcut::names()) {
+      double seconds = 0;
+      Timer timer;
+      const auto ep = vcut::create(placer)->partition(g, k);
+      seconds = timer.seconds();
+      const auto r = vcut::replication_report(g, ep);
+      if (placer == "random-edge") rf_random = r.replication_factor;
+      if (placer == "hdrf") rf_hdrf = r.replication_factor;
+      if (placer == "2ps") rf_2ps = r.replication_factor;
+
+      // Mirror-based PageRank on this placement, at 1/2/8 runtime
+      // threads: every run must match the engine to 1e-10 and each other
+      // bit-exactly (the dist runtime's determinism contract).
+      const vcut::MirrorGraph mg(g, ep, seed);
+      engine::PageRankResult pr8;
+      std::vector<double> first_ranks;
+      for (const unsigned threads : {1u, 2u, 8u}) {
+        dist::DistOptions o;
+        o.threads = threads;
+        auto pr = dist::mirror_pagerank(mg, {}, o);
+        gate(max_abs_diff(pr.rank, pr_reference.rank) <= 1e-10,
+             graph_name + "/" + placer + ": mirror PR off engine by > 1e-10 at " +
+                 std::to_string(threads) + " threads");
+        if (first_ranks.empty())
+          first_ranks = pr.rank;
+        else
+          gate(pr.rank == first_ranks,
+               graph_name + "/" + placer +
+                   ": mirror PR not bit-identical at " +
+                   std::to_string(threads) + " threads");
+        if (threads == 8) pr8 = std::move(pr);
+      }
+      const auto cc = dist::mirror_components(mg);
+      gate(cc.label == cc_reference.label,
+           graph_name + "/" + placer + ": mirror CC labels differ from engine");
+
+      bench::report().add_run(placer + "/mirror_pagerank", pr8.run);
       table.row()
           .cell(graph_name)
           .cell(placer)
+          .cell(seconds)
           .cell(r.replication_factor)
           .cell(r.max_copies)
-          .cell(r.edge_bias);
+          .cell(r.edge_bias)
+          .cell(static_cast<double>(max_load_of(ep)) /
+                static_cast<double>(capacity))
+          .cell(total_compute(pr8.run))
+          .cell(pr8.run.wait_ratio())
+          .cell(static_cast<double>(pr8.run.total_bytes_sent()) / 1e6);
     }
-    // Context row: BPart (edge-cut) has replication factor exactly 1 — each
-    // vertex lives on one machine — at the cost of cut edges.
-    const auto bp = bench::run_partitioner(g, "bpart", k);
-    table.row()
-        .cell(graph_name)
-        .cell("bpart(edge-cut)")
-        .cell(1.0)
-        .cell(1.0)
-        .cell(partition::evaluate(g, bp).edge_summary.bias);
+
+    gate(rf_hdrf < rf_random,
+         graph_name + ": HDRF replication factor not below random");
+    gate(rf_2ps < rf_random,
+         graph_name + ": 2PS replication factor not below random");
+
+    // Buffered HDRF's determinism contract: the scoring thread count never
+    // changes the assignment (the batch size may).
+    {
+      vcut::BufferedHdrfConfig bcfg;
+      bcfg.threads = 1;
+      const auto one = vcut::BufferedHdrf(bcfg).partition(g, k);
+      for (const unsigned threads : {2u, 8u}) {
+        bcfg.threads = threads;
+        const auto other = vcut::BufferedHdrf(bcfg).partition(g, k);
+        bool identical = true;
+        for (graph::EdgeId e = 0; e < g.num_edges() && identical; ++e)
+          identical = one[e] == other[e];
+        gate(identical, graph_name + ": buffered HDRF differs at " +
+                            std::to_string(threads) + " threads");
+      }
+    }
+
+    // Split-merge repair of the worst case: every pair on part 0.
+    {
+      vcut::EdgePartition skewed(g.num_edges(), k);
+      for (const vcut::EdgePair& pair : pairs) skewed.assign_pair(pair, 0);
+      Timer timer;
+      const auto repaired = vcut::split_merge_rebalance(g, skewed);
+      const double seconds = timer.seconds();
+      const auto cap = std::max<std::uint64_t>(
+          capacity,
+          static_cast<std::uint64_t>(1.05 * static_cast<double>(capacity)));
+      gate(repaired.max_load <= cap,
+           graph_name + ": split-merge max load above 1.05x capacity");
+      const auto r = vcut::replication_report(g, repaired.partition);
+      table.row()
+          .cell(graph_name)
+          .cell("skewed+split-merge")
+          .cell(seconds)
+          .cell(r.replication_factor)
+          .cell(r.max_copies)
+          .cell(r.edge_bias)
+          .cell(static_cast<double>(repaired.max_load) /
+                static_cast<double>(capacity))
+          .cell(0.0)
+          .cell(0.0)
+          .cell(0.0);
+    }
+
+    // Context rows: the edge-cut dist runtime on BPart and Hash partitions
+    // of the same graph — replication factor exactly 1, traffic paid per
+    // cut edge instead.
+    for (const std::string algo : {"bpart", "hash"}) {
+      double seconds = 0;
+      const auto parts = bench::run_partitioner(g, algo, k, &seconds);
+      const auto pr = dist::pagerank(g, parts);
+      bench::report().add_run(algo + "/dist_pagerank", pr.run);
+      table.row()
+          .cell(graph_name)
+          .cell(algo + "(edge-cut)")
+          .cell(seconds)
+          .cell(1.0)
+          .cell(1.0)
+          .cell(partition::evaluate(g, parts).edge_summary.bias)
+          .cell(0.0)
+          .cell(total_compute(pr.run))
+          .cell(pr.run.wait_ratio())
+          .cell(static_cast<double>(pr.run.total_bytes_sent()) / 1e6);
+    }
   }
-  bench::emit("Extension: vertex-cut replication at " + std::to_string(k) +
-                  " parts",
+
+  bench::emit("Extension: vertex-cut family, split-merge and mirror execution at " +
+                  std::to_string(k) + " parts",
               table, "ext_vertex_cut");
+
+  if (!g_failures.empty()) {
+    std::cout << "\n" << g_failures.size() << " gate(s) FAILED:\n";
+    for (const auto& f : g_failures) std::cout << "  - " << f << "\n";
+    return 1;
+  }
+  std::cout << "\nall vertex-cut gates passed\n";
   return 0;
 }

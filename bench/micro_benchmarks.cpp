@@ -15,7 +15,7 @@
 #include "engine/pagerank.hpp"
 #include "graph/reorder.hpp"
 #include "partition/rebalance.hpp"
-#include "partition/vertex_cut.hpp"
+#include "vcut/placers.hpp"
 
 namespace {
 
@@ -146,7 +146,7 @@ BENCHMARK_CAPTURE(BM_WalkSteps, node2vec, "node2vec")
 
 void BM_HdrfEdgePartition(benchmark::State& state) {
   const auto& g = bench_graph();
-  const partition::Hdrf hdrf;
+  const vcut::Hdrf hdrf;
   for (auto _ : state) {
     benchmark::DoNotOptimize(hdrf.partition(g, 8));
   }

@@ -1,0 +1,45 @@
+// Mirror-based distributed execution over a vertex-cut partition
+// (vcut::MirrorGraph) on the measured runtime — the PowerGraph
+// gather/apply/scatter cycle mapped onto BSP supersteps:
+//
+//   A-phase  every replica gathers partials over its shard's local
+//            in-edges; mirrors ship their partial to the master machine
+//            (one message per active (mirror, round));
+//   B-phase  masters apply the combined partials and broadcast the fresh
+//            state to every mirror holder.
+//
+// Per-vertex traffic is (replicas - 1) messages each way — exactly what
+// the replication factor predicts — which is what bench/ext_vertex_cut
+// races against the edge-cut engines' ghost traffic.
+//
+// Determinism: channel drains visit source machines in ascending order and
+// per-destination gathers fold in CSR order, so results are bit-identical
+// across runtime thread counts; PageRank matches engine::pagerank to
+// ~1e-12 (summation association differs across shards).
+#pragma once
+
+#include "dist/runtime.hpp"
+#include "engine/components.hpp"
+#include "engine/pagerank.hpp"
+#include "vcut/mirror_graph.hpp"
+
+namespace bpart::dist {
+
+/// PageRank over mirror shards: cfg.iterations rounds, each one
+/// gather (A) + apply/broadcast (B) superstep, 2 * iterations + 1
+/// supersteps total. Dangling mass is broadcast per machine and folded in
+/// machine order. opts.exec routes the A-phase gather through the exec
+/// core (bit-identical to the sequential gather).
+engine::PageRankResult mirror_pagerank(const vcut::MirrorGraph& mg,
+                                       const engine::PageRankConfig& cfg = {},
+                                       const DistOptions& opts = {});
+
+/// HashMin connected components over mirror shards: each superstep runs
+/// the shard-local label sweeps to a fixpoint, then mirrors offer their
+/// minima to the master and masters broadcast drops to their mirrors;
+/// terminates by quiescence. Labels equal engine::connected_components'
+/// exactly (undirected view, min vertex id per component).
+engine::ComponentsResult mirror_components(const vcut::MirrorGraph& mg,
+                                           const DistOptions& opts = {});
+
+}  // namespace bpart::dist

@@ -134,6 +134,37 @@ std::uint32_t dyn_batch() {
   }
 }
 
+std::uint64_t global_seed() {
+  constexpr std::uint64_t kDefault = 17;
+  const char* env = std::getenv("BPART_SEED");
+  if (env == nullptr) return kDefault;
+  try {
+    return static_cast<std::uint64_t>(std::stoull(env));
+  } catch (const std::exception&) {
+    LOG_WARN << "BPART_SEED is not a number: " << env;
+    return kDefault;
+  }
+}
+
+std::uint32_t vcut_batch() {
+  constexpr std::uint32_t kDefault = 4096;
+  constexpr long kMax = 1L << 24;
+  const char* env = std::getenv("BPART_VCUT_BATCH");
+  if (env == nullptr) return kDefault;
+  try {
+    const long v = std::stol(env);
+    if (v < 1 || v > kMax) {
+      LOG_WARN << "BPART_VCUT_BATCH=" << env << " outside [1, " << kMax
+               << "], using " << kDefault;
+      return kDefault;
+    }
+    return static_cast<std::uint32_t>(v);
+  } catch (const std::exception&) {
+    LOG_WARN << "BPART_VCUT_BATCH is not a number: " << env;
+    return kDefault;
+  }
+}
+
 std::uint32_t stream_batch_size() {
   constexpr long kMaxBatch = 1L << 24;
   const char* env = std::getenv("BPART_STREAM_BATCH");

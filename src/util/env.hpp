@@ -44,6 +44,21 @@ std::uint64_t dyn_budget();
 /// junk falls through to the default.
 std::uint32_t dyn_batch();
 
+/// Global reproducibility seed shared by the seeded partitioners (the
+/// vertex-cut placers hash with it), read from $BPART_SEED on every call.
+/// Default 17 — the historical seed of the vertex-cut family, kept so runs
+/// without the knob reproduce previously recorded numbers. Any uint64
+/// parses; junk falls through to the default.
+std::uint64_t global_seed();
+
+/// Scoring-batch size of the buffered vertex-cut placers (hdrf-buffered),
+/// read from $BPART_VCUT_BATCH on every call. Default 4096, clamped to
+/// [1, 2^24]; junk falls through to the default. The batch size changes
+/// which pairs score against the same frozen snapshot — so it may change
+/// the assignment — but for a fixed batch size results are bit-identical
+/// across thread counts.
+std::uint32_t vcut_batch();
+
 /// Default batch size of the buffered streaming partitioner, read from
 /// $BPART_STREAM_BATCH on every call (junk or values < 0 fall through to 0).
 /// 0 means "sequential pass" — the knob is an opt-in, so existing callers

@@ -1,0 +1,133 @@
+#include "vcut/edge_partition.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+#include "util/stats.hpp"
+
+namespace bpart::vcut {
+
+void EdgePartition::assign(graph::EdgeId e, PartId p) {
+  BPART_CHECK(e < assign_.size());
+  BPART_CHECK(p < num_parts_);
+  assign_[e] = p;
+}
+
+void EdgePartition::assign_pair(const EdgePair& pair, PartId p) {
+  assign(pair.e1, p);
+  if (pair.e2 != kNoEdge) assign(pair.e2, p);
+}
+
+bool EdgePartition::fully_assigned() const {
+  return std::none_of(assign_.begin(), assign_.end(),
+                      [](PartId p) { return p == kUnassigned; });
+}
+
+std::vector<std::uint64_t> EdgePartition::edge_counts() const {
+  std::vector<std::uint64_t> counts(num_parts_, 0);
+  for (PartId p : assign_)
+    if (p != kUnassigned) ++counts[p];
+  return counts;
+}
+
+std::vector<std::uint64_t> pair_counts(const std::vector<EdgePair>& pairs,
+                                       const EdgePartition& ep) {
+  std::vector<std::uint64_t> counts(ep.num_parts(), 0);
+  for (const EdgePair& pair : pairs) {
+    const PartId p = ep[pair.e1];
+    if (p != kUnassigned) ++counts[p];
+  }
+  return counts;
+}
+
+std::vector<EdgePair> canonical_pairs(const graph::Graph& g) {
+  std::vector<EdgePair> pairs;
+  pairs.reserve(g.num_edges() / 2 + 1);
+  const graph::VertexId n = g.num_vertices();
+  for (graph::VertexId a = 0; a < n; ++a) {
+    const auto nbrs = g.out_neighbors(a);
+    graph::EdgeId i = 0;
+    while (i < nbrs.size()) {
+      const graph::VertexId b = nbrs[i];
+      // Length of the run of parallel a->b edges.
+      graph::EdgeId c_ab = 1;
+      while (i + c_ab < nbrs.size() && nbrs[i + c_ab] == b) ++c_ab;
+      if (b < a) {  // handled at b's (the lower endpoint's) scan
+        i += c_ab;
+        continue;
+      }
+      if (b == a) {  // self loops: one single-direction pair each
+        for (graph::EdgeId j = 0; j < c_ab; ++j)
+          pairs.push_back({a, a, g.out_edge_index(a, i + j), kNoEdge});
+        i += c_ab;
+        continue;
+      }
+      // Run of reverse b->a edges (possibly empty or longer).
+      const auto rev = g.out_neighbors(b);
+      const auto lo = std::lower_bound(rev.begin(), rev.end(), a);
+      const auto rev_start = static_cast<graph::EdgeId>(lo - rev.begin());
+      graph::EdgeId c_ba = 0;
+      while (rev_start + c_ba < rev.size() && rev[rev_start + c_ba] == a)
+        ++c_ba;
+      const graph::EdgeId both = std::min(c_ab, c_ba);
+      for (graph::EdgeId j = 0; j < both; ++j)
+        pairs.push_back({a, b, g.out_edge_index(a, i + j),
+                         g.out_edge_index(b, rev_start + j)});
+      for (graph::EdgeId j = both; j < c_ab; ++j)
+        pairs.push_back({a, b, g.out_edge_index(a, i + j), kNoEdge});
+      for (graph::EdgeId j = both; j < c_ba; ++j)
+        pairs.push_back({a, b, g.out_edge_index(b, rev_start + j), kNoEdge});
+      i += c_ab;
+    }
+  }
+  return pairs;
+}
+
+ReplicationReport replication_report(const graph::Graph& g,
+                                     const EdgePartition& ep) {
+  BPART_CHECK(ep.num_edges() == g.num_edges());
+  const graph::VertexId n = g.num_vertices();
+  const PartId k = ep.num_parts();
+  ReplicationReport r;
+  r.copies.assign(n, 0);
+
+  // Replica bitmap per vertex; k is small (<= a few hundred), a byte-mask
+  // vector per vertex would be heavy, so rows are lazily sized on first
+  // touch. Every directed edge names both endpoints, so the out-scan alone
+  // covers all incidences.
+  std::vector<std::vector<bool>> present(n, std::vector<bool>());
+  auto mark = [&](graph::VertexId v, PartId p) {
+    auto& row = present[v];
+    if (row.empty()) row.assign(k, false);
+    row[p] = true;
+  };
+  for (graph::VertexId v = 0; v < n; ++v) {
+    const auto nbrs = g.out_neighbors(v);
+    for (graph::EdgeId i = 0; i < nbrs.size(); ++i) {
+      const PartId p = ep[g.out_edge_index(v, i)];
+      if (p == kUnassigned) continue;
+      mark(v, p);
+      mark(nbrs[i], p);
+    }
+  }
+
+  double total_copies = 0;
+  graph::VertexId counted = 0;
+  for (graph::VertexId v = 0; v < n; ++v) {
+    std::uint32_t copies = 0;
+    for (PartId p = 0; p < k && !present[v].empty(); ++p)
+      if (present[v][p]) ++copies;
+    r.copies[v] = copies;
+    if (copies > 0) {
+      total_copies += copies;
+      ++counted;
+      r.max_copies = std::max(r.max_copies, static_cast<double>(copies));
+    }
+  }
+  r.replication_factor = counted == 0 ? 0.0 : total_copies / counted;
+  r.edge_counts = ep.edge_counts();
+  r.edge_bias = stats::bias(stats::to_doubles(r.edge_counts));
+  return r;
+}
+
+}  // namespace bpart::vcut

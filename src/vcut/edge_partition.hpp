@@ -1,0 +1,91 @@
+// Vertex-cut partitioning core types — the other partitioning family the
+// paper's related-work section contrasts with (§5): the *edge* set is split
+// into disjoint parts and vertices incident to several parts are replicated.
+// The cost metric is the replication factor (average copies per vertex),
+// which drives synchronization traffic in PowerGraph-style systems.
+//
+// The streaming placers (placers.hpp, two_phase.hpp) all consume the same
+// canonical *pair* stream: both directions of a symmetric edge form one
+// logical undirected edge and must land on the same part, so the stream
+// visits each undirected edge exactly once, ordered by its lower endpoint.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "partition/partition.hpp"
+
+namespace bpart::vcut {
+
+using PartId = partition::PartId;
+using partition::kUnassigned;
+
+/// The packed-replica-bitmask placers support up to 64 parts.
+inline constexpr PartId kMaxParts = 64;
+
+/// Sentinel for the missing reverse direction of a one-sided pair.
+inline constexpr graph::EdgeId kNoEdge = static_cast<graph::EdgeId>(-1);
+
+/// One logical (undirected) edge of the stream: endpoints a <= b plus the
+/// directed-edge indices of both directions. e2 == kNoEdge when the graph
+/// stores only one direction (asymmetric input, or a self loop).
+struct EdgePair {
+  graph::VertexId a = 0;
+  graph::VertexId b = 0;
+  graph::EdgeId e1 = kNoEdge;
+  graph::EdgeId e2 = kNoEdge;
+};
+
+/// The canonical pair stream of `g`: every directed edge appears in exactly
+/// one pair; parallel edges pair the j-th a->b copy with the j-th b->a copy.
+/// Order is deterministic — ascending by (a, b), grouped at the lower
+/// endpoint's adjacency scan — and is what "stream order" means throughout
+/// this module.
+std::vector<EdgePair> canonical_pairs(const graph::Graph& g);
+
+/// Assignment of every directed edge (indexed by Graph::out_edge_index) to
+/// a part.
+class EdgePartition {
+ public:
+  EdgePartition() = default;
+  EdgePartition(graph::EdgeId num_edges, PartId num_parts)
+      : assign_(num_edges, kUnassigned), num_parts_(num_parts) {}
+
+  [[nodiscard]] graph::EdgeId num_edges() const { return assign_.size(); }
+  [[nodiscard]] PartId num_parts() const { return num_parts_; }
+  [[nodiscard]] PartId operator[](graph::EdgeId e) const { return assign_[e]; }
+  void assign(graph::EdgeId e, PartId p);
+  /// Assign both directions of a pair in one step (the invariant every
+  /// placer maintains: symmetric pairs share parts).
+  void assign_pair(const EdgePair& pair, PartId p);
+  [[nodiscard]] bool fully_assigned() const;
+
+  /// Edges per part (directed-edge counts).
+  [[nodiscard]] std::vector<std::uint64_t> edge_counts() const;
+
+ private:
+  std::vector<PartId> assign_;
+  PartId num_parts_ = 0;
+};
+
+/// Per-part *pair* loads (the capacity unit of the balance gates: a
+/// two-sided pair counts once, not twice).
+std::vector<std::uint64_t> pair_counts(const std::vector<EdgePair>& pairs,
+                                       const EdgePartition& ep);
+
+/// Per-vertex replica sets derived from an edge partition: vertex v is
+/// replicated on every part hosting one of its incident edges.
+struct ReplicationReport {
+  /// copies[v] = number of parts holding a replica of v (0 for isolated).
+  std::vector<std::uint32_t> copies;
+  double replication_factor = 0;  ///< mean copies over non-isolated vertices.
+  double max_copies = 0;
+  std::vector<std::uint64_t> edge_counts;  ///< per-part edge loads.
+  double edge_bias = 0;                    ///< (max-mean)/mean of the loads.
+};
+
+ReplicationReport replication_report(const graph::Graph& g,
+                                     const EdgePartition& ep);
+
+}  // namespace bpart::vcut

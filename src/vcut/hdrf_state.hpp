@@ -1,0 +1,96 @@
+// Internal streaming state shared by the HDRF-scored placers (placers.cpp,
+// two_phase.cpp): per-vertex replica bitmasks (k <= kMaxParts packed in a
+// word), partial degrees, per-part loads, and the HDRF score
+//   C_rep(v,p) + C_rep(u,p) + lambda * (max_load - load[p]) / spread
+// of Petroni et al. (CIKM'15). Not installed API — include from vcut/ only.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "util/check.hpp"
+#include "vcut/edge_partition.hpp"
+#include "vcut/placers.hpp"
+
+namespace bpart::vcut::detail {
+
+struct HdrfState {
+  HdrfState(graph::VertexId n, PartId num_parts, HdrfConfig config)
+      : replicas(n, 0),
+        partial_degree(n, 0),
+        load(num_parts, 0),
+        cfg(config),
+        k(num_parts) {
+    BPART_CHECK(num_parts >= 1);
+    BPART_CHECK_MSG(num_parts <= kMaxParts,
+                    "hdrf supports up to " << kMaxParts << " parts");
+  }
+
+  std::vector<std::uint64_t> replicas;
+  std::vector<std::uint64_t> partial_degree;
+  std::vector<std::uint64_t> load;
+  std::uint64_t max_load = 0;
+  std::uint64_t min_load = 0;
+  HdrfConfig cfg;
+  PartId k = 1;
+
+  /// Streaming degrees are counted when the pair enters the stream, before
+  /// scoring — the classic HDRF bookkeeping order.
+  void bump_degrees(const EdgePair& pair) {
+    ++partial_degree[pair.a];
+    ++partial_degree[pair.b];
+  }
+
+  [[nodiscard]] double g_score(graph::VertexId v, graph::VertexId other,
+                               PartId p) const {
+    if ((replicas[v] & (std::uint64_t{1} << p)) == 0) return 0.0;
+    const double dv = static_cast<double>(partial_degree[v]) + 1.0;
+    const double doth = static_cast<double>(partial_degree[other]) + 1.0;
+    const double theta = dv / (dv + doth);
+    return 1.0 + (1.0 - theta);
+  }
+
+  [[nodiscard]] double score(const EdgePair& pair, PartId p) const {
+    const double rep = g_score(pair.a, pair.b, p) + g_score(pair.b, pair.a, p);
+    const double spread =
+        static_cast<double>(max_load - min_load) + cfg.epsilon;
+    const double bal =
+        cfg.lambda * static_cast<double>(max_load - load[p]) / spread;
+    return rep + bal;
+  }
+
+  /// Argmax of score() over all parts; ties break on the lower part id (the
+  /// strict `>` keeps the first maximum). Pure — the parallel scoring phase
+  /// of the buffered placer calls this against frozen state.
+  [[nodiscard]] PartId best_part(const EdgePair& pair) const {
+    PartId best = 0;
+    double best_score = -std::numeric_limits<double>::infinity();
+    for (PartId p = 0; p < k; ++p) {
+      const double s = score(pair, p);
+      if (s > best_score) {
+        best_score = s;
+        best = p;
+      }
+    }
+    return best;
+  }
+
+  [[nodiscard]] PartId least_loaded() const {
+    PartId best = 0;
+    for (PartId p = 1; p < k; ++p)
+      if (load[p] < load[best]) best = p;
+    return best;
+  }
+
+  void place(const EdgePair& pair, PartId p) {
+    replicas[pair.a] |= std::uint64_t{1} << p;
+    replicas[pair.b] |= std::uint64_t{1} << p;
+    ++load[p];
+    max_load = *std::max_element(load.begin(), load.end());
+    min_load = *std::min_element(load.begin(), load.end());
+  }
+};
+
+}  // namespace bpart::vcut::detail

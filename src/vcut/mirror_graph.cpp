@@ -1,0 +1,139 @@
+#include "vcut/mirror_graph.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace bpart::vcut {
+
+graph::VertexId MirrorGraph::Shard::replica_of(graph::VertexId global) const {
+  const auto it =
+      std::lower_bound(global_id.begin(), global_id.end(), global);
+  if (it == global_id.end() || *it != global) return kNoReplica;
+  return static_cast<graph::VertexId>(it - global_id.begin());
+}
+
+MirrorGraph::MirrorGraph(const graph::Graph& g, const EdgePartition& ep,
+                         std::uint64_t seed) {
+  BPART_CHECK(ep.num_edges() == g.num_edges());
+  BPART_CHECK(ep.fully_assigned() || g.num_edges() == 0);
+  const PartId k = ep.num_parts();
+  BPART_CHECK(k >= 1);
+  n_ = g.num_vertices();
+  BPART_SPAN("vcut/mirror_build", "machines", static_cast<double>(k));
+
+  // Presence bitmaps (machine x vertex) + per-machine edge lists. Edges are
+  // collected in global scan order, so each machine's list arrives sorted
+  // by (src, dst) — the CSR fill below relies on that.
+  std::vector<std::vector<bool>> present(
+      k, std::vector<bool>(n_, false));
+  std::vector<std::vector<std::pair<graph::VertexId, graph::VertexId>>> edges(
+      k);
+  for (graph::VertexId v = 0; v < n_; ++v) {
+    const auto nbrs = g.out_neighbors(v);
+    for (graph::EdgeId i = 0; i < nbrs.size(); ++i) {
+      const PartId p = ep[g.out_edge_index(v, i)];
+      present[p][v] = true;
+      present[p][nbrs[i]] = true;
+      edges[p].emplace_back(v, nbrs[i]);
+    }
+  }
+  for (graph::VertexId v = 0; v < n_; ++v) {
+    if (g.out_degree(v) + g.in_degree(v) != 0) {
+      ++non_isolated_;
+      continue;
+    }
+    ++isolated_;
+    present[splitmix64(v ^ seed) % k][v] = true;
+  }
+
+  // Holder lists (machines ascending) and master election: the master is a
+  // seeded-hash pick from the holders, so hubs' masters spread across
+  // machines instead of piling onto machine 0.
+  std::vector<std::vector<MachineId>> holders(n_);
+  for (MachineId m = 0; m < k; ++m)
+    for (graph::VertexId v = 0; v < n_; ++v)
+      if (present[m][v]) holders[v].push_back(m);
+  std::vector<MachineId> master(n_, 0);
+  for (graph::VertexId v = 0; v < n_; ++v) {
+    if (holders[v].empty()) continue;
+    master[v] = holders[v][splitmix64(v ^ seed) % holders[v].size()];
+    replicas_ += holders[v].size();
+  }
+
+  shards_.resize(k);
+  std::vector<graph::VertexId> local_of(n_, kNoReplica);
+  for (MachineId m = 0; m < k; ++m) {
+    Shard& sh = shards_[m];
+    for (graph::VertexId v = 0; v < n_; ++v)
+      if (present[m][v]) {
+        local_of[v] = static_cast<graph::VertexId>(sh.global_id.size());
+        sh.global_id.push_back(v);
+      }
+    const auto nr = static_cast<graph::VertexId>(sh.global_id.size());
+
+    // Local CSR, built directly (from_edges would drop trailing edge-less
+    // replicas). The shard edge list is sorted by (src, dst), so out-runs
+    // come out sorted; the in-direction cursor fill preserves src order.
+    std::vector<graph::EdgeId> out_off(nr + 1, 0), in_off(nr + 1, 0);
+    for (const auto& [src, dst] : edges[m]) {
+      ++out_off[local_of[src] + 1];
+      ++in_off[local_of[dst] + 1];
+    }
+    for (graph::VertexId v = 0; v < nr; ++v) {
+      out_off[v + 1] += out_off[v];
+      in_off[v + 1] += in_off[v];
+    }
+    std::vector<graph::VertexId> out_tgt(edges[m].size());
+    std::vector<graph::VertexId> in_tgt(edges[m].size());
+    std::vector<graph::EdgeId> out_cur(out_off.begin(), out_off.end() - 1);
+    std::vector<graph::EdgeId> in_cur(in_off.begin(), in_off.end() - 1);
+    for (const auto& [src, dst] : edges[m]) {
+      out_tgt[out_cur[local_of[src]]++] = local_of[dst];
+      in_tgt[in_cur[local_of[dst]]++] = local_of[src];
+    }
+    sh.local = graph::Graph::from_csr(std::move(out_off), std::move(out_tgt),
+                                      std::move(in_off), std::move(in_tgt));
+
+    sh.global_out_degree.resize(nr);
+    sh.is_master.resize(nr);
+    sh.master_machine.resize(nr);
+    sh.mirror_offsets.assign(nr + 1, 0);
+    for (graph::VertexId r = 0; r < nr; ++r) {
+      const graph::VertexId v = sh.global_id[r];
+      sh.global_out_degree[r] = g.out_degree(v);
+      sh.is_master[r] = master[v] == m ? 1 : 0;
+      sh.master_machine[r] = master[v];
+      if (master[v] == m)
+        sh.mirror_offsets[r + 1] =
+            static_cast<std::uint32_t>(holders[v].size() - 1);
+    }
+    for (graph::VertexId r = 0; r < nr; ++r)
+      sh.mirror_offsets[r + 1] += sh.mirror_offsets[r];
+    sh.mirror_holders.resize(sh.mirror_offsets[nr]);
+    std::uint32_t cursor = 0;
+    for (graph::VertexId r = 0; r < nr; ++r) {
+      const graph::VertexId v = sh.global_id[r];
+      if (master[v] != m) continue;
+      for (const MachineId h : holders[v])
+        if (h != m) sh.mirror_holders[cursor++] = h;
+    }
+
+    for (const graph::VertexId v : sh.global_id) local_of[v] = kNoReplica;
+  }
+
+  obs::counter("vcut.mirror_replicas").add(replicas_);
+  obs::counter("vcut.mirror_shards").add(k);
+}
+
+double MirrorGraph::replication_factor() const {
+  if (non_isolated_ == 0) return 0.0;
+  return static_cast<double>(replicas_ - isolated_) /
+         static_cast<double>(non_isolated_);
+}
+
+}  // namespace bpart::vcut

@@ -1,0 +1,75 @@
+// Mirror-based execution substrate for vertex-cut partitions (the
+// PowerGraph model): each part becomes a machine holding an edge shard;
+// every vertex incident to a shard gets a local *replica* there. Exactly
+// one replica per vertex is the deterministic *master* (elected by seeded
+// hash over the holder list, spreading masters across machines); the rest
+// are mirrors. The mirror apps (dist/mirror.hpp) aggregate mirror partials
+// into the master and broadcast the applied state back — so the replication
+// factor is precisely the traffic multiplier the replication_report metric
+// predicts.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/bsp.hpp"
+#include "graph/csr.hpp"
+#include "vcut/edge_partition.hpp"
+
+namespace bpart::vcut {
+
+using cluster::MachineId;
+
+inline constexpr graph::VertexId kNoReplica =
+    static_cast<graph::VertexId>(-1);
+
+class MirrorGraph {
+ public:
+  struct Shard {
+    /// Local CSR over replica ids (the shard's directed edges).
+    graph::Graph local;
+    /// Replica id -> global vertex id, strictly ascending.
+    std::vector<graph::VertexId> global_id;
+    /// Global out-degree per replica (the full graph's, for PR shares).
+    std::vector<graph::EdgeId> global_out_degree;
+    std::vector<std::uint8_t> is_master;
+    /// Machine owning the master replica, per replica.
+    std::vector<MachineId> master_machine;
+    /// Mirror-holder CSR (masters only; empty runs for mirrors):
+    /// machines holding the other replicas of this vertex, ascending.
+    std::vector<std::uint32_t> mirror_offsets;
+    std::vector<MachineId> mirror_holders;
+
+    [[nodiscard]] graph::VertexId num_replicas() const {
+      return static_cast<graph::VertexId>(global_id.size());
+    }
+    /// Replica id of a global vertex on this shard (binary search), or
+    /// kNoReplica.
+    [[nodiscard]] graph::VertexId replica_of(graph::VertexId global) const;
+  };
+
+  /// Build shards from a fully assigned edge partition. Isolated vertices
+  /// (no incident edge anywhere) get a single degree-0 master replica on a
+  /// hashed machine so global aggregates (PR dangling mass) stay complete.
+  MirrorGraph(const graph::Graph& g, const EdgePartition& ep,
+              std::uint64_t seed);
+
+  [[nodiscard]] MachineId num_machines() const {
+    return static_cast<MachineId>(shards_.size());
+  }
+  [[nodiscard]] const Shard& shard(MachineId m) const { return shards_[m]; }
+  [[nodiscard]] graph::VertexId num_global() const { return n_; }
+  [[nodiscard]] std::uint64_t num_replicas() const { return replicas_; }
+  /// Mean replicas per non-isolated vertex — matches
+  /// replication_report().replication_factor for the same partition.
+  [[nodiscard]] double replication_factor() const;
+
+ private:
+  std::vector<Shard> shards_;
+  graph::VertexId n_ = 0;
+  std::uint64_t replicas_ = 0;
+  graph::VertexId non_isolated_ = 0;
+  graph::VertexId isolated_ = 0;
+};
+
+}  // namespace bpart::vcut

@@ -1,0 +1,27 @@
+#include "vcut/registry.hpp"
+
+#include <stdexcept>
+
+#include "util/env.hpp"
+#include "vcut/two_phase.hpp"
+
+namespace bpart::vcut {
+
+const std::vector<std::string>& names() {
+  static const std::vector<std::string> kNames = {
+      "random-edge", "dbh", "hdrf", "hdrf-buffered", "2ps"};
+  return kNames;
+}
+
+std::unique_ptr<EdgePartitioner> create(const std::string& name) {
+  const std::uint64_t seed = global_seed();
+  if (name == "random-edge")
+    return std::make_unique<RandomEdgePlacement>(seed);
+  if (name == "dbh") return std::make_unique<DegreeBasedHashing>(seed);
+  if (name == "hdrf") return std::make_unique<Hdrf>();
+  if (name == "hdrf-buffered") return std::make_unique<BufferedHdrf>();
+  if (name == "2ps") return std::make_unique<TwoPhaseStreaming>();
+  throw std::out_of_range("unknown edge partitioner: " + name);
+}
+
+}  // namespace bpart::vcut

@@ -1,0 +1,22 @@
+// Factory over the edge-placer family, mirroring partition::registry so
+// benches and tests enumerate edge partitioners the same way they
+// enumerate vertex partitioners. Hashed placers are seeded from
+// $BPART_SEED (util::global_seed, default 17).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "vcut/placers.hpp"
+
+namespace bpart::vcut {
+
+/// Registered names, registration order:
+/// "random-edge", "dbh", "hdrf", "hdrf-buffered", "2ps".
+const std::vector<std::string>& names();
+
+/// Build a placer by name; throws std::out_of_range on unknown names.
+std::unique_ptr<EdgePartitioner> create(const std::string& name);
+
+}  // namespace bpart::vcut

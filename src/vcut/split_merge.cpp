@@ -1,0 +1,262 @@
+#include "vcut/split_merge.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/check.hpp"
+
+namespace bpart::vcut {
+
+namespace {
+
+constexpr double kForbidden = -1e15;
+
+// Dense bitset over vertex ids, one per bin.
+struct VertexSet {
+  std::vector<std::uint64_t> words;
+  explicit VertexSet(graph::VertexId n) : words((n + 63) / 64, 0) {}
+  void add(graph::VertexId v) { words[v >> 6] |= std::uint64_t{1} << (v & 63); }
+  [[nodiscard]] bool contains(graph::VertexId v) const {
+    return (words[v >> 6] >> (v & 63)) & 1;
+  }
+};
+
+struct Fragment {
+  std::vector<std::uint32_t> pair_idx;          // into the pair stream
+  std::vector<graph::VertexId> vertices;        // sorted unique endpoints
+  PartId origin = 0;
+};
+
+std::vector<graph::VertexId> fragment_vertices(
+    const std::vector<EdgePair>& pairs, const std::vector<std::uint32_t>& idx) {
+  std::vector<graph::VertexId> verts;
+  verts.reserve(idx.size() * 2);
+  for (const std::uint32_t i : idx) {
+    verts.push_back(pairs[i].a);
+    verts.push_back(pairs[i].b);
+  }
+  std::sort(verts.begin(), verts.end());
+  verts.erase(std::unique(verts.begin(), verts.end()), verts.end());
+  return verts;
+}
+
+double overlap(const Fragment& f, const VertexSet& bin) {
+  std::uint64_t hits = 0;
+  for (const graph::VertexId v : f.vertices)
+    if (bin.contains(v)) ++hits;
+  return static_cast<double>(hits);
+}
+
+}  // namespace
+
+std::vector<std::uint32_t> km_match(
+    const std::vector<std::vector<double>>& weight) {
+  const std::size_t n = weight.size();
+  for (const auto& row : weight) BPART_CHECK(row.size() == n);
+  if (n == 0) return {};
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+
+  // Hungarian algorithm with potentials on the cost matrix c = -weight,
+  // 1-indexed; p[j] is the row matched to column j.
+  std::vector<double> u(n + 1, 0.0), v(n + 1, 0.0);
+  std::vector<std::size_t> p(n + 1, 0), way(n + 1, 0);
+  for (std::size_t i = 1; i <= n; ++i) {
+    p[0] = i;
+    std::size_t j0 = 0;
+    std::vector<double> minv(n + 1, kInf);
+    std::vector<char> used(n + 1, 0);
+    do {
+      used[j0] = 1;
+      const std::size_t i0 = p[j0];
+      std::size_t j1 = 0;
+      double delta = kInf;
+      for (std::size_t j = 1; j <= n; ++j) {
+        if (used[j]) continue;
+        const double cur = -weight[i0 - 1][j - 1] - u[i0] - v[j];
+        if (cur < minv[j]) {
+          minv[j] = cur;
+          way[j] = j0;
+        }
+        if (minv[j] < delta) {
+          delta = minv[j];
+          j1 = j;
+        }
+      }
+      for (std::size_t j = 0; j <= n; ++j) {
+        if (used[j]) {
+          u[p[j]] += delta;
+          v[j] -= delta;
+        } else {
+          minv[j] -= delta;
+        }
+      }
+      j0 = j1;
+    } while (p[j0] != 0);
+    do {
+      const std::size_t j1 = way[j0];
+      p[j0] = p[j1];
+      j0 = j1;
+    } while (j0 != 0);
+  }
+
+  std::vector<std::uint32_t> col_of_row(n, 0);
+  for (std::size_t j = 1; j <= n; ++j)
+    col_of_row[p[j] - 1] = static_cast<std::uint32_t>(j - 1);
+  return col_of_row;
+}
+
+SplitMergeResult split_merge_rebalance(const graph::Graph& g,
+                                       const EdgePartition& ep,
+                                       const SplitMergeConfig& cfg) {
+  BPART_CHECK(ep.num_edges() == g.num_edges());
+  BPART_CHECK(ep.fully_assigned() || g.num_edges() == 0);
+  BPART_CHECK(cfg.capacity_slack >= 1.0);
+  const PartId k = ep.num_parts();
+  const graph::VertexId n = g.num_vertices();
+  const auto pairs = canonical_pairs(g);
+  const auto num_pairs = static_cast<std::uint64_t>(pairs.size());
+  BPART_SPAN("vcut/split_merge", "pairs", static_cast<double>(num_pairs));
+
+  SplitMergeResult result;
+  result.partition = ep;
+  if (num_pairs == 0 || k <= 1) {
+    result.capacity = num_pairs;
+    result.max_load = num_pairs;
+    return result;
+  }
+
+  const std::uint64_t capacity = (num_pairs + k - 1) / k;
+  const auto cap = std::max<std::uint64_t>(
+      capacity, static_cast<std::uint64_t>(cfg.capacity_slack *
+                                           static_cast<double>(capacity)));
+  result.capacity = capacity;
+
+  // Pair indices per part, stream order.
+  std::vector<std::vector<std::uint32_t>> part_pairs(k);
+  for (std::uint32_t i = 0; i < num_pairs; ++i)
+    part_pairs[ep[pairs[i].e1]].push_back(i);
+
+  std::vector<std::uint64_t> load(k, 0);
+  bool over = false;
+  for (PartId p = 0; p < k; ++p) {
+    load[p] = part_pairs[p].size();
+    over = over || load[p] > cap;
+  }
+  if (!over) {
+    result.max_load = *std::max_element(load.begin(), load.end());
+    return result;
+  }
+
+  // ---- Split: over-cap parts keep their first `capacity` pairs; the
+  // overflow becomes fragments. Fragment size is clamped so a feasible bin
+  // (load + size <= cap) exists for every fragment: while any fragment is
+  // unplaced the bin loads sum below k * capacity, so some bin sits at
+  // capacity - 1 or less, and size <= cap - capacity + 1 closes the gap.
+  const auto frag_size = std::max<std::uint64_t>(
+      1, std::min<std::uint64_t>(
+             static_cast<std::uint64_t>(cfg.fragment_fill *
+                                        static_cast<double>(capacity)),
+             cap - capacity + 1));
+
+  std::vector<PartId> pair_part(num_pairs);
+  std::vector<VertexSet> bin_verts(k, VertexSet(n));
+  std::vector<Fragment> fragments;
+  for (PartId p = 0; p < k; ++p) {
+    const auto& idx = part_pairs[p];
+    const std::uint64_t keep = load[p] > cap ? capacity : load[p];
+    for (std::uint64_t i = 0; i < keep; ++i) {
+      pair_part[idx[i]] = p;
+      bin_verts[p].add(pairs[idx[i]].a);
+      bin_verts[p].add(pairs[idx[i]].b);
+    }
+    load[p] = keep;
+    for (std::uint64_t lo = keep; lo < idx.size(); lo += frag_size) {
+      Fragment f;
+      f.origin = p;
+      const std::uint64_t hi = std::min<std::uint64_t>(lo + frag_size,
+                                                       idx.size());
+      f.pair_idx.assign(idx.begin() + static_cast<std::ptrdiff_t>(lo),
+                        idx.begin() + static_cast<std::ptrdiff_t>(hi));
+      f.vertices = fragment_vertices(pairs, f.pair_idx);
+      fragments.push_back(std::move(f));
+    }
+  }
+  result.fragments = fragments.size();
+  // Largest fragments match first — they have the fewest feasible bins.
+  std::stable_sort(fragments.begin(), fragments.end(),
+                   [](const Fragment& x, const Fragment& y) {
+                     return x.pair_idx.size() > y.pair_idx.size();
+                   });
+
+  // ---- Merge: rounds of up to k fragments, KM-matched onto the bins by
+  // replica-set overlap. A matched bin receives at most one fragment per
+  // round, so round-start feasibility holds — except after a fallback
+  // placement, hence the live re-check per assignment.
+  auto place = [&](Fragment& f, PartId bin) {
+    for (const std::uint32_t i : f.pair_idx) pair_part[i] = bin;
+    for (const graph::VertexId v : f.vertices) bin_verts[bin].add(v);
+    load[bin] += f.pair_idx.size();
+  };
+  auto best_feasible = [&](const Fragment& f) {
+    PartId best = kUnassigned;
+    double best_w = -1.0;
+    for (PartId p = 0; p < k; ++p) {
+      if (load[p] + f.pair_idx.size() > cap) continue;
+      const double w = overlap(f, bin_verts[p]);
+      if (best == kUnassigned || w > best_w ||
+          (w == best_w && load[p] < load[best])) {
+        best = p;
+        best_w = w;
+      }
+    }
+    BPART_CHECK_MSG(best != kUnassigned, "no feasible bin for fragment");
+    return best;
+  };
+
+  std::vector<std::vector<double>> weight(k, std::vector<double>(k, 0.0));
+  for (std::size_t round_lo = 0; round_lo < fragments.size(); round_lo += k) {
+    ++result.rounds;
+    const std::size_t group =
+        std::min<std::size_t>(k, fragments.size() - round_lo);
+    for (std::size_t r = 0; r < k; ++r) {
+      for (PartId p = 0; p < k; ++p) {
+        if (r >= group) {
+          weight[r][p] = 0.0;  // padding row: absorbs the unused bins
+          continue;
+        }
+        const Fragment& f = fragments[round_lo + r];
+        weight[r][p] = load[p] + f.pair_idx.size() <= cap
+                           ? overlap(f, bin_verts[p])
+                           : kForbidden;
+      }
+    }
+    const auto match = km_match(weight);
+    for (std::size_t r = 0; r < group; ++r) {
+      Fragment& f = fragments[round_lo + r];
+      PartId bin = static_cast<PartId>(match[r]);
+      if (weight[r][bin] <= kForbidden ||
+          load[bin] + f.pair_idx.size() > cap)
+        bin = best_feasible(f);
+      place(f, bin);
+      if (bin != f.origin) result.moved_pairs += f.pair_idx.size();
+    }
+  }
+
+  EdgePartition out(g.num_edges(), k);
+  for (std::uint32_t i = 0; i < num_pairs; ++i)
+    out.assign_pair(pairs[i], pair_part[i]);
+  result.partition = std::move(out);
+  result.max_load = *std::max_element(load.begin(), load.end());
+  BPART_CHECK(result.max_load <= cap);
+
+  obs::counter("vcut.split_fragments").add(result.fragments);
+  obs::counter("vcut.merge_rounds").add(result.rounds);
+  if (result.moved_pairs != 0)
+    obs::counter("vcut.moved_pairs").add(result.moved_pairs);
+  return result;
+}
+
+}  // namespace bpart::vcut

@@ -1,0 +1,54 @@
+// FSM-style split-merge rebalancing post-pass.
+//
+// Any edge partition — however skewed — is repaired to a hard balance
+// guarantee: parts over the pair capacity C = ceil(pairs / k) keep their
+// first C pairs (stream order) and shed the overflow as small fragments;
+// fragments are then matched back onto parts in rounds, each round solving
+// a KM (Hungarian) assignment that maximizes the replica-set overlap
+// between fragment and target part subject to the slack cap — a fragment
+// lands where its vertices already have copies, so the repair costs as
+// little extra replication as possible. Fragment sizes are capped so a
+// feasible target always exists (pigeonhole over the load sum), making
+//   max part load <= capacity_slack * ceil(pairs / k)
+// an unconditional postcondition.
+#pragma once
+
+#include <cstdint>
+
+#include "vcut/edge_partition.hpp"
+
+namespace bpart::vcut {
+
+struct SplitMergeConfig {
+  /// Max pair load of any part after the pass, as a multiple of
+  /// ceil(pairs / k). Must be >= 1.
+  double capacity_slack = 1.05;
+  /// Fragment size as a fraction of the capacity (clamped so that a
+  /// feasible bin always exists for every fragment).
+  double fragment_fill = 0.04;
+};
+
+struct SplitMergeResult {
+  EdgePartition partition;
+  std::uint64_t capacity = 0;     ///< ceil(pairs / k).
+  std::uint64_t max_load = 0;     ///< Max pair load after the pass.
+  std::uint64_t fragments = 0;    ///< Fragments split off over-capacity parts.
+  std::uint64_t moved_pairs = 0;  ///< Pairs whose part changed.
+  std::uint64_t rounds = 0;       ///< KM matching rounds.
+};
+
+/// Rebalance `ep` (must be fully assigned) to the slack cap. Balanced
+/// inputs pass through untouched (fragments == 0, moved_pairs == 0).
+SplitMergeResult split_merge_rebalance(const graph::Graph& g,
+                                       const EdgePartition& ep,
+                                       const SplitMergeConfig& cfg = {});
+
+/// Maximum-weight perfect matching on a square weight matrix (the KM /
+/// Hungarian algorithm, O(n^3)): returns col[row]. Exposed for tests;
+/// weights may be negative (use large negative weights to forbid cells —
+/// the matching is still perfect, so callers must post-check forbidden
+/// assignments).
+std::vector<std::uint32_t> km_match(
+    const std::vector<std::vector<double>>& weight);
+
+}  // namespace bpart::vcut

@@ -1,0 +1,155 @@
+#include "vcut/two_phase.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/check.hpp"
+#include "vcut/hdrf_state.hpp"
+
+namespace bpart::vcut {
+
+namespace {
+
+constexpr std::uint32_t kNoCluster = static_cast<std::uint32_t>(-1);
+
+// Union-find over cluster ids with path halving. Merges keep the lower
+// root id so the outcome is independent of lookup order.
+struct Clusters {
+  std::vector<std::uint32_t> parent;
+  std::vector<std::uint64_t> volume;  // valid at roots only
+
+  std::uint32_t find(std::uint32_t c) {
+    while (parent[c] != c) {
+      parent[c] = parent[parent[c]];
+      c = parent[c];
+    }
+    return c;
+  }
+
+  std::uint32_t make(std::uint64_t vol) {
+    const auto id = static_cast<std::uint32_t>(parent.size());
+    parent.push_back(id);
+    volume.push_back(vol);
+    return id;
+  }
+
+  std::uint32_t merge(std::uint32_t a, std::uint32_t b) {
+    const std::uint32_t keep = std::min(a, b);
+    const std::uint32_t drop = std::max(a, b);
+    parent[drop] = keep;
+    volume[keep] += volume[drop];
+    return keep;
+  }
+};
+
+}  // namespace
+
+EdgePartition TwoPhaseStreaming::partition(const graph::Graph& g,
+                                           PartId k) const {
+  const auto pairs = canonical_pairs(g);
+  const std::size_t num_pairs = pairs.size();
+  const graph::VertexId n = g.num_vertices();
+  BPART_SPAN("vcut/two_phase", "pairs", static_cast<double>(num_pairs));
+
+  auto degree = [&](graph::VertexId v) -> std::uint64_t {
+    return g.out_degree(v) + g.in_degree(v);
+  };
+
+  // ---- Phase 1: streaming clustering --------------------------------------
+  const double total_volume = 2.0 * static_cast<double>(g.num_edges());
+  const auto volume_cap = static_cast<std::uint64_t>(
+      std::max(1.0, cfg_.cluster_volume_slack * total_volume /
+                        static_cast<double>(std::max<PartId>(k, 1))));
+
+  Clusters cl;
+  std::vector<std::uint32_t> cluster_of(n, kNoCluster);
+  std::uint64_t merges = 0;
+  for (const EdgePair& pair : pairs) {
+    const graph::VertexId a = pair.a;
+    const graph::VertexId b = pair.b;
+    const std::uint32_t ca =
+        cluster_of[a] == kNoCluster ? kNoCluster : cl.find(cluster_of[a]);
+    const std::uint32_t cb =
+        cluster_of[b] == kNoCluster ? kNoCluster : cl.find(cluster_of[b]);
+    if (ca == kNoCluster && cb == kNoCluster) {
+      const std::uint64_t vol = a == b ? degree(a) : degree(a) + degree(b);
+      cluster_of[a] = cluster_of[b] = cl.make(vol);
+    } else if (cb == kNoCluster) {
+      if (cl.volume[ca] + degree(b) <= volume_cap) {
+        cluster_of[b] = ca;
+        cl.volume[ca] += degree(b);
+      } else {
+        cluster_of[b] = cl.make(degree(b));
+      }
+    } else if (ca == kNoCluster) {
+      if (cl.volume[cb] + degree(a) <= volume_cap) {
+        cluster_of[a] = cb;
+        cl.volume[cb] += degree(a);
+      } else {
+        cluster_of[a] = cl.make(degree(a));
+      }
+    } else if (ca != cb && cl.volume[ca] + cl.volume[cb] <= volume_cap) {
+      cl.merge(ca, cb);
+      ++merges;
+    }
+  }
+
+  // Map clusters to parts: largest volume first onto the least-loaded part
+  // (ties: lower cluster id, lower part id) — a greedy bin packing that
+  // spreads the communities evenly before any edge is placed.
+  std::vector<std::uint32_t> roots;
+  for (std::uint32_t c = 0; c < cl.parent.size(); ++c)
+    if (cl.find(c) == c) roots.push_back(c);
+  std::sort(roots.begin(), roots.end(), [&](std::uint32_t x, std::uint32_t y) {
+    if (cl.volume[x] != cl.volume[y]) return cl.volume[x] > cl.volume[y];
+    return x < y;
+  });
+  std::vector<PartId> part_of_cluster(cl.parent.size(), 0);
+  std::vector<std::uint64_t> part_volume(k, 0);
+  for (const std::uint32_t c : roots) {
+    PartId target = 0;
+    for (PartId p = 1; p < k; ++p)
+      if (part_volume[p] < part_volume[target]) target = p;
+    part_of_cluster[c] = target;
+    part_volume[target] += cl.volume[c];
+  }
+  obs::counter("vcut.clusters").add(roots.size());
+  if (merges != 0) obs::counter("vcut.cluster_merges").add(merges);
+
+  // ---- Phase 2: cluster-aware HDRF placement -------------------------------
+  const auto ceil_avg = (static_cast<std::uint64_t>(num_pairs) + k - 1) /
+                        std::max<PartId>(k, 1);
+  const auto cap = std::max<std::uint64_t>(
+      ceil_avg,
+      static_cast<std::uint64_t>(cfg_.capacity_slack *
+                                 static_cast<double>(ceil_avg)));
+
+  detail::HdrfState st(n, k, cfg_.hdrf);
+  EdgePartition ep(g.num_edges(), k);
+  for (const EdgePair& pair : pairs) {
+    st.bump_degrees(pair);
+    const PartId pa = part_of_cluster[cl.find(cluster_of[pair.a])];
+    const PartId pb = part_of_cluster[cl.find(cluster_of[pair.b])];
+    PartId best = 0;
+    double best_score = -std::numeric_limits<double>::infinity();
+    for (PartId p = 0; p < k; ++p) {
+      double s = st.score(pair, p);
+      if (p == pa) s += cfg_.cluster_affinity;
+      if (p == pb) s += cfg_.cluster_affinity;
+      if (s > best_score) {
+        best_score = s;
+        best = p;
+      }
+    }
+    if (st.load[best] + 1 > cap) best = st.least_loaded();
+    ep.assign_pair(pair, best);
+    st.place(pair, best);
+  }
+  obs::counter("vcut.pairs_placed").add(num_pairs);
+  return ep;
+}
+
+}  // namespace bpart::vcut

@@ -1,0 +1,43 @@
+// 2PS-style two-phase streaming edge placement (Mayer et al., "2PS:
+// High-Quality Edge Partitioning with Two-Phase Streaming").
+//
+// Phase 1 streams the pair stream once and greedily clusters vertices:
+// unclustered endpoints join (or found) their partner's cluster, and two
+// clusters merge when their combined degree volume fits the per-cluster
+// volume cap. Clusters are then mapped onto the k parts largest-first,
+// least-loaded-first.
+//
+// Phase 2 streams the pairs again and places each with HDRF scoring plus a
+// bonus for the parts its endpoints' clusters map to — edges internal to a
+// community land together, which is where the replication savings over
+// plain HDRF come from — under a hard capacity cap with least-loaded
+// fallback, so balance holds by construction.
+#pragma once
+
+#include "vcut/edge_partition.hpp"
+#include "vcut/placers.hpp"
+
+namespace bpart::vcut {
+
+struct TwoPhaseConfig {
+  HdrfConfig hdrf;
+  /// Score bonus a part gets for being an endpoint's cluster target.
+  double cluster_affinity = 1.0;
+  /// Per-cluster degree-volume cap as a multiple of (total volume) / k.
+  double cluster_volume_slack = 1.1;
+  /// Hard per-part pair-load cap as a multiple of ceil(pairs / k).
+  double capacity_slack = 1.05;
+};
+
+class TwoPhaseStreaming final : public EdgePartitioner {
+ public:
+  explicit TwoPhaseStreaming(TwoPhaseConfig cfg = {}) : cfg_(cfg) {}
+  [[nodiscard]] std::string name() const override { return "2ps"; }
+  [[nodiscard]] EdgePartition partition(const graph::Graph& g,
+                                        PartId k) const override;
+
+ private:
+  TwoPhaseConfig cfg_;
+};
+
+}  // namespace bpart::vcut

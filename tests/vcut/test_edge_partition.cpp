@@ -1,0 +1,155 @@
+#include "vcut/edge_partition.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "graph/edge_list.hpp"
+#include "util/check.hpp"
+
+namespace bpart::vcut {
+namespace {
+
+using graph::EdgeList;
+using graph::Graph;
+
+Graph square() {
+  EdgeList el;
+  el.add_undirected(0, 1);
+  el.add_undirected(1, 2);
+  el.add_undirected(2, 3);
+  el.add_undirected(3, 0);
+  return Graph::from_edges(el);
+}
+
+TEST(EdgePartitionType, AssignAndCount) {
+  EdgePartition ep(4, 2);
+  EXPECT_FALSE(ep.fully_assigned());
+  ep.assign(0, 0);
+  ep.assign(1, 1);
+  ep.assign(2, 1);
+  ep.assign(3, 0);
+  EXPECT_TRUE(ep.fully_assigned());
+  const auto counts = ep.edge_counts();
+  EXPECT_EQ(counts[0], 2u);
+  EXPECT_EQ(counts[1], 2u);
+}
+
+TEST(EdgePartitionType, Validates) {
+  EdgePartition ep(2, 2);
+  EXPECT_THROW(ep.assign(5, 0), CheckError);
+  EXPECT_THROW(ep.assign(0, 7), CheckError);
+}
+
+TEST(EdgePartitionType, AssignPairSetsBothDirections) {
+  const Graph g = square();
+  const auto pairs = canonical_pairs(g);
+  EdgePartition ep(g.num_edges(), 2);
+  for (const EdgePair& pair : pairs) ep.assign_pair(pair, 1);
+  EXPECT_TRUE(ep.fully_assigned());
+  for (graph::EdgeId e = 0; e < g.num_edges(); ++e) EXPECT_EQ(ep[e], 1u);
+}
+
+TEST(CanonicalPairs, SquareCoversEveryDirectedEdgeOnce) {
+  const Graph g = square();
+  const auto pairs = canonical_pairs(g);
+  ASSERT_EQ(pairs.size(), 4u);  // 8 directed edges = 4 undirected pairs
+  std::vector<int> seen(g.num_edges(), 0);
+  for (const EdgePair& pair : pairs) {
+    EXPECT_LE(pair.a, pair.b);
+    ASSERT_NE(pair.e1, kNoEdge);
+    ASSERT_NE(pair.e2, kNoEdge);
+    ++seen[pair.e1];
+    ++seen[pair.e2];
+  }
+  EXPECT_TRUE(std::all_of(seen.begin(), seen.end(),
+                          [](int c) { return c == 1; }));
+}
+
+TEST(CanonicalPairs, StreamOrderIsAscendingByEndpoints) {
+  const Graph g = square();
+  const auto pairs = canonical_pairs(g);
+  for (std::size_t i = 1; i < pairs.size(); ++i) {
+    const bool ordered = pairs[i - 1].a < pairs[i].a ||
+                         (pairs[i - 1].a == pairs[i].a &&
+                          pairs[i - 1].b <= pairs[i].b);
+    EXPECT_TRUE(ordered);
+  }
+}
+
+TEST(CanonicalPairs, AsymmetricEdgeYieldsOneSidedPair) {
+  EdgeList el;
+  el.add(0, 1);  // one direction only
+  const Graph g = Graph::from_edges(el);
+  const auto pairs = canonical_pairs(g);
+  ASSERT_EQ(pairs.size(), 1u);
+  EXPECT_EQ(pairs[0].a, 0u);
+  EXPECT_EQ(pairs[0].b, 1u);
+  EXPECT_NE(pairs[0].e1, kNoEdge);
+  EXPECT_EQ(pairs[0].e2, kNoEdge);
+}
+
+TEST(CanonicalPairs, SelfLoopIsOneSided) {
+  EdgeList el;
+  el.add(0, 0);
+  el.add_undirected(0, 1);
+  const Graph g = Graph::from_edges(el);
+  const auto pairs = canonical_pairs(g);
+  ASSERT_EQ(pairs.size(), 2u);
+  std::vector<int> seen(g.num_edges(), 0);
+  for (const EdgePair& pair : pairs) {
+    ++seen[pair.e1];
+    if (pair.e2 != kNoEdge) ++seen[pair.e2];
+    if (pair.a == pair.b) {
+      EXPECT_EQ(pair.e2, kNoEdge);
+    }
+  }
+  EXPECT_TRUE(std::all_of(seen.begin(), seen.end(),
+                          [](int c) { return c == 1; }));
+}
+
+TEST(PairCounts, CountsPairsNotDirectedEdges) {
+  const Graph g = square();
+  const auto pairs = canonical_pairs(g);
+  EdgePartition ep(g.num_edges(), 2);
+  ep.assign_pair(pairs[0], 0);
+  for (std::size_t i = 1; i < pairs.size(); ++i) ep.assign_pair(pairs[i], 1);
+  const auto loads = pair_counts(pairs, ep);
+  EXPECT_EQ(loads[0], 1u);
+  EXPECT_EQ(loads[1], 3u);
+}
+
+TEST(ReplicationReportTest, SinglePartMeansOneCopyEach) {
+  const Graph g = square();
+  EdgePartition ep(g.num_edges(), 1);
+  for (graph::EdgeId e = 0; e < g.num_edges(); ++e) ep.assign(e, 0);
+  const auto r = replication_report(g, ep);
+  EXPECT_DOUBLE_EQ(r.replication_factor, 1.0);
+  EXPECT_DOUBLE_EQ(r.max_copies, 1.0);
+}
+
+TEST(ReplicationReportTest, SplitSquareReplicatesBoundary) {
+  // Square 0-1-2-3-0; put edges {0-1, 1-2} on part 0 and {2-3, 3-0} on
+  // part 1 (both directions each). Vertices 0 and 2 appear on both parts.
+  const Graph g = square();
+  EdgePartition ep(g.num_edges(), 2);
+  for (graph::VertexId v = 0; v < 4; ++v) {
+    const auto nbrs = g.out_neighbors(v);
+    for (graph::EdgeId i = 0; i < nbrs.size(); ++i) {
+      const graph::VertexId a = std::min(v, nbrs[i]);
+      const graph::VertexId b = std::max(v, nbrs[i]);
+      const bool part0 = (a == 0 && b == 1) || (a == 1 && b == 2);
+      ep.assign(g.out_edge_index(v, i), part0 ? 0 : 1);
+    }
+  }
+  const auto r = replication_report(g, ep);
+  EXPECT_EQ(r.copies[0], 2u);
+  EXPECT_EQ(r.copies[1], 1u);
+  EXPECT_EQ(r.copies[2], 2u);
+  EXPECT_EQ(r.copies[3], 1u);
+  EXPECT_DOUBLE_EQ(r.replication_factor, 1.5);
+}
+
+}  // namespace
+}  // namespace bpart::vcut

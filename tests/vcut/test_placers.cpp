@@ -1,0 +1,182 @@
+#include "vcut/placers.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cctype>
+#include <numeric>
+#include <string>
+
+#include "../partition/test_graphs.hpp"
+#include "util/check.hpp"
+#include "vcut/registry.hpp"
+#include "vcut/two_phase.hpp"
+
+namespace bpart::vcut {
+namespace {
+
+using graph::EdgeList;
+using graph::Graph;
+using partition::testing::social_graph;
+
+Graph square() {
+  EdgeList el;
+  el.add_undirected(0, 1);
+  el.add_undirected(1, 2);
+  el.add_undirected(2, 3);
+  el.add_undirected(3, 0);
+  return Graph::from_edges(el);
+}
+
+const Graph& shared_social() {
+  static const Graph g = social_graph();
+  return g;
+}
+
+using Placer = std::string;
+class EdgePartitionerProperty : public ::testing::TestWithParam<Placer> {};
+
+TEST_P(EdgePartitionerProperty, ValidAssignment) {
+  const Graph& g = shared_social();
+  const auto ep = create(GetParam())->partition(g, 8);
+  EXPECT_TRUE(ep.fully_assigned());
+  const auto counts = ep.edge_counts();
+  EXPECT_EQ(std::accumulate(counts.begin(), counts.end(), std::uint64_t{0}),
+            g.num_edges());
+}
+
+TEST_P(EdgePartitionerProperty, SymmetricPairsShareParts) {
+  // Both directions of an undirected edge must land on the same part.
+  const Graph& g = shared_social();
+  const auto ep = create(GetParam())->partition(g, 8);
+  for (graph::VertexId v = 0; v < g.num_vertices(); v += 7) {
+    const auto nbrs = g.out_neighbors(v);
+    for (graph::EdgeId i = 0; i < nbrs.size(); ++i) {
+      const graph::VertexId u = nbrs[i];
+      const auto rev = g.out_neighbors(u);
+      const auto it = std::lower_bound(rev.begin(), rev.end(), v);
+      ASSERT_TRUE(it != rev.end() && *it == v);
+      const graph::EdgeId rev_idx =
+          g.out_edge_index(u, static_cast<graph::EdgeId>(it - rev.begin()));
+      ASSERT_EQ(ep[g.out_edge_index(v, i)], ep[rev_idx]);
+    }
+  }
+}
+
+TEST_P(EdgePartitionerProperty, ReplicationWithinBounds) {
+  const Graph& g = shared_social();
+  const auto ep = create(GetParam())->partition(g, 8);
+  const auto r = replication_report(g, ep);
+  EXPECT_GE(r.replication_factor, 1.0);
+  EXPECT_LE(r.replication_factor, 8.0);
+  EXPECT_LE(r.max_copies, 8.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPlacers, EdgePartitionerProperty,
+                         ::testing::ValuesIn(names()),
+                         [](const ::testing::TestParamInfo<Placer>& info) {
+                           std::string n = info.param;
+                           for (char& c : n)
+                             if (c == '-') c = '_';
+                           if (std::isdigit(static_cast<unsigned char>(n[0])))
+                             n.insert(n.begin(), 'p');
+                           return n;
+                         });
+
+TEST(VertexCutComparison, SmartPlacersBeatRandomOnReplication) {
+  // The published result this subsystem must reproduce: on power-law
+  // graphs DBH, HDRF and 2PS replicate far less than random placement.
+  const Graph& g = shared_social();
+  const auto random =
+      replication_report(g, RandomEdgePlacement(17).partition(g, 8));
+  const auto dbh =
+      replication_report(g, DegreeBasedHashing(17).partition(g, 8));
+  const auto hdrf = replication_report(g, Hdrf().partition(g, 8));
+  const auto two_phase =
+      replication_report(g, TwoPhaseStreaming().partition(g, 8));
+  EXPECT_LT(dbh.replication_factor, random.replication_factor);
+  EXPECT_LT(hdrf.replication_factor, random.replication_factor);
+  EXPECT_LT(hdrf.replication_factor, 0.8 * random.replication_factor);
+  EXPECT_LT(two_phase.replication_factor, random.replication_factor);
+}
+
+TEST(VertexCutComparison, HdrfBalancesEdges) {
+  const Graph& g = shared_social();
+  const auto hdrf = replication_report(g, Hdrf().partition(g, 8));
+  EXPECT_LT(hdrf.edge_bias, 0.2);
+}
+
+TEST(Hdrf, RejectsTooManyParts) {
+  const Graph g = square();
+  EXPECT_THROW(Hdrf().partition(g, 65), CheckError);
+}
+
+TEST(RandomEdgePlacement, SeedControlsTheAssignment) {
+  const Graph& g = shared_social();
+  const auto a = RandomEdgePlacement(17).partition(g, 8);
+  const auto b = RandomEdgePlacement(17).partition(g, 8);
+  const auto c = RandomEdgePlacement(18).partition(g, 8);
+  bool differs = false;
+  for (graph::EdgeId e = 0; e < g.num_edges(); ++e) {
+    ASSERT_EQ(a[e], b[e]);
+    differs = differs || a[e] != c[e];
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(BufferedHdrf, BitIdenticalAcrossThreadCounts) {
+  const Graph& g = shared_social();
+  BufferedHdrfConfig cfg;
+  cfg.batch_size = 1024;
+  cfg.threads = 1;
+  const auto one = BufferedHdrf(cfg).partition(g, 8);
+  cfg.threads = 2;
+  const auto two = BufferedHdrf(cfg).partition(g, 8);
+  cfg.threads = 8;
+  const auto eight = BufferedHdrf(cfg).partition(g, 8);
+  for (graph::EdgeId e = 0; e < g.num_edges(); ++e) {
+    ASSERT_EQ(one[e], two[e]);
+    ASSERT_EQ(one[e], eight[e]);
+  }
+}
+
+TEST(BufferedHdrf, RespectsCapacityCap) {
+  const Graph& g = shared_social();
+  BufferedHdrfConfig cfg;
+  cfg.batch_size = 4096;
+  cfg.threads = 4;
+  const auto ep = BufferedHdrf(cfg).partition(g, 8);
+  const auto pairs = canonical_pairs(g);
+  const std::uint64_t capacity = (pairs.size() + 7) / 8;
+  const auto cap = std::max<std::uint64_t>(
+      capacity,
+      static_cast<std::uint64_t>(cfg.capacity_slack *
+                                 static_cast<double>(capacity)));
+  for (const auto load : pair_counts(pairs, ep)) EXPECT_LE(load, cap);
+}
+
+TEST(TwoPhaseStreaming, RespectsCapacityCap) {
+  const Graph& g = shared_social();
+  TwoPhaseConfig cfg;
+  const auto ep = TwoPhaseStreaming(cfg).partition(g, 8);
+  const auto pairs = canonical_pairs(g);
+  const std::uint64_t capacity = (pairs.size() + 7) / 8;
+  const auto cap = std::max<std::uint64_t>(
+      capacity,
+      static_cast<std::uint64_t>(cfg.capacity_slack *
+                                 static_cast<double>(capacity)));
+  for (const auto load : pair_counts(pairs, ep)) EXPECT_LE(load, cap);
+}
+
+TEST(Registry, EnumeratesTheFamily) {
+  const auto& family = names();
+  ASSERT_EQ(family.size(), 5u);
+  for (const auto& name : family) EXPECT_EQ(create(name)->name(), name);
+}
+
+TEST(Registry, UnknownNameThrows) {
+  EXPECT_THROW(create("greedy"), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace bpart::vcut

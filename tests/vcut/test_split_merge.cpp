@@ -1,0 +1,118 @@
+#include "vcut/split_merge.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "../partition/test_graphs.hpp"
+#include "vcut/placers.hpp"
+
+namespace bpart::vcut {
+namespace {
+
+using graph::Graph;
+using partition::testing::social_graph;
+
+const Graph& shared_social() {
+  static const Graph g = social_graph();
+  return g;
+}
+
+std::uint64_t cap_of(std::uint64_t num_pairs, PartId k, double slack) {
+  const std::uint64_t capacity = (num_pairs + k - 1) / k;
+  return std::max<std::uint64_t>(
+      capacity,
+      static_cast<std::uint64_t>(slack * static_cast<double>(capacity)));
+}
+
+TEST(KmMatch, PicksTheMaximumWeightPermutation) {
+  // Row i's best column is (i + 1) % 3; the identity is strictly worse.
+  const std::vector<std::vector<double>> w = {
+      {1.0, 9.0, 0.0}, {0.0, 1.0, 9.0}, {9.0, 0.0, 1.0}};
+  const auto col = km_match(w);
+  ASSERT_EQ(col.size(), 3u);
+  EXPECT_EQ(col[0], 1u);
+  EXPECT_EQ(col[1], 2u);
+  EXPECT_EQ(col[2], 0u);
+}
+
+TEST(KmMatch, AvoidsForbiddenCellsWhenPossible) {
+  constexpr double kForbidden = -1e15;
+  const std::vector<std::vector<double>> w = {{kForbidden, 2.0},
+                                              {3.0, kForbidden}};
+  const auto col = km_match(w);
+  EXPECT_EQ(col[0], 1u);
+  EXPECT_EQ(col[1], 0u);
+}
+
+TEST(SplitMerge, BalancedInputPassesThrough) {
+  const Graph& g = shared_social();
+  const auto ep = Hdrf().partition(g, 8);
+  const auto result = split_merge_rebalance(g, ep);
+  EXPECT_EQ(result.fragments, 0u);
+  EXPECT_EQ(result.moved_pairs, 0u);
+  for (graph::EdgeId e = 0; e < g.num_edges(); ++e)
+    EXPECT_EQ(result.partition[e], ep[e]);
+}
+
+TEST(SplitMerge, RepairsAFullySkewedPartition) {
+  // Worst case: every edge on part 0 of 4. The pass must shed ~3/4 of the
+  // pairs and still land under the slack cap.
+  const Graph& g = shared_social();
+  const auto pairs = canonical_pairs(g);
+  EdgePartition ep(g.num_edges(), 4);
+  for (const EdgePair& pair : pairs) ep.assign_pair(pair, 0);
+
+  SplitMergeConfig cfg;
+  const auto result = split_merge_rebalance(g, ep, cfg);
+  EXPECT_GT(result.fragments, 0u);
+  EXPECT_GT(result.moved_pairs, 0u);
+  EXPECT_TRUE(result.partition.fully_assigned());
+
+  const auto loads = pair_counts(pairs, result.partition);
+  const auto cap = cap_of(pairs.size(), 4, cfg.capacity_slack);
+  for (const auto load : loads) EXPECT_LE(load, cap);
+  EXPECT_EQ(result.max_load,
+            *std::max_element(loads.begin(), loads.end()));
+  EXPECT_EQ(std::accumulate(loads.begin(), loads.end(), std::uint64_t{0}),
+            pairs.size());
+}
+
+TEST(SplitMerge, KeepsSymmetricPairsTogether) {
+  const Graph& g = shared_social();
+  const auto pairs = canonical_pairs(g);
+  EdgePartition ep(g.num_edges(), 8);
+  // Mildly skewed: everything on two parts.
+  for (std::size_t i = 0; i < pairs.size(); ++i)
+    ep.assign_pair(pairs[i], i % 2 == 0 ? 0 : 1);
+  const auto result = split_merge_rebalance(g, ep);
+  for (const EdgePair& pair : pairs) {
+    if (pair.e2 == kNoEdge) continue;
+    EXPECT_EQ(result.partition[pair.e1], result.partition[pair.e2]);
+  }
+  const auto loads = pair_counts(pairs, result.partition);
+  const auto cap = cap_of(pairs.size(), 8, SplitMergeConfig{}.capacity_slack);
+  for (const auto load : loads) EXPECT_LE(load, cap);
+}
+
+TEST(SplitMerge, MovesLittleWhenSkewIsSmall) {
+  // One part 30% over capacity: the repair must not reshuffle the world.
+  const Graph& g = shared_social();
+  const auto pairs = canonical_pairs(g);
+  EdgePartition ep(g.num_edges(), 4);
+  const std::uint64_t capacity = (pairs.size() + 3) / 4;
+  const std::uint64_t heavy = capacity + capacity * 3 / 10;
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    const PartId p =
+        i < heavy ? 0 : static_cast<PartId>(1 + (i - heavy) % 3);
+    ep.assign_pair(pairs[i], p);
+  }
+  const auto result = split_merge_rebalance(g, ep);
+  // Only the overflow (≈ 0.3 * capacity, minus the slack headroom) moves.
+  EXPECT_LE(result.moved_pairs, capacity / 2);
+  EXPECT_LE(result.max_load, cap_of(pairs.size(), 4, 1.05));
+}
+
+}  // namespace
+}  // namespace bpart::vcut
