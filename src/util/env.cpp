@@ -138,6 +138,12 @@ std::uint64_t global_seed() {
   constexpr std::uint64_t kDefault = 17;
   const char* env = std::getenv("BPART_SEED");
   if (env == nullptr) return kDefault;
+  // std::stoull silently wraps negative inputs to huge unsigned values;
+  // reject them up front like every other knob here.
+  if (std::string(env).find('-') != std::string::npos) {
+    LOG_WARN << "BPART_SEED must be >= 0, got " << env;
+    return kDefault;
+  }
   try {
     return static_cast<std::uint64_t>(std::stoull(env));
   } catch (const std::exception&) {

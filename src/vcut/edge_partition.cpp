@@ -45,39 +45,46 @@ std::vector<EdgePair> canonical_pairs(const graph::Graph& g) {
   pairs.reserve(g.num_edges() / 2 + 1);
   const graph::VertexId n = g.num_vertices();
   for (graph::VertexId a = 0; a < n; ++a) {
-    const auto nbrs = g.out_neighbors(a);
-    graph::EdgeId i = 0;
-    while (i < nbrs.size()) {
-      const graph::VertexId b = nbrs[i];
-      // Length of the run of parallel a->b edges.
-      graph::EdgeId c_ab = 1;
-      while (i + c_ab < nbrs.size() && nbrs[i + c_ab] == b) ++c_ab;
-      if (b < a) {  // handled at b's (the lower endpoint's) scan
-        i += c_ab;
-        continue;
-      }
-      if (b == a) {  // self loops: one single-direction pair each
-        for (graph::EdgeId j = 0; j < c_ab; ++j)
-          pairs.push_back({a, a, g.out_edge_index(a, i + j), kNoEdge});
-        i += c_ab;
-        continue;
-      }
-      // Run of reverse b->a edges (possibly empty or longer).
-      const auto rev = g.out_neighbors(b);
-      const auto lo = std::lower_bound(rev.begin(), rev.end(), a);
-      const auto rev_start = static_cast<graph::EdgeId>(lo - rev.begin());
+    // Merge a's sorted out- and in-runs so every neighbor b is visited,
+    // even when only one direction exists — an a->b edge with b < a and no
+    // b->a reverse is only reachable from b through b's *in*-adjacency.
+    const auto out = g.out_neighbors(a);
+    const auto in = g.in_neighbors(a);
+    graph::EdgeId i = 0;  // cursor into out
+    graph::EdgeId j = 0;  // cursor into in
+    while (i < out.size() || j < in.size()) {
+      const graph::VertexId b =
+          j >= in.size() || (i < out.size() && out[i] <= in[j]) ? out[i]
+                                                                : in[j];
+      // Runs of parallel a->b (forward) and b->a (reverse) edges.
+      graph::EdgeId c_ab = 0;
+      while (i + c_ab < out.size() && out[i + c_ab] == b) ++c_ab;
       graph::EdgeId c_ba = 0;
-      while (rev_start + c_ba < rev.size() && rev[rev_start + c_ba] == a)
-        ++c_ba;
-      const graph::EdgeId both = std::min(c_ab, c_ba);
-      for (graph::EdgeId j = 0; j < both; ++j)
-        pairs.push_back({a, b, g.out_edge_index(a, i + j),
-                         g.out_edge_index(b, rev_start + j)});
-      for (graph::EdgeId j = both; j < c_ab; ++j)
-        pairs.push_back({a, b, g.out_edge_index(a, i + j), kNoEdge});
-      for (graph::EdgeId j = both; j < c_ba; ++j)
-        pairs.push_back({a, b, g.out_edge_index(b, rev_start + j), kNoEdge});
+      while (j + c_ba < in.size() && in[j + c_ba] == b) ++c_ba;
+      const graph::EdgeId fwd_start = i;
       i += c_ab;
+      j += c_ba;
+      if (b < a) continue;  // handled at b's (the lower endpoint's) scan
+      if (b == a) {  // self loops: one single-direction pair each
+        for (graph::EdgeId t = 0; t < c_ab; ++t)
+          pairs.push_back({a, a, g.out_edge_index(a, fwd_start + t), kNoEdge});
+        continue;
+      }
+      // Locate the reverse run inside b's out-adjacency for its edge ids.
+      graph::EdgeId rev_start = 0;
+      if (c_ba > 0) {
+        const auto rev = g.out_neighbors(b);
+        const auto lo = std::lower_bound(rev.begin(), rev.end(), a);
+        rev_start = static_cast<graph::EdgeId>(lo - rev.begin());
+      }
+      const graph::EdgeId both = std::min(c_ab, c_ba);
+      for (graph::EdgeId t = 0; t < both; ++t)
+        pairs.push_back({a, b, g.out_edge_index(a, fwd_start + t),
+                         g.out_edge_index(b, rev_start + t)});
+      for (graph::EdgeId t = both; t < c_ab; ++t)
+        pairs.push_back({a, b, g.out_edge_index(a, fwd_start + t), kNoEdge});
+      for (graph::EdgeId t = both; t < c_ba; ++t)
+        pairs.push_back({a, b, g.out_edge_index(b, rev_start + t), kNoEdge});
     }
   }
   return pairs;

@@ -1,6 +1,7 @@
 #include "vcut/mirror_graph.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <utility>
 
 #include "obs/metrics.hpp"
@@ -23,22 +24,24 @@ MirrorGraph::MirrorGraph(const graph::Graph& g, const EdgePartition& ep,
   BPART_CHECK(ep.fully_assigned() || g.num_edges() == 0);
   const PartId k = ep.num_parts();
   BPART_CHECK(k >= 1);
+  BPART_CHECK_MSG(k <= kMaxParts,
+                  "mirror graphs support up to " << kMaxParts << " machines");
   n_ = g.num_vertices();
   BPART_SPAN("vcut/mirror_build", "machines", static_cast<double>(k));
 
-  // Presence bitmaps (machine x vertex) + per-machine edge lists. Edges are
-  // collected in global scan order, so each machine's list arrives sorted
-  // by (src, dst) — the CSR fill below relies on that.
-  std::vector<std::vector<bool>> present(
-      k, std::vector<bool>(n_, false));
+  // Per-vertex presence bitmasks (bit m = machine m holds a replica; the
+  // family-wide k <= 64 cap makes one word per vertex enough) + per-machine
+  // edge lists. Edges are collected in global scan order, so each machine's
+  // list arrives sorted by (src, dst) — the CSR fill below relies on that.
+  std::vector<std::uint64_t> present(n_, 0);
   std::vector<std::vector<std::pair<graph::VertexId, graph::VertexId>>> edges(
       k);
   for (graph::VertexId v = 0; v < n_; ++v) {
     const auto nbrs = g.out_neighbors(v);
     for (graph::EdgeId i = 0; i < nbrs.size(); ++i) {
       const PartId p = ep[g.out_edge_index(v, i)];
-      present[p][v] = true;
-      present[p][nbrs[i]] = true;
+      present[v] |= std::uint64_t{1} << p;
+      present[nbrs[i]] |= std::uint64_t{1} << p;
       edges[p].emplace_back(v, nbrs[i]);
     }
   }
@@ -48,16 +51,16 @@ MirrorGraph::MirrorGraph(const graph::Graph& g, const EdgePartition& ep,
       continue;
     }
     ++isolated_;
-    present[splitmix64(v ^ seed) % k][v] = true;
+    present[v] |= std::uint64_t{1} << (splitmix64(v ^ seed) % k);
   }
 
-  // Holder lists (machines ascending) and master election: the master is a
-  // seeded-hash pick from the holders, so hubs' masters spread across
-  // machines instead of piling onto machine 0.
+  // Holder lists (machines ascending, straight off the bitmask bits) and
+  // master election: the master is a seeded-hash pick from the holders, so
+  // hubs' masters spread across machines instead of piling onto machine 0.
   std::vector<std::vector<MachineId>> holders(n_);
-  for (MachineId m = 0; m < k; ++m)
-    for (graph::VertexId v = 0; v < n_; ++v)
-      if (present[m][v]) holders[v].push_back(m);
+  for (graph::VertexId v = 0; v < n_; ++v)
+    for (std::uint64_t bits = present[v]; bits != 0; bits &= bits - 1)
+      holders[v].push_back(static_cast<MachineId>(std::countr_zero(bits)));
   std::vector<MachineId> master(n_, 0);
   for (graph::VertexId v = 0; v < n_; ++v) {
     if (holders[v].empty()) continue;
@@ -66,15 +69,15 @@ MirrorGraph::MirrorGraph(const graph::Graph& g, const EdgePartition& ep,
   }
 
   shards_.resize(k);
+  // Vertex-major fill keeps each shard's global_id ascending in one
+  // O(n + replicas) pass instead of k full-vertex sweeps.
+  for (graph::VertexId v = 0; v < n_; ++v)
+    for (const MachineId m : holders[v]) shards_[m].global_id.push_back(v);
   std::vector<graph::VertexId> local_of(n_, kNoReplica);
   for (MachineId m = 0; m < k; ++m) {
     Shard& sh = shards_[m];
-    for (graph::VertexId v = 0; v < n_; ++v)
-      if (present[m][v]) {
-        local_of[v] = static_cast<graph::VertexId>(sh.global_id.size());
-        sh.global_id.push_back(v);
-      }
     const auto nr = static_cast<graph::VertexId>(sh.global_id.size());
+    for (graph::VertexId r = 0; r < nr; ++r) local_of[sh.global_id[r]] = r;
 
     // Local CSR, built directly (from_edges would drop trailing edge-less
     // replicas). The shard edge list is sorted by (src, dst), so out-runs

@@ -271,6 +271,12 @@ TEST(PartitionService, ConcurrentLookupsDuringUpdatesAndMaintenance) {
     });
   }
 
+  // Don't start writing until every reader has completed an iteration —
+  // otherwise a fast writer can raise `stop` before the readers are even
+  // scheduled and the reads > 0 assertion below fails spuriously.
+  while (reads.load(std::memory_order_relaxed) < readers.size())
+    std::this_thread::yield();
+
   for (std::size_t i = 0; i < s.batches.size(); ++i) {
     svc.apply(s.batches[i]);
     if (i % 2 == 1) svc.maintain();

@@ -52,5 +52,30 @@ TEST_F(ThreadCountTest, RereadsEnvironmentEachCall) {
   EXPECT_EQ(thread_count(), 5u);
 }
 
+class GlobalSeedTest : public ::testing::Test {
+ protected:
+  void TearDown() override { unsetenv("BPART_SEED"); }
+};
+
+TEST_F(GlobalSeedTest, HonorsEnvOverride) {
+  setenv("BPART_SEED", "12345", 1);
+  EXPECT_EQ(global_seed(), 12345u);
+}
+
+TEST_F(GlobalSeedTest, NegativeFallsThroughToDefault) {
+  unsetenv("BPART_SEED");
+  const std::uint64_t def = global_seed();
+  // stoull would wrap "-1" to 2^64-1; the knob must reject it instead.
+  setenv("BPART_SEED", "-1", 1);
+  EXPECT_EQ(global_seed(), def);
+}
+
+TEST_F(GlobalSeedTest, JunkFallsThroughToDefault) {
+  unsetenv("BPART_SEED");
+  const std::uint64_t def = global_seed();
+  setenv("BPART_SEED", "pepper", 1);
+  EXPECT_EQ(global_seed(), def);
+}
+
 }  // namespace
 }  // namespace bpart

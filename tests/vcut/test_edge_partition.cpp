@@ -90,6 +90,52 @@ TEST(CanonicalPairs, AsymmetricEdgeYieldsOneSidedPair) {
   EXPECT_EQ(pairs[0].e2, kNoEdge);
 }
 
+TEST(CanonicalPairs, HighToLowAsymmetricEdgeIsNotDropped) {
+  // A directed u->v edge with u > v and no reverse edge is only visible
+  // from v through v's in-adjacency; it must still yield a pair.
+  EdgeList el;
+  el.add(1, 0);
+  const Graph g = Graph::from_edges(el);
+  const auto pairs = canonical_pairs(g);
+  ASSERT_EQ(pairs.size(), 1u);
+  EXPECT_EQ(pairs[0].a, 0u);
+  EXPECT_EQ(pairs[0].b, 1u);
+  EXPECT_EQ(pairs[0].e1, g.out_edge_index(1, 0));
+  EXPECT_EQ(pairs[0].e2, kNoEdge);
+}
+
+TEST(CanonicalPairs, MixedAsymmetricCoversEveryDirectedEdgeOnce) {
+  EdgeList el;
+  el.add(2, 0);  // high->low, no reverse, parallel copies
+  el.add(2, 0);
+  el.add(0, 1);  // low->high, no reverse
+  el.add_undirected(1, 2);
+  el.add(3, 3);  // self loop
+  const Graph g = Graph::from_edges(el);
+  const auto pairs = canonical_pairs(g);
+  ASSERT_EQ(pairs.size(), 5u);
+  std::vector<int> seen(g.num_edges(), 0);
+  for (const EdgePair& pair : pairs) {
+    EXPECT_LE(pair.a, pair.b);
+    ASSERT_NE(pair.e1, kNoEdge);
+    ++seen[pair.e1];
+    if (pair.e2 != kNoEdge) ++seen[pair.e2];
+  }
+  EXPECT_TRUE(std::all_of(seen.begin(), seen.end(),
+                          [](int c) { return c == 1; }));
+  for (std::size_t i = 1; i < pairs.size(); ++i) {
+    const bool ordered = pairs[i - 1].a < pairs[i].a ||
+                         (pairs[i - 1].a == pairs[i].a &&
+                          pairs[i - 1].b <= pairs[i].b);
+    EXPECT_TRUE(ordered);
+  }
+  // The contract MirrorGraph and split_merge rely on: assigning every
+  // pair assigns every directed edge.
+  EdgePartition ep(g.num_edges(), 2);
+  for (const EdgePair& pair : pairs) ep.assign_pair(pair, 0);
+  EXPECT_TRUE(ep.fully_assigned());
+}
+
 TEST(CanonicalPairs, SelfLoopIsOneSided) {
   EdgeList el;
   el.add(0, 0);
