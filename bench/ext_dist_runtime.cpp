@@ -19,6 +19,7 @@
 #include "engine/pagerank.hpp"
 #include "engine/sssp.hpp"
 #include "graph/generators.hpp"
+#include "obs/timeline.hpp"
 #include "partition/registry.hpp"
 #include "util/env.hpp"
 #include "util/logging.hpp"
@@ -115,6 +116,9 @@ int main(int argc, char** argv) {
 
     bench::report().add_quality(algo, partition::evaluate(g, parts));
     for (const std::string app_name : {"pagerank", "cc", "sssp", "walk"}) {
+      // Tags every timeline run begun under this algo/app (measured and
+      // the exec-threaded rerun) so bpart_prof.py can group by workload.
+      obs::ScopedTimelineLabel tl_label(algo + "/" + app_name);
       const AppRun r = app(app_name);
       bench::report().add_run(algo + "/" + app_name + "/measured", r.measured);
       bench::report().add_run(algo + "/" + app_name + "/model", r.model);

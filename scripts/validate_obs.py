@@ -13,6 +13,11 @@ after listing every regression (compare). Used by the CI observability-smoke
 and perf-gate jobs, and handy locally after running a bench with
 BPART_TRACE / BPART_OUT_DIR set.
 
+Traces may carry counter samples ("C") and flow arrows ("s"/"f") next to the
+complete spans; their categories count toward --require-cats. Bench reports
+are accepted at schema v1 and v1.1 (v1.1 adds the mandatory provenance
+"meta" block).
+
 The compare rules are keyed off table headers and quality labels:
   * columns containing "seconds" regress when fresh > base*(1+time_tol),
     ignored while the baseline is under --time-floor (noise guard);
@@ -27,7 +32,9 @@ import argparse
 import json
 import sys
 
-BENCH_SCHEMA = "bpart-bench-report/v1"
+# v1.1 added the auto-emitted provenance "meta" block; v1 reports (old
+# baselines) stay acceptable so compare can diff across the bump.
+BENCH_SCHEMAS = ("bpart-bench-report/v1", "bpart-bench-report/v1.1")
 
 
 def fail(msg: str) -> None:
@@ -61,7 +68,21 @@ def validate_trace(path: str, require_cats) -> None:
             f"args of {e['name']!r} must be an object",
         )
 
-    cats = {e["cat"] for e in complete}
+    counters = [e for e in events if e.get("ph") == "C"]
+    for e in counters:
+        for key in ("name", "cat", "ts", "pid", "tid"):
+            check(key in e, f"counter {e.get('name', '?')!r} missing {key!r}")
+        check(isinstance(e.get("args", {}).get("value"), (int, float)),
+              f"counter {e['name']!r} missing numeric args.value")
+
+    flows = [e for e in events if e.get("ph") in ("s", "f")]
+    for e in flows:
+        for key in ("name", "cat", "id", "ts", "pid", "tid"):
+            check(key in e, f"flow {e.get('name', '?')!r} missing {key!r}")
+
+    # Counter/flow categories count toward --require-cats: the "timeline"
+    # category is carried entirely by counter tracks and flow arrows.
+    cats = {e["cat"] for e in complete + counters + flows}
     missing = set(require_cats or []) - cats
     check(not missing, f"missing categories {sorted(missing)}; have {sorted(cats)}")
 
@@ -70,6 +91,7 @@ def validate_trace(path: str, require_cats) -> None:
 
     print(
         f"validate_obs: OK: {path}: {len(complete)} events, "
+        f"{len(counters)} counter samples, {len(flows)} flow ends, "
         f"{len(cats)} categories {sorted(cats)}, "
         f"{other['dropped_events']} dropped"
     )
@@ -78,10 +100,20 @@ def validate_trace(path: str, require_cats) -> None:
 def validate_bench(path: str) -> None:
     with open(path, "rb") as f:
         doc = json.load(f)
-    check(doc.get("schema") == BENCH_SCHEMA, f"schema != {BENCH_SCHEMA!r}")
+    check(doc.get("schema") in BENCH_SCHEMAS,
+          f"schema {doc.get('schema')!r} not in {BENCH_SCHEMAS}")
     check(bool(doc.get("name")), "missing name")
     check(isinstance(doc.get("created_unix"), int), "created_unix must be int")
     check(isinstance(doc.get("info"), dict), "info must be an object")
+    if doc.get("schema") != BENCH_SCHEMAS[0]:  # meta is the v1.1 addition
+        meta = doc.get("meta")
+        check(isinstance(meta, dict), "v1.1 report missing meta object")
+        for key in ("thread_count", "dataset_scale", "seed", "build_type",
+                    "env"):
+            check(key in meta, f"meta missing {key!r}")
+        check(meta["build_type"] in ("release", "debug"),
+              f"meta.build_type {meta['build_type']!r} invalid")
+        check(isinstance(meta["env"], dict), "meta.env must be an object")
 
     table = doc.get("table")
     check(isinstance(table, dict), "table must be an object")
@@ -152,8 +184,8 @@ def compare_reports(fresh_path: str, base_path: str, time_tol: float,
     with open(base_path, "rb") as f:
         base = json.load(f)
     for doc, path in ((fresh, fresh_path), (base, base_path)):
-        check(doc.get("schema") == BENCH_SCHEMA,
-              f"{path}: schema != {BENCH_SCHEMA!r}")
+        check(doc.get("schema") in BENCH_SCHEMAS,
+              f"{path}: schema {doc.get('schema')!r} not in {BENCH_SCHEMAS}")
     check(fresh.get("name") == base.get("name"),
           f"report name mismatch: {fresh.get('name')!r} vs {base.get('name')!r}")
 

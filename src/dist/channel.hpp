@@ -59,6 +59,15 @@ class Channel {
     return total;
   }
 
+  /// Messages queued from `src` to `dst` during the current superstep and
+  /// not yet flipped. Barrier-completion only (pre-flip), when all machine
+  /// threads are parked — the timeline recorder harvests the per-channel
+  /// traffic matrix here.
+  [[nodiscard]] std::uint64_t pending_count(MachineId src,
+                                            MachineId dst) const {
+    return slot(src, dst).buf[write_].size();
+  }
+
   /// Capacity (messages) across all of src's outgoing buffers, both
   /// generations — exposed so tests can verify buffers are recycled.
   [[nodiscard]] std::size_t outgoing_capacity(MachineId src) const {

@@ -6,6 +6,7 @@
 #include "dist/ghost_buffer.hpp"
 #include "exec/edge_map.hpp"
 #include "exec/scheduler.hpp"
+#include "obs/trace.hpp"
 
 namespace bpart::dist {
 
@@ -100,9 +101,11 @@ engine::ComponentsResult connected_components(const graph::Graph& g,
   rcfg.threads = opts.threads;
   rcfg.max_supersteps = max_supersteps;
   rcfg.on_barrier = [&](std::size_t) {
-    mode.store(choose_frontier_mode(next_edge_mass.exchange(
-                                        0, std::memory_order_relaxed),
-                                    total_edge_mass),
+    const std::uint64_t mass =
+        next_edge_mass.exchange(0, std::memory_order_relaxed);
+    obs::trace_counter("timeline/frontier_edge_mass",
+                       static_cast<double>(mass));
+    mode.store(choose_frontier_mode(mass, total_edge_mass),
                std::memory_order_relaxed);
   };
 

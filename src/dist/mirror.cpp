@@ -7,6 +7,7 @@
 #include "exec/edge_map.hpp"
 #include "exec/scheduler.hpp"
 #include "obs/metrics.hpp"
+#include "obs/timeline.hpp"
 
 namespace bpart::dist {
 
@@ -170,6 +171,30 @@ engine::PageRankResult mirror_pagerank(const vcut::MirrorGraph& mg,
         return Vote::kContinue;
       });
 
+  // Timeline post-pass: tag each superstep with its protocol phase and
+  // split the traffic by direction. A-phase sends are the mirror->master
+  // partials; boot/B-phase sends are the master->mirror share refresh
+  // (plus the dangling broadcast, which rides the same direction).
+  if (obs::timeline_enabled()) {
+    const std::uint64_t tl = obs::timeline_last_run();
+    std::vector<std::string> phases;
+    phases.reserve(run.report.iterations.size());
+    double to_master = 0;
+    double to_mirror = 0;
+    for (std::size_t s = 0; s < run.report.iterations.size(); ++s) {
+      phases.emplace_back(s == 0 ? "boot" : (s % 2 == 1 ? "A" : "B"));
+      for (const auto& m : run.report.iterations[s].machines) {
+        if (s != 0 && s % 2 == 1)
+          to_master += static_cast<double>(m.bytes_sent);
+        else
+          to_mirror += static_cast<double>(m.bytes_sent);
+      }
+    }
+    obs::timeline_set_phases(tl, phases);
+    obs::timeline_annotate_run(tl, "mirror_to_master_bytes", to_master);
+    obs::timeline_annotate_run(tl, "master_to_mirror_bytes", to_mirror);
+  }
+
   engine::PageRankResult result;
   result.rank.assign(n, inv_n);
   for (MachineId m = 0; m < machines; ++m) {
@@ -203,6 +228,17 @@ engine::ComponentsResult mirror_components(const vcut::MirrorGraph& mg,
     label[m].assign(sh.global_id.begin(), sh.global_id.end());
     changed[m].assign(sh.num_replicas(), 1);  // initial sync round
   }
+
+  // Direction split for the timeline (HashMin sends both directions in
+  // the same superstep, so the per-superstep totals can't separate them).
+  // One counter pair per machine: each machine is driven by exactly one
+  // thread per superstep, so writes never race.
+  const bool tl_on = obs::timeline_enabled();
+  struct DirCount {
+    std::uint64_t to_master = 0;
+    std::uint64_t to_mirror = 0;
+  };
+  std::vector<DirCount> dir(tl_on ? machines : 0);
 
   RuntimeConfig rcfg;
   rcfg.threads = opts.threads;
@@ -253,17 +289,34 @@ engine::ComponentsResult mirror_components(const vcut::MirrorGraph& mg,
           if (!sh.is_master[r]) {
             ctx.send(sh.master_machine[r], {v, lab[r]});
             sent = true;
+            if (tl_on) ++dir[ctx.self()].to_master;
           } else {
             for (std::uint32_t h = sh.mirror_offsets[r];
                  h < sh.mirror_offsets[r + 1]; ++h) {
               ctx.send(sh.mirror_holders[h], {v, lab[r]});
               sent = true;
+              if (tl_on) ++dir[ctx.self()].to_mirror;
             }
           }
         }
         (void)s;
         return sent ? Vote::kContinue : Vote::kHalt;
       });
+
+  if (tl_on) {
+    const std::uint64_t tl = obs::timeline_last_run();
+    obs::timeline_set_phases(
+        tl, std::vector<std::string>(run.report.iterations.size(),
+                                     "hashmin"));
+    double to_master = 0;
+    double to_mirror = 0;
+    for (const DirCount& d : dir) {
+      to_master += static_cast<double>(d.to_master * sizeof(CcMirrorMsg));
+      to_mirror += static_cast<double>(d.to_mirror * sizeof(CcMirrorMsg));
+    }
+    obs::timeline_annotate_run(tl, "mirror_to_master_bytes", to_master);
+    obs::timeline_annotate_run(tl, "master_to_mirror_bytes", to_mirror);
+  }
 
   engine::ComponentsResult result;
   result.label.assign(n, 0);

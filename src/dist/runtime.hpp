@@ -29,6 +29,7 @@
 #include "dist/channel.hpp"
 #include "exec/exec_config.hpp"
 #include "obs/metrics.hpp"
+#include "obs/timeline.hpp"
 #include "obs/trace.hpp"
 #include "util/check.hpp"
 #include "util/env.hpp"
@@ -158,17 +159,46 @@ class Runtime {
     std::atomic<bool> done{false};
     Timer iter_timer;
 
+    // Timeline side records, filled in the completion phase only when
+    // $BPART_TIMELINE is on (tl_run != 0): per-superstep gating machine
+    // (argmax compute — the straggler the barrier waited for) and the
+    // machines² per-channel byte matrix, harvested pre-flip. Committed
+    // after join, once the workers have back-filled wait_seconds.
+    const std::uint64_t tl_run = obs::timeline_begin_run(machines);
+    std::vector<std::uint32_t> tl_gating;
+    std::vector<std::vector<std::uint64_t>> tl_channel_bytes;
+    // Flow ids chain consecutive barrier completions in the Perfetto UI
+    // (they run on whichever thread arrived last). One id block per run.
+    static std::atomic<std::uint64_t> g_flow_seq{1};
+    const std::uint64_t flow_base =
+        obs::trace_enabled()
+            ? g_flow_seq.fetch_add(1, std::memory_order_relaxed) << 32
+            : 0;
+
     // Completion phase: flip the channel, turn the scratch measurements
     // into an IterationReport row, decide termination. wait_seconds stays 0
     // here — each thread fills in its measured barrier wait right after
     // release (safe: the row isn't touched again until every thread has
     // re-arrived).
     auto on_sync = [&]() noexcept {
+      // Per-channel traffic matrix must be harvested pre-flip, while this
+      // superstep's sends still sit in the write buffers.
+      if (tl_run != 0) {
+        std::vector<std::uint64_t> mat(static_cast<std::size_t>(machines) *
+                                       machines);
+        for (MachineId src = 0; src < machines; ++src)
+          for (MachineId dst = 0; dst < machines; ++dst)
+            mat[static_cast<std::size_t>(src) * machines + dst] =
+                channel.pending_count(src, dst) * sizeof(Msg);
+        tl_channel_bytes.push_back(std::move(mat));
+      }
       const std::uint64_t in_flight = channel.flip();
       obs::counter("dist.supersteps").add(1);
       if (in_flight != 0) obs::counter("dist.messages_delivered").add(in_flight);
       cluster::IterationReport it;
       it.machines.resize(machines);
+      MachineId gating = 0;
+      std::uint64_t bytes_sent = 0;
       for (MachineId m = 0; m < machines; ++m) {
         auto& row = it.machines[m];
         Scratch& sc = scratch[m];
@@ -179,7 +209,23 @@ class Runtime {
         row.bytes_received = sc.received * sizeof(Msg);
         row.compute_seconds = sc.compute;
         row.comm_seconds = sc.comm;
+        if (sc.compute > it.machines[gating].compute_seconds) gating = m;
+        bytes_sent += row.bytes_sent;
         sc = Scratch{};
+      }
+      if (tl_run != 0) tl_gating.push_back(gating);
+      if (obs::trace_enabled()) {
+        obs::trace_counter("timeline/bytes_superstep",
+                           static_cast<double>(bytes_sent));
+        obs::trace_counter("timeline/messages_in_flight",
+                           static_cast<double>(in_flight));
+        // Chain this completion to the previous one (same id closes the
+        // arrow opened last superstep).
+        if (result.supersteps > 0)
+          obs::trace_flow("timeline/superstep_chain",
+                          flow_base + result.supersteps - 1, false);
+        obs::trace_flow("timeline/superstep_chain",
+                        flow_base + result.supersteps, true);
       }
       it.duration_seconds = iter_timer.seconds();
       iter_timer.reset();
@@ -249,6 +295,17 @@ class Runtime {
     threads.reserve(workers);
     for (unsigned t = 0; t < workers; ++t) threads.emplace_back(worker, t);
     for (auto& t : threads) t.join();
+    if (tl_run != 0) {
+      // Which worker thread drove which machine: the attribution pass
+      // reconciles charged time per *worker*, so threads < machines (CI
+      // runners) still sums to wall time.
+      std::vector<std::uint32_t> machine_worker(machines);
+      for (unsigned t = 0; t < workers; ++t)
+        for (MachineId m = range_begin(t); m < range_begin(t + 1); ++m)
+          machine_worker[m] = t;
+      obs::timeline_commit_run(tl_run, result.report, tl_gating,
+                               std::move(tl_channel_bytes), machine_worker);
+    }
     return result;
   }
 };

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "obs/metrics.hpp"
+#include "obs/timeline.hpp"
 #include "obs/trace.hpp"
 #include "util/check.hpp"
 #include "util/env.hpp"
@@ -99,6 +100,13 @@ UpdateStats PartitionService::apply(std::span<const graph::Edge> batch) {
   obs::counter("dyn.updates").add(1);
   obs::counter("dyn.edges_applied").add(stats.edges);
   obs::latency("dyn.update_visibility").record_seconds(stats.seconds);
+  obs::timeline_event("dyn/apply", stats.seconds,
+                      {{"edges", static_cast<double>(stats.edges)},
+                       {"new_vertices", static_cast<double>(stats.new_vertices)},
+                       {"epoch", static_cast<double>(stats.epoch)},
+                       {"compacted", stats.compacted ? 1.0 : 0.0}});
+  obs::trace_counter("timeline/dyn_queue_depth",
+                     static_cast<double>(dirty_.size()));
   return stats;
 }
 
@@ -139,6 +147,12 @@ MaintenanceStats PartitionService::maintain() {
   obs::counter("dyn.maintenance_passes").add(1);
   obs::counter("dyn.migrations").add(stats.migrated);
   obs::latency("dyn.maintenance").record_seconds(stats.seconds);
+  obs::timeline_event("dyn/maintain", stats.seconds,
+                      {{"candidates", static_cast<double>(stats.candidates)},
+                       {"migrated", static_cast<double>(stats.migrated)},
+                       {"epoch", static_cast<double>(stats.epoch)},
+                       {"compacted", stats.compacted ? 1.0 : 0.0}});
+  obs::trace_counter("timeline/dyn_queue_depth", 0.0);
   return stats;
 }
 

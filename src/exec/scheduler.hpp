@@ -33,9 +33,11 @@
 
 #include "graph/types.hpp"
 #include "obs/metrics.hpp"
+#include "obs/timeline.hpp"
 #include "obs/trace.hpp"
 #include "util/check.hpp"
 #include "util/thread_pool.hpp"
+#include "util/timer.hpp"
 
 namespace bpart::exec {
 
@@ -122,13 +124,24 @@ class Executor {
         std::min<std::size_t>(threads_, nchunks));
     BPART_SPAN("exec/run", "chunks", static_cast<double>(nchunks), "threads",
                static_cast<double>(workers));
+    // Timeline probes are per-worker and local (nothing shared on the
+    // chunk path); resolved once so the off path stays one branch.
+    const bool timeline = obs::timeline_enabled();
     if (workers <= 1) {
+      TimelineProbe probe(0);
       for (std::size_t c = 0; c < nchunks; ++c) {
         const auto [lo, hi] = plan.chunk(c);
-        fn(0u, static_cast<std::uint32_t>(c), lo, hi);
+        if (timeline) {
+          Timer t;
+          fn(0u, static_cast<std::uint32_t>(c), lo, hi);
+          probe.chunk(t.seconds());
+        } else {
+          fn(0u, static_cast<std::uint32_t>(c), lo, hi);
+        }
       }
       stats.chunks = nchunks;
       obs::counter("exec.chunks").add(nchunks);
+      if (timeline) probe.publish(0, 0);
       return stats;
     }
 
@@ -158,19 +171,37 @@ class Executor {
     auto worker_loop = [&](unsigned w) {
       BPART_SPAN("exec/worker", "worker", static_cast<double>(w));
       std::uint64_t my_steals = 0;
+      TimelineProbe probe(w);
+      auto run_chunk = [&](std::uint32_t c) {
+        const auto [lo, hi] = plan.chunk(c);
+        if (timeline) {
+          Timer t;
+          fn(w, c, lo, hi);
+          probe.chunk(t.seconds());
+        } else {
+          fn(w, c, lo, hi);
+        }
+      };
+      auto finish = [&] {
+        if (my_steals != 0)
+          steals.fetch_add(my_steals, std::memory_order_relaxed);
+        if (timeline) probe.publish(w, my_steals);
+      };
       try {
         for (;;) {
           if (cancelled.load(std::memory_order_relaxed)) break;
           const std::uint32_t c =
               cursor[w].next.fetch_add(1, std::memory_order_relaxed);
           if (c >= cursor[w].end) break;
-          const auto [lo, hi] = plan.chunk(c);
-          fn(w, c, lo, hi);
+          run_chunk(c);
         }
         for (unsigned off = 1; off < workers; ++off) {
           const unsigned victim = (w + off) % workers;
           for (;;) {
-            if (cancelled.load(std::memory_order_relaxed)) return;
+            if (cancelled.load(std::memory_order_relaxed)) {
+              finish();
+              return;
+            }
             if (cursor[victim].next.load(std::memory_order_relaxed) >=
                 cursor[victim].end)
               break;
@@ -178,8 +209,7 @@ class Executor {
                 cursor[victim].next.fetch_add(1, std::memory_order_relaxed);
             if (c >= cursor[victim].end) break;
             ++my_steals;
-            const auto [lo, hi] = plan.chunk(c);
-            fn(w, c, lo, hi);
+            run_chunk(c);
           }
         }
       } catch (...) {
@@ -187,8 +217,7 @@ class Executor {
         std::lock_guard<std::mutex> lock(error_mutex);
         if (!first_error) first_error = std::current_exception();
       }
-      if (my_steals != 0)
-        steals.fetch_add(my_steals, std::memory_order_relaxed);
+      finish();
     };
 
     std::vector<std::future<void>> pending;
@@ -208,6 +237,44 @@ class Executor {
   }
 
  private:
+  /// Per-worker timeline accumulator: chunk count, busy seconds and a
+  /// bounded reservoir of chunk durations, all thread-local to the worker
+  /// (nothing shared on the chunk path). publish() hands the batch to the
+  /// timeline recorder in one call. Instances are cheap to construct, so
+  /// workers carry one unconditionally and only feed it when the timeline
+  /// is on.
+  struct TimelineProbe {
+    static constexpr std::size_t kReservoir = 32;
+
+    explicit TimelineProbe(unsigned worker)
+        : rng(worker * 0x9E3779B97F4A7C15ULL + 1) {}
+
+    void chunk(double seconds) {
+      ++chunks;
+      busy += seconds;
+      if (samples.size() < kReservoir) {
+        samples.push_back(seconds);
+        return;
+      }
+      // Algorithm R with an xorshift64* draw: keep each chunk with
+      // probability kReservoir / chunks, deterministically per worker.
+      rng ^= rng >> 12;
+      rng ^= rng << 25;
+      rng ^= rng >> 27;
+      const std::uint64_t slot = (rng * 0x2545F4914F6CDD1DULL) % chunks;
+      if (slot < kReservoir) samples[slot] = seconds;
+    }
+
+    void publish(unsigned worker, std::uint64_t steals) const {
+      obs::timeline_record_exec(worker, chunks, steals, busy, samples);
+    }
+
+    std::uint64_t chunks = 0;
+    double busy = 0;
+    std::uint64_t rng;
+    std::vector<double> samples;
+  };
+
   unsigned threads_;
   std::unique_ptr<ThreadPool> pool_;
 };

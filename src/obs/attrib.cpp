@@ -1,0 +1,127 @@
+#include "obs/attrib.hpp"
+
+#include <algorithm>
+#include <cstdarg>
+#include <cstdio>
+#include <map>
+
+namespace bpart::obs {
+
+namespace {
+
+struct WorkerAgg {
+  double compute = 0;
+  double comm = 0;
+  double wait = 0;
+};
+
+void append_row(std::string& out, const char* fmt, ...) {
+  char buf[256];
+  va_list ap;
+  va_start(ap, fmt);
+  std::vsnprintf(buf, sizeof(buf), fmt, ap);
+  va_end(ap);
+  out += buf;
+}
+
+}  // namespace
+
+RunAttribution attribute_run(const TimelineRun& run) {
+  RunAttribution a;
+  a.run_id = run.id;
+  a.label = run.label;
+  a.machines = run.machines;
+  a.gate_counts.assign(run.machines, 0);
+  a.supersteps.reserve(run.supersteps.size());
+
+  for (const TimelineSuperstep& step : run.supersteps) {
+    SuperstepAttribution s;
+    s.index = step.index;
+    s.duration_seconds = step.duration_seconds;
+    s.gating_machine = step.gating_machine;
+    if (s.gating_machine < a.gate_counts.size())
+      ++a.gate_counts[s.gating_machine];
+
+    // Per-worker aggregation: machines driven by one thread serialize, so
+    // a worker's busy time is the sum over its machines.
+    std::map<std::uint32_t, WorkerAgg> workers;
+    double compute_sum = 0;
+    double compute_max = 0;
+    for (const TimelineMachineRow& m : step.machines) {
+      WorkerAgg& w = workers[m.worker];
+      w.compute += m.compute_seconds;
+      w.comm += m.comm_seconds;
+      // wait_seconds is recorded per machine but measured once per worker
+      // (the thread waits once at the barrier); take the max, not the sum.
+      w.wait = std::max(w.wait, m.wait_seconds);
+      compute_sum += m.compute_seconds;
+      compute_max = std::max(compute_max, m.compute_seconds);
+      s.bytes += m.bytes_sent;
+    }
+    if (!step.machines.empty() && compute_sum > 0) {
+      const double mean =
+          compute_sum / static_cast<double>(step.machines.size());
+      s.compute_ratio = mean > 0 ? compute_max / mean : 1.0;
+    }
+
+    // Gating worker: argmax busy. Its busy + wait telescopes to the
+    // barrier-to-barrier wall time.
+    double gating_busy = -1;
+    for (const auto& [wid, w] : workers) {
+      if (w.compute + w.comm > gating_busy) {
+        gating_busy = w.compute + w.comm;
+        s.gating_worker = wid;
+        s.charged_compute = w.compute;
+        s.charged_comm = w.comm;
+        s.charged_wait = w.wait;
+      }
+    }
+    for (const auto& [wid, w] : workers) {
+      if (wid == s.gating_worker) continue;
+      const double gap = gating_busy - (w.compute + w.comm);
+      const double explained = std::min(std::max(gap, 0.0), w.wait);
+      s.skew_wait += explained;
+      s.residual_wait += w.wait - explained;
+    }
+
+    a.total_seconds += s.duration_seconds;
+    a.charged_compute += s.charged_compute;
+    a.charged_comm += s.charged_comm;
+    a.charged_wait += s.charged_wait;
+    a.skew_wait += s.skew_wait;
+    a.residual_wait += s.residual_wait;
+    a.total_bytes += s.bytes;
+    a.supersteps.push_back(s);
+  }
+  return a;
+}
+
+std::string attribution_table(const RunAttribution& a) {
+  std::string out;
+  append_row(out, "run %llu  %s  (%u machines, %zu supersteps)\n",
+             static_cast<unsigned long long>(a.run_id), a.label.c_str(),
+             a.machines, a.supersteps.size());
+  append_row(out,
+             "  wall %.4fs = compute %.4fs + comm %.4fs + wait %.4fs "
+             "(coverage %.1f%%); skew-wait %.4fs, residual %.4fs\n",
+             a.total_seconds, a.charged_compute, a.charged_comm,
+             a.charged_wait, a.charged_coverage() * 100.0, a.skew_wait,
+             a.residual_wait);
+  append_row(out, "  %-5s %-9s %-6s %-9s %-9s %-9s %-9s %-6s\n", "step",
+             "wall_s", "gate", "compute", "comm", "wait", "skew_w", "ratio");
+  for (const SuperstepAttribution& s : a.supersteps) {
+    append_row(out, "  %-5u %-9.4f m%-5u %-9.4f %-9.4f %-9.4f %-9.4f %-6.2f\n",
+               s.index, s.duration_seconds, s.gating_machine,
+               s.charged_compute, s.charged_comm, s.charged_wait, s.skew_wait,
+               s.compute_ratio);
+  }
+  append_row(out, "  gating machines (who gated how often):\n");
+  for (std::size_t m = 0; m < a.gate_counts.size(); ++m) {
+    if (a.gate_counts[m] == 0) continue;
+    append_row(out, "    m%-4zu gated %u/%zu supersteps\n", m,
+               a.gate_counts[m], a.supersteps.size());
+  }
+  return out;
+}
+
+}  // namespace bpart::obs

@@ -1,0 +1,90 @@
+// Critical-path attribution over recorded timeline runs.
+//
+// The paper's cost model says a BSP superstep costs what its slowest
+// machine costs: everyone else burns the difference as barrier wait. This
+// pass makes that explicit for a recorded run. For each superstep it
+// groups machine rows by the worker thread that drove them (machines
+// sharing a worker serialize, so per-worker sums — not per-machine sums —
+// are what bound wall time), finds the gating worker (argmax busy =
+// compute + comm), and decomposes the superstep's wall time into
+//
+//   charged_compute + charged_comm   — the gating worker's busy time,
+//   charged_wait                     — the gating worker's own barrier
+//                                      wait (scheduling/completion cost),
+//
+// which together reconcile against duration_seconds. The wait burned by
+// the *other* workers is split into skew_wait — the part explained by the
+// busy-time gap to the gating worker, i.e. the paper's workload-imbalance
+// term — and residual_wait (scheduling noise, completion-phase cost).
+// Per-machine gate counts ("who gated how often") and the max/mean
+// compute ratio ("why": skew severity) round out the straggler story.
+//
+// scripts/bpart_prof.py implements the same decomposition offline on the
+// exported bpart-timeline/v1 artifact; this header is the in-process
+// flavor used by tests and tools that already hold a TimelineRun.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/timeline.hpp"
+
+namespace bpart::obs {
+
+struct SuperstepAttribution {
+  std::uint32_t index = 0;
+  double duration_seconds = 0;
+  /// argmax-compute machine as identified by the runtime's barrier
+  /// completion phase (== TimelineSuperstep::gating_machine).
+  std::uint32_t gating_machine = 0;
+  /// Worker whose busy time bounds the superstep (argmax Σ compute+comm).
+  std::uint32_t gating_worker = 0;
+  double charged_compute = 0;  ///< Gating worker's compute seconds.
+  double charged_comm = 0;     ///< Gating worker's comm seconds.
+  double charged_wait = 0;     ///< Gating worker's own barrier wait.
+  /// Wait burned by non-gating workers that the busy-time gap to the
+  /// gating worker explains (the paper's imbalance term).
+  double skew_wait = 0;
+  /// Non-gating wait beyond the skew explanation (scheduling noise).
+  double residual_wait = 0;
+  /// max/mean machine compute ratio (1.0 = perfectly balanced); the
+  /// "why" behind a gate: ratios near 1 mean the superstep was
+  /// comm/latency-bound, large ratios mean workload skew.
+  double compute_ratio = 1;
+  std::uint64_t bytes = 0;  ///< Total bytes sent this superstep.
+};
+
+struct RunAttribution {
+  std::uint64_t run_id = 0;
+  std::string label;
+  std::uint32_t machines = 0;
+  std::vector<SuperstepAttribution> supersteps;
+  /// gate_counts[m] = supersteps in which machine m was the gating machine.
+  std::vector<std::uint32_t> gate_counts;
+  // Run-level sums of the per-superstep fields.
+  double total_seconds = 0;
+  double charged_compute = 0;
+  double charged_comm = 0;
+  double charged_wait = 0;
+  double skew_wait = 0;
+  double residual_wait = 0;
+  std::uint64_t total_bytes = 0;
+
+  /// Charged time (gating busy + gating wait) as a fraction of measured
+  /// wall time; 1.0 = perfect reconciliation. The acceptance gate checks
+  /// |1 - coverage| <= 0.05 on bench-sized runs.
+  [[nodiscard]] double charged_coverage() const {
+    const double charged = charged_compute + charged_comm + charged_wait;
+    return total_seconds > 0 ? charged / total_seconds : 1.0;
+  }
+};
+
+/// Attribute one recorded run.
+RunAttribution attribute_run(const TimelineRun& run);
+
+/// Human-readable straggler summary: per-superstep decomposition rows plus
+/// a "who gated how often and why" table over machines.
+std::string attribution_table(const RunAttribution& a);
+
+}  // namespace bpart::obs

@@ -1,12 +1,48 @@
 #include "obs/bench_report.hpp"
 
 #include <chrono>
+#include <cstdlib>
 #include <fstream>
 
+#include <unistd.h>
+
 #include "obs/report.hpp"
+#include "util/env.hpp"
 #include "util/logging.hpp"
 
 namespace bpart::obs {
+
+namespace {
+
+/// Provenance block (the v1 -> v1.1 addition): enough environment to
+/// re-run the measurement. Emitted at serialization time so it reflects
+/// the knobs the benches actually saw.
+void write_meta(json::Writer& w) {
+  w.key("meta").begin_object();
+  w.kv("thread_count", static_cast<std::uint64_t>(thread_count()));
+  w.kv("dataset_scale", dataset_scale());
+  w.kv("seed", global_seed());
+#ifdef NDEBUG
+  w.kv("build_type", "release");
+#else
+  w.kv("build_type", "debug");
+#endif
+  w.kv("pid", static_cast<std::int64_t>(::getpid()));
+  w.key("env").begin_object();
+  static constexpr const char* kKnobs[] = {
+      "BPART_THREADS",     "BPART_SCALE",      "BPART_SEED",
+      "BPART_EXEC_THREADS", "BPART_EXEC_CHUNK", "BPART_DYN_BUDGET",
+      "BPART_DYN_BATCH",   "BPART_VCUT_BATCH", "BPART_STREAM_BATCH",
+      "BPART_TRACE",       "BPART_METRICS",    "BPART_TIMELINE",
+  };
+  for (const char* knob : kKnobs) {
+    if (const char* v = std::getenv(knob); v != nullptr) w.kv(knob, v);
+  }
+  w.end_object();
+  w.end_object();
+}
+
+}  // namespace
 
 void BenchReport::add_run(std::string label, cluster::RunReport report) {
   runs_.emplace_back(std::move(label), std::move(report));
@@ -61,6 +97,7 @@ std::string BenchReport::to_json() const {
            std::chrono::duration_cast<std::chrono::seconds>(
                std::chrono::system_clock::now().time_since_epoch())
                .count()));
+  write_meta(w);
 
   w.key("info").begin_object();
   for (const auto& [key, value] : info_) {

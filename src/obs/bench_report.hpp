@@ -4,9 +4,12 @@
 //
 // Schema (validated by scripts/validate_obs.py and tests/obs):
 //   {
-//     "schema": "bpart-bench-report/v1",
+//     "schema": "bpart-bench-report/v1.1",
 //     "name": "dist_runtime",
 //     "created_unix": 1754550000,
+//     "meta": {"thread_count": 8, "dataset_scale": 1.0, "seed": 17,
+//              "build_type": "release", "pid": 1234,
+//              "env": {"BPART_THREADS": "8", ...}},
 //     "info": {"title": "...", "dataset_scale": 1.0, ...},
 //     "table": {"headers": [...], "rows": [[cell, ...], ...]},
 //     "runs": [{"label": "bpart/pagerank/measured", "report": {RunReport}}],
@@ -15,7 +18,10 @@
 //     "metrics": {MetricsSnapshot}
 //   }
 // runs/quality/pipeline are present only when attached; metrics snapshots
-// whatever the process has recorded at write time.
+// whatever the process has recorded at write time. The meta block is
+// auto-emitted provenance (the v1 -> v1.1 schema bump): effective thread
+// count / scale / seed, the build type, and every BPART_* knob that was
+// actually set in the environment — enough to re-run the measurement.
 #pragma once
 
 #include <optional>
@@ -33,7 +39,7 @@ namespace bpart::obs {
 
 class BenchReport {
  public:
-  static constexpr const char* kSchema = "bpart-bench-report/v1";
+  static constexpr const char* kSchema = "bpart-bench-report/v1.1";
 
   /// Report name; the file is written as BENCH_<name>.json.
   void set_name(std::string name) { name_ = std::move(name); }

@@ -8,6 +8,7 @@
 #include <mutex>
 
 #include "obs/report.hpp"
+#include "util/env.hpp"
 #include "util/logging.hpp"
 
 namespace bpart::obs {
@@ -57,9 +58,11 @@ void dump_metrics_at_exit() {
     std::fprintf(stderr, "%s\n", out.c_str());
     return;
   }
-  std::FILE* f = std::fopen(env, "wb");
+  const std::string path = expand_path_pattern(env);
+  std::FILE* f = std::fopen(path.c_str(), "wb");
   if (f == nullptr) {
-    std::fprintf(stderr, "[obs] cannot write BPART_METRICS file %s\n", env);
+    std::fprintf(stderr, "[obs] cannot write BPART_METRICS file %s\n",
+                 path.c_str());
     return;
   }
   std::fwrite(out.data(), 1, out.size(), f);

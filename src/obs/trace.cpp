@@ -11,6 +11,7 @@
 #include <unistd.h>
 
 #include "obs/json.hpp"
+#include "util/env.hpp"
 #include "util/logging.hpp"
 
 namespace bpart::obs {
@@ -33,10 +34,17 @@ std::uint64_t now_ns() noexcept {
           .count());
 }
 
+/// One ring entry: a complete span ("X"), a counter sample ("C") or one
+/// end of a flow arrow ("s"/"f").
+enum class EventKind : std::uint8_t { kSpan, kCounter, kFlowStart, kFlowEnd };
+
 struct Event {
   const char* name = nullptr;
   std::uint64_t t0_ns = 0;
-  std::uint64_t dur_ns = 0;
+  std::uint64_t dur_ns = 0;   // spans only
+  std::uint64_t flow_id = 0;  // flow events only
+  double value = 0;           // counter events only
+  EventKind kind = EventKind::kSpan;
   std::uint32_t depth = 0;
   std::uint32_t nargs = 0;
   struct {
@@ -87,11 +95,26 @@ ThreadBuf& thread_buf() {
 
 void write_trace_at_exit() { trace_flush(); }
 
+/// Append an event to the calling thread's ring (flight-recorder
+/// overwrite when full). Shared by span close, counters and flows.
+void push_event(const Event& e) {
+  ThreadBuf& buf = thread_buf();
+  std::lock_guard<std::mutex> lock(buf.mu);
+  if (buf.ring.size() < kRingCapacity) {
+    buf.ring.push_back(e);
+  } else {
+    buf.ring[buf.head] = e;
+    buf.head = (buf.head + 1) % kRingCapacity;
+    buf.full = true;
+    ++buf.overwritten;
+  }
+}
+
 void enable(const std::string& path) {
   TraceState& st = state();
   {
     std::lock_guard<std::mutex> lock(st.mu);
-    st.path = path;
+    st.path = expand_path_pattern(path);
     if (st.epoch_ns == 0) st.epoch_ns = now_ns();
     if (!st.atexit_registered) {
       std::atexit(write_trace_at_exit);
@@ -138,17 +161,37 @@ std::string export_json() {
               : std::string_view("misc");
       w.begin_object()
           .kv("name", e.name)
-          .kv("cat", cat)
-          .kv("ph", "X")
-          .kv("ts", static_cast<double>(e.t0_ns - st.epoch_ns) / 1e3)
-          .kv("dur", static_cast<double>(e.dur_ns) / 1e3)
-          .kv("pid", pid)
-          .kv("tid", static_cast<std::uint64_t>(buf->tid));
-      w.key("args").begin_object();
-      w.kv("depth", static_cast<std::uint64_t>(e.depth));
-      for (std::uint32_t a = 0; a < e.nargs; ++a)
-        w.kv(e.args[a].key, e.args[a].value);
-      w.end_object();
+          .kv("cat", cat);
+      switch (e.kind) {
+        case EventKind::kSpan:
+          w.kv("ph", "X")
+              .kv("ts", static_cast<double>(e.t0_ns - st.epoch_ns) / 1e3)
+              .kv("dur", static_cast<double>(e.dur_ns) / 1e3)
+              .kv("pid", pid)
+              .kv("tid", static_cast<std::uint64_t>(buf->tid));
+          w.key("args").begin_object();
+          w.kv("depth", static_cast<std::uint64_t>(e.depth));
+          for (std::uint32_t a = 0; a < e.nargs; ++a)
+            w.kv(e.args[a].key, e.args[a].value);
+          w.end_object();
+          break;
+        case EventKind::kCounter:
+          w.kv("ph", "C")
+              .kv("ts", static_cast<double>(e.t0_ns - st.epoch_ns) / 1e3)
+              .kv("pid", pid)
+              .kv("tid", static_cast<std::uint64_t>(buf->tid));
+          w.key("args").begin_object().kv("value", e.value).end_object();
+          break;
+        case EventKind::kFlowStart:
+        case EventKind::kFlowEnd:
+          w.kv("ph", e.kind == EventKind::kFlowStart ? "s" : "f")
+              .kv("id", e.flow_id)
+              .kv("ts", static_cast<double>(e.t0_ns - st.epoch_ns) / 1e3)
+              .kv("pid", pid)
+              .kv("tid", static_cast<std::uint64_t>(buf->tid));
+          if (e.kind == EventKind::kFlowEnd) w.kv("bp", "e");
+          break;
+      }
       w.end_object();
     }
   }
@@ -257,15 +300,27 @@ void Span::close() noexcept {
     e.args[a].key = args_[a].key;
     e.args[a].value = args_[a].value;
   }
-  std::lock_guard<std::mutex> lock(buf.mu);
-  if (buf.ring.size() < kRingCapacity) {
-    buf.ring.push_back(e);
-  } else {
-    buf.ring[buf.head] = e;
-    buf.head = (buf.head + 1) % kRingCapacity;
-    buf.full = true;
-    ++buf.overwritten;
-  }
+  push_event(e);
+}
+
+void trace_counter(const char* name, double value) noexcept {
+  if (!trace_enabled()) return;
+  Event e;
+  e.kind = EventKind::kCounter;
+  e.name = name;
+  e.t0_ns = now_ns();
+  e.value = value;
+  push_event(e);
+}
+
+void trace_flow(const char* name, std::uint64_t id, bool start) noexcept {
+  if (!trace_enabled()) return;
+  Event e;
+  e.kind = start ? EventKind::kFlowStart : EventKind::kFlowEnd;
+  e.name = name;
+  e.t0_ns = now_ns();
+  e.flow_id = id;
+  push_event(e);
 }
 
 }  // namespace bpart::obs

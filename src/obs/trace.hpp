@@ -59,6 +59,19 @@ std::string trace_stop();
 /// recorded in the exported file's otherData).
 std::uint64_t trace_dropped_events();
 
+/// Record a counter sample: exported as a Chrome "C" event, which Perfetto
+/// renders as a counter track (e.g. frontier size, bytes per superstep,
+/// queue depth over time). `name` must be a string literal; the category is
+/// derived from the segment before the first '/' like spans. No-op (one
+/// relaxed load + branch) when tracing is off.
+void trace_counter(const char* name, double value) noexcept;
+
+/// Record one end of a flow arrow (Chrome "s" / "f" events): flows with the
+/// same name and id are connected across threads in the Perfetto UI — the
+/// dist runtime chains barrier completions with them so superstep handoffs
+/// are visually traceable. No-op when tracing is off.
+void trace_flow(const char* name, std::uint64_t id, bool start) noexcept;
+
 class Span {
  public:
   static constexpr std::size_t kMaxArgs = 4;

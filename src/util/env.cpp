@@ -4,9 +4,33 @@
 #include <string>
 #include <thread>
 
+#include <unistd.h>
+
 #include "util/logging.hpp"
 
 namespace bpart {
+
+std::string expand_path_pattern(std::string_view path) {
+  std::string out;
+  out.reserve(path.size());
+  for (std::size_t i = 0; i < path.size(); ++i) {
+    if (path[i] != '%' || i + 1 >= path.size()) {
+      out.push_back(path[i]);
+      continue;
+    }
+    const char next = path[i + 1];
+    if (next == 'p') {
+      out += std::to_string(static_cast<long>(::getpid()));
+      ++i;
+    } else if (next == '%') {
+      out.push_back('%');
+      ++i;
+    } else {
+      out.push_back('%');  // unknown escape passes through verbatim
+    }
+  }
+  return out;
+}
 
 double dataset_scale() {
   static const double scale = [] {

@@ -2,8 +2,15 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 
 namespace bpart {
+
+/// Expand dump-path patterns: every "%p" in `path` becomes the PID and
+/// "%%" an escaped literal '%'. Applied to $BPART_TRACE / $BPART_METRICS /
+/// $BPART_TIMELINE so parallel `ctest -j` and multi-process runs write
+/// per-process files instead of clobbering one another.
+std::string expand_path_pattern(std::string_view path);
 
 /// Global dataset scale multiplier, read once from $BPART_SCALE (default 1.0).
 /// Benches multiply synthetic dataset sizes by this so the same binaries can
