@@ -60,6 +60,22 @@ def main() -> None:
                str(GOLDEN / "compare_missing.json"), base), 1,
            "missing from fresh")
 
+    print("validate_obs.py identical (determinism gate):")
+    expect("report equals itself",
+           run("validate_obs.py", "identical", base, base), 0)
+    expect("timing-only drift is ignored",
+           run("validate_obs.py", "identical", base,
+               str(GOLDEN / "compare_time_regress.json")), 0)
+    expect("result-column drift fails",
+           run("validate_obs.py", "identical", base,
+               str(GOLDEN / "compare_quality_drift.json")), 1,
+           "edge_cut")
+    expect("three-way with one divergent report fails",
+           run("validate_obs.py", "identical", base,
+               str(GOLDEN / "compare_time_regress.json"),
+               str(GOLDEN / "compare_quality_drift.json")), 1,
+           "compare_quality_drift.json")
+
     print("validate_obs.py bench schema acceptance:")
     expect("v1 baseline validates", run("validate_obs.py", "bench", base), 0)
     expect("v1.1 fresh validates",

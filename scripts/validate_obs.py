@@ -7,10 +7,13 @@ Usage:
   validate_obs.py bench <BENCH_name.json>
   validate_obs.py compare <fresh.json> <baseline.json> \
       [--time-tol 0.20] [--quality-tol 0.10] [--time-floor 0.05]
+  validate_obs.py identical <a.json> <b.json> [<c.json> ...] \
+      [--ignore-cols seconds speedup steals]
 
-Exits non-zero with a message on the first schema violation (trace/bench) or
-after listing every regression (compare). Used by the CI observability-smoke
-and perf-gate jobs, and handy locally after running a bench with
+Exits non-zero with a message on the first schema violation (trace/bench),
+after listing every regression (compare), or after listing every differing
+cell (identical). Used by the CI observability-smoke, perf-gate and
+determinism jobs, and handy locally after running a bench with
 BPART_TRACE / BPART_OUT_DIR set.
 
 Traces may carry counter samples ("C") and flow arrows ("s"/"f") next to the
@@ -21,7 +24,8 @@ are accepted at schema v1 and v1.1 (v1.1 adds the mandatory provenance
 The compare rules are keyed off table headers and quality labels:
   * columns containing "seconds" regress when fresh > base*(1+time_tol),
     ignored while the baseline is under --time-floor (noise guard);
-  * columns containing "speedup" regress when fresh < base*(1-time_tol);
+  * columns containing "speedup" regress when fresh < base*(1-time_tol),
+    ignored while the baseline is under 1.0 (parallel-overhead noise guard);
   * quality columns (bias / cut / skew / wait) and the per-label quality
     section regress when fresh > base*(1+quality_tol) + 0.01.
 Rows are matched by their string-valued cells (e.g. algorithm + app); a row
@@ -207,7 +211,11 @@ def compare_reports(fresh_path: str, base_path: str, time_tol: float,
                     f"(+{(fresh_v / base_v - 1.0) * 100:.1f}% > "
                     f"{time_tol * 100:.0f}%)")
         elif kind == "speedup":
-            if base_v <= 0:
+            # Below 1.0 the baseline machine never demonstrated a speedup
+            # (parallel overhead regime, e.g. a 1-core runner); the exact
+            # sub-sequential ratio is scheduler noise, so don't gate it —
+            # the speedup analogue of the wall-time noise floor.
+            if base_v < 1.0:
                 return
             checked += 1
             if fresh_v < base_v * (1.0 - time_tol):
@@ -278,6 +286,66 @@ def compare_reports(fresh_path: str, base_path: str, time_tol: float,
           f"{checked} gated values within tolerance of {base_path}")
 
 
+def identical_reports(paths, ignore_cols) -> None:
+    """Exact table equality across N reports, minus the ignored columns.
+
+    The determinism CI job runs the same bench under different
+    BPART_EXEC_THREADS values and holds every result column bit-equal;
+    timing-ish columns (seconds, speedup, steals) are schedule-dependent by
+    nature and get ignored by name substring.
+    """
+    check(len(paths) >= 2, "identical needs at least two reports")
+    ignored = [c.lower() for c in ignore_cols]
+
+    def load(path):
+        with open(path, "rb") as f:
+            doc = json.load(f)
+        check(doc.get("schema") in BENCH_SCHEMAS,
+              f"{path}: schema {doc.get('schema')!r} not in {BENCH_SCHEMAS}")
+        return doc
+
+    ref = load(paths[0])
+    ref_headers = ref["table"]["headers"]
+    kept = [h for h in ref_headers
+            if not any(sub in h.lower() for sub in ignored)]
+    check(bool(kept), "every column ignored; nothing to hold equal")
+
+    def projected(doc, path):
+        headers = doc["table"]["headers"]
+        for h in kept:
+            check(h in headers, f"{path}: missing column {h!r}")
+        cols = [headers.index(h) for h in kept]
+        return [[row[c] for c in cols] for row in doc["table"]["rows"]]
+
+    ref_rows = projected(ref, paths[0])
+    diffs = []
+    for path in paths[1:]:
+        doc = load(path)
+        check(doc.get("name") == ref.get("name"),
+              f"report name mismatch: {doc.get('name')!r} vs "
+              f"{ref.get('name')!r}")
+        rows = projected(doc, path)
+        if len(rows) != len(ref_rows):
+            diffs.append(f"{path}: {len(rows)} rows vs {len(ref_rows)}")
+            continue
+        for i, (got, want) in enumerate(zip(rows, ref_rows)):
+            for h, got_v, want_v in zip(kept, got, want):
+                if got_v != want_v:
+                    diffs.append(
+                        f"{path}: row {i} col {h!r}: {got_v!r} != {want_v!r}")
+
+    if diffs:
+        print(f"validate_obs: IDENTICAL FAIL: {ref.get('name')!r}: "
+              f"{len(diffs)} differing cell(s) vs {paths[0]}:",
+              file=sys.stderr)
+        for d in diffs:
+            print(f"  - {d}", file=sys.stderr)
+        sys.exit(1)
+    print(f"validate_obs: IDENTICAL OK: {ref.get('name')!r}: "
+          f"{len(paths)} reports x {len(ref_rows)} rows bit-equal on "
+          f"columns {kept}")
+
+
 def main() -> None:
     ap = argparse.ArgumentParser(description=__doc__)
     sub = ap.add_subparsers(dest="kind", required=True)
@@ -297,12 +365,20 @@ def main() -> None:
                     help="relative quality regression tolerance")
     cp.add_argument("--time-floor", type=float, default=0.05,
                     help="skip wall-time gates when the baseline is faster")
+    ip = sub.add_parser("identical",
+                        help="hold N reports' result columns bit-equal")
+    ip.add_argument("paths", nargs="+")
+    ip.add_argument("--ignore-cols", nargs="*",
+                    default=["seconds", "speedup", "steals"],
+                    help="column-name substrings exempt from equality")
     args = ap.parse_args()
 
     if args.kind == "trace":
         validate_trace(args.path, args.require_cats)
     elif args.kind == "bench":
         validate_bench(args.path)
+    elif args.kind == "identical":
+        identical_reports(args.paths, args.ignore_cols)
     else:
         compare_reports(args.fresh, args.baseline, args.time_tol,
                         args.quality_tol, args.time_floor)

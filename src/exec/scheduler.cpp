@@ -32,4 +32,18 @@ ChunkScheduler ChunkScheduler::over_range(
   return plan;
 }
 
+ChunkScheduler ChunkScheduler::over_items(std::size_t count,
+                                          std::uint32_t items_per_chunk) {
+  BPART_CHECK(items_per_chunk > 0);
+  BPART_CHECK_MSG(count <= 0xffffffffULL, "item space exceeds 32-bit chunks");
+  ChunkScheduler plan;
+  if (count == 0) return plan;
+  plan.bounds_.push_back(0);
+  for (std::size_t next = items_per_chunk; next < count;
+       next += items_per_chunk)
+    plan.bounds_.push_back(static_cast<std::uint32_t>(next));
+  plan.bounds_.push_back(static_cast<std::uint32_t>(count));
+  return plan;
+}
+
 }  // namespace bpart::exec

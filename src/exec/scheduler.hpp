@@ -57,6 +57,15 @@ class ChunkScheduler {
       std::span<const graph::EdgeId> offsets, graph::VertexId lo,
       graph::VertexId hi, std::uint32_t chunk_edges);
 
+  /// Split the index range [0, count) into equal-size chunks of
+  /// items_per_chunk entries — the weight-free chunking mode for work whose
+  /// per-item cost carries no useful static estimate (e.g. walker batches,
+  /// where a walker's remaining steps are unknowable up front). Boundaries
+  /// depend only on (count, items_per_chunk), never on the worker count, so
+  /// per-chunk results merge in a fixed order like the edge-balanced modes.
+  [[nodiscard]] static ChunkScheduler over_items(std::size_t count,
+                                                 std::uint32_t items_per_chunk);
+
   /// Split the index range [0, count) of a sparse active list into chunks
   /// of ~chunk_edges accumulated degree; deg(i) is the cost of list entry
   /// i. Every entry costs at least 1 so empty-degree runs still terminate.

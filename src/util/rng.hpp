@@ -104,6 +104,72 @@ class Xoshiro256 {
   std::array<std::uint64_t, 4> state_{};
 };
 
+/// Counter-based RNG stream (SplitMix64 over a philox-style mixed key).
+///
+/// The whole stream is a pure function of (seed, stream, counter): the key
+/// is derived by chained SplitMix64 rounds and successive draws advance a
+/// private SplitMix64 state. Any (walker, step) stream can therefore be
+/// (re)created in O(1) at any point of a parallel schedule — results never
+/// depend on chunk boundaries, worker count, or which thread happens to
+/// run a batch. This is what makes the parallel walk engine bitwise
+/// deterministic (DESIGN.md §13); the shared-state Xoshiro256 streams stay
+/// in use where a single consumer owns the stream.
+class CounterRng {
+ public:
+  using result_type = std::uint64_t;
+
+  CounterRng(std::uint64_t seed, std::uint64_t stream,
+             std::uint64_t counter) noexcept {
+    // Three dependent mixing rounds: each component is diffused through
+    // the previous key so (seed, stream, counter) triples that differ in
+    // one word land in unrelated streams.
+    state_ = splitmix64(splitmix64(splitmix64(seed) ^ stream) ^ counter);
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() noexcept {
+    // Canonical SplitMix64: draw i is mix(key + i·γ) — a counter walk, not
+    // an iterated hash, so every stream has full 2^64 period.
+    state_ += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = state_;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform double in [0, 1). Same construction as Xoshiro256::uniform.
+  double uniform() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform integer in [0, bound) without modulo bias (Lemire's method —
+  /// identical arithmetic to Xoshiro256::bounded, so the two generators
+  /// consume draws the same way).
+  std::uint64_t bounded(std::uint64_t bound) noexcept {
+    BPART_DCHECK(bound > 0);
+    unsigned __int128 m = static_cast<unsigned __int128>((*this)()) * bound;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < bound) {
+      const std::uint64_t threshold = (0 - bound) % bound;
+      while (lo < threshold) {
+        m = static_cast<unsigned __int128>((*this)()) * bound;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Bernoulli trial with success probability p.
+  bool chance(double p) noexcept { return uniform() < p; }
+
+ private:
+  std::uint64_t state_;
+};
+
 /// Approximate Zipf(s) sampler over {0, .., n-1} via rejection-inversion
 /// (Hörmann & Derflinger). Used to synthesize power-law degree sequences.
 class ZipfSampler {

@@ -2,19 +2,44 @@
 
 #include <numeric>
 
+#include "exec/scheduler.hpp"
 #include "util/check.hpp"
 
 namespace bpart::walk {
 
-AliasTable::AliasTable(std::span<const double> weights) {
+double AliasTable::checked_total(std::span<const double> weights) {
   BPART_CHECK_MSG(!weights.empty(), "alias table needs at least one weight");
-  const std::size_t n = weights.size();
   double total = 0;
   for (double w : weights) {
     BPART_CHECK_MSG(w >= 0.0, "alias weights must be non-negative");
     total += w;
   }
   BPART_CHECK_MSG(total > 0.0, "alias weights must not all be zero");
+  return total;
+}
+
+void AliasTable::pair_buckets(std::vector<double>& scaled,
+                              std::vector<std::uint32_t>& small,
+                              std::vector<std::uint32_t>& large) {
+  while (!small.empty() && !large.empty()) {
+    const std::uint32_t s = small.back();
+    small.pop_back();
+    const std::uint32_t l = large.back();
+    prob_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] -= 1.0 - scaled[s];
+    if (scaled[l] < 1.0) {
+      large.pop_back();
+      small.push_back(l);
+    }
+  }
+  for (std::uint32_t i : large) prob_[i] = 1.0;
+  for (std::uint32_t i : small) prob_[i] = 1.0;  // numerical leftovers
+}
+
+AliasTable::AliasTable(std::span<const double> weights) {
+  const double total = checked_total(weights);
+  const std::size_t n = weights.size();
 
   weight_.resize(n);
   for (std::size_t i = 0; i < n; ++i) weight_[i] = weights[i] / total;
@@ -32,26 +57,43 @@ AliasTable::AliasTable(std::span<const double> weights) {
   for (std::size_t i = 0; i < n; ++i)
     (scaled[i] < 1.0 ? small : large).push_back(static_cast<std::uint32_t>(i));
 
-  while (!small.empty() && !large.empty()) {
-    const std::uint32_t s = small.back();
-    small.pop_back();
-    const std::uint32_t l = large.back();
-    prob_[s] = scaled[s];
-    alias_[s] = l;
-    scaled[l] -= 1.0 - scaled[s];
-    if (scaled[l] < 1.0) {
-      large.pop_back();
-      small.push_back(l);
-    }
-  }
-  for (std::uint32_t i : large) prob_[i] = 1.0;
-  for (std::uint32_t i : small) prob_[i] = 1.0;  // numerical leftovers
+  pair_buckets(scaled, small, large);
 }
 
-std::size_t AliasTable::sample(Xoshiro256& rng) const {
-  BPART_DCHECK(!prob_.empty());
-  const std::size_t bucket = rng.bounded(prob_.size());
-  return rng.uniform() < prob_[bucket] ? bucket : alias_[bucket];
+AliasTable::AliasTable(std::span<const double> weights, exec::Executor& ex,
+                       std::uint32_t items_per_chunk) {
+  const double total = checked_total(weights);
+  const std::size_t n = weights.size();
+
+  weight_.resize(n);
+  prob_.assign(n, 0.0);
+  alias_.assign(n, 0);
+  std::vector<double> scaled(n);
+
+  // Chunked classification: per-chunk stacks hold ascending indices, so
+  // concatenating them in chunk order reproduces the sequential
+  // index-order stacks exactly, whatever worker ran each chunk.
+  const auto plan = exec::ChunkScheduler::over_items(n, items_per_chunk);
+  std::vector<std::vector<std::uint32_t>> chunk_small(plan.num_chunks());
+  std::vector<std::vector<std::uint32_t>> chunk_large(plan.num_chunks());
+  ex.run(plan, [&](unsigned, std::uint32_t c, std::uint32_t lo,
+                   std::uint32_t hi) {
+    auto& sm = chunk_small[c];
+    auto& lg = chunk_large[c];
+    for (std::uint32_t i = lo; i < hi; ++i) {
+      weight_[i] = weights[i] / total;
+      scaled[i] = weight_[i] * static_cast<double>(n);
+      (scaled[i] < 1.0 ? sm : lg).push_back(i);
+    }
+  });
+
+  std::vector<std::uint32_t> small, large;
+  small.reserve(n);
+  large.reserve(n);
+  for (const auto& v : chunk_small) small.insert(small.end(), v.begin(), v.end());
+  for (const auto& v : chunk_large) large.insert(large.end(), v.begin(), v.end());
+
+  pair_buckets(scaled, small, large);
 }
 
 double AliasTable::probability(std::size_t i) const {

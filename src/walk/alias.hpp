@@ -3,14 +3,24 @@
 // KnightKing builds alias tables for static per-edge weights; here the
 // graphs are unweighted so neighbor draws are uniform, but the walk engine
 // still uses alias tables for degree-proportional start-vertex sampling,
-// and the structure is exposed as a library component.
+// and the structure is exposed as a library component. Construction can
+// run on the exec core: the classification pass (scale + small/large
+// split) is chunked with per-chunk stacks concatenated in chunk order —
+// which is index order, exactly the order the sequential pass produces —
+// so the parallel table is bit-identical to the sequential one at any
+// thread count and chunk size.
 #pragma once
 
 #include <cstdint>
 #include <span>
 #include <vector>
 
+#include "util/check.hpp"
 #include "util/rng.hpp"
+
+namespace bpart::exec {
+class Executor;
+}
 
 namespace bpart::walk {
 
@@ -21,16 +31,40 @@ class AliasTable {
   /// Builds from non-negative weights; at least one must be positive.
   explicit AliasTable(std::span<const double> weights);
 
+  /// Parallel construction on `ex`: the weight total and the Vose pairing
+  /// loop stay serial (both are order-sensitive), the scaled fill and
+  /// small/large classification fan out over chunks of `items_per_chunk`
+  /// weights. Bit-identical to the sequential constructor.
+  AliasTable(std::span<const double> weights, exec::Executor& ex,
+             std::uint32_t items_per_chunk = 4096);
+
   [[nodiscard]] std::size_t size() const { return prob_.size(); }
   [[nodiscard]] bool empty() const { return prob_.empty(); }
 
-  /// Draws an index with probability weight[i] / Σweights.
-  [[nodiscard]] std::size_t sample(Xoshiro256& rng) const;
+  /// Draws an index with probability weight[i] / Σweights. Any generator
+  /// exposing bounded()/uniform() with the shared Lemire/53-bit arithmetic
+  /// (Xoshiro256, CounterRng, StepRng) draws identically.
+  template <typename Rng>
+  [[nodiscard]] std::size_t sample(Rng& rng) const {
+    BPART_DCHECK(!prob_.empty());
+    const std::size_t bucket = rng.bounded(prob_.size());
+    return rng.uniform() < prob_[bucket] ? bucket : alias_[bucket];
+  }
 
   /// Exact sampling probability of index i (for tests).
   [[nodiscard]] double probability(std::size_t i) const;
 
  private:
+  /// Serial tail shared by both constructors: Vose's pairing over the
+  /// small/large stacks (consumed back-to-front, so equal stacks give
+  /// equal tables).
+  void pair_buckets(std::vector<double>& scaled,
+                    std::vector<std::uint32_t>& small,
+                    std::vector<std::uint32_t>& large);
+  /// Validates weights and returns their sum, accumulated in index order
+  /// (kept serial in both constructors so normalization is bitwise equal).
+  static double checked_total(std::span<const double> weights);
+
   std::vector<double> prob_;         // acceptance threshold per bucket
   std::vector<std::uint32_t> alias_; // fallback index per bucket
   std::vector<double> weight_;       // normalized weights (for probability())

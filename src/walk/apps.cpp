@@ -11,7 +11,7 @@ namespace {
 
 /// Uniform out-neighbor; invalid if the vertex is a dead end.
 graph::VertexId uniform_neighbor(const graph::Graph& g, graph::VertexId v,
-                                 Xoshiro256& rng) {
+                                 StepRng& rng) {
   const auto degree = g.out_degree(v);
   if (degree == 0) return graph::kInvalidVertex;
   return g.out_neighbor(v, rng.bounded(degree));
@@ -21,7 +21,7 @@ graph::VertexId uniform_neighbor(const graph::Graph& g, graph::VertexId v,
 
 StepDecision SimpleRandomWalk::step(const WalkerState& state,
                                     const graph::Graph& g,
-                                    Xoshiro256& rng) const {
+                                    StepRng& rng) const {
   if (state.steps_taken >= length_) return StepDecision::stop();
   const graph::VertexId next = uniform_neighbor(g, state.current, rng);
   if (next == graph::kInvalidVertex) return StepDecision::stop();
@@ -30,7 +30,7 @@ StepDecision SimpleRandomWalk::step(const WalkerState& state,
 
 StepDecision PersonalizedPageRank::step(const WalkerState& state,
                                         const graph::Graph& g,
-                                        Xoshiro256& rng) const {
+                                        StepRng& rng) const {
   (void)state;
   if (rng.chance(stop_prob_)) return StepDecision::stop();
   const graph::VertexId next = uniform_neighbor(g, state.current, rng);
@@ -40,7 +40,7 @@ StepDecision PersonalizedPageRank::step(const WalkerState& state,
 
 StepDecision RandomWalkWithJump::step(const WalkerState& state,
                                       const graph::Graph& g,
-                                      Xoshiro256& rng) const {
+                                      StepRng& rng) const {
   if (state.steps_taken >= length_) return StepDecision::stop();
   if (rng.chance(jump_prob_)) {
     return StepDecision::move_to(
@@ -53,7 +53,7 @@ StepDecision RandomWalkWithJump::step(const WalkerState& state,
 
 StepDecision RandomWalkWithDomination::step(const WalkerState& state,
                                             const graph::Graph& g,
-                                            Xoshiro256& rng) const {
+                                            StepRng& rng) const {
   if (state.steps_taken >= length_) return StepDecision::stop();
   const auto degree = g.out_degree(state.current);
   if (degree == 0) return StepDecision::stop();
@@ -69,7 +69,7 @@ StepDecision RandomWalkWithDomination::step(const WalkerState& state,
 }
 
 StepDecision DeepWalk::step(const WalkerState& state, const graph::Graph& g,
-                            Xoshiro256& rng) const {
+                            StepRng& rng) const {
   if (state.steps_taken >= length_) return StepDecision::stop();
   const graph::VertexId next = uniform_neighbor(g, state.current, rng);
   if (next == graph::kInvalidVertex) return StepDecision::stop();
@@ -83,7 +83,7 @@ Node2Vec::Node2Vec(double p, double q, unsigned length)
 }
 
 StepDecision Node2Vec::step(const WalkerState& state, const graph::Graph& g,
-                            Xoshiro256& rng) const {
+                            StepRng& rng) const {
   if (state.steps_taken >= length_) return StepDecision::stop();
   const auto degree = g.out_degree(state.current);
   if (degree == 0) return StepDecision::stop();

@@ -18,7 +18,7 @@ class SimpleRandomWalk final : public WalkApp {
   [[nodiscard]] std::string name() const override { return "simple-rw"; }
   [[nodiscard]] StepDecision step(const WalkerState& state,
                                   const graph::Graph& g,
-                                  Xoshiro256& rng) const override;
+                                  StepRng& rng) const override;
 
  private:
   unsigned length_;
@@ -34,7 +34,7 @@ class PersonalizedPageRank final : public WalkApp {
   [[nodiscard]] std::string name() const override { return "ppr"; }
   [[nodiscard]] StepDecision step(const WalkerState& state,
                                   const graph::Graph& g,
-                                  Xoshiro256& rng) const override;
+                                  StepRng& rng) const override;
 
  private:
   double stop_prob_;
@@ -50,7 +50,7 @@ class RandomWalkWithJump final : public WalkApp {
   [[nodiscard]] std::string name() const override { return "rwj"; }
   [[nodiscard]] StepDecision step(const WalkerState& state,
                                   const graph::Graph& g,
-                                  Xoshiro256& rng) const override;
+                                  StepRng& rng) const override;
 
  private:
   double jump_prob_;
@@ -67,7 +67,7 @@ class RandomWalkWithDomination final : public WalkApp {
   [[nodiscard]] std::string name() const override { return "rwd"; }
   [[nodiscard]] StepDecision step(const WalkerState& state,
                                   const graph::Graph& g,
-                                  Xoshiro256& rng) const override;
+                                  StepRng& rng) const override;
 
  private:
   unsigned length_;
@@ -81,7 +81,7 @@ class DeepWalk final : public WalkApp {
   [[nodiscard]] std::string name() const override { return "deepwalk"; }
   [[nodiscard]] StepDecision step(const WalkerState& state,
                                   const graph::Graph& g,
-                                  Xoshiro256& rng) const override;
+                                  StepRng& rng) const override;
 
  private:
   unsigned length_;
@@ -98,7 +98,7 @@ class Node2Vec final : public WalkApp {
   [[nodiscard]] std::string name() const override { return "node2vec"; }
   [[nodiscard]] StepDecision step(const WalkerState& state,
                                   const graph::Graph& g,
-                                  Xoshiro256& rng) const override;
+                                  StepRng& rng) const override;
 
  private:
   double p_;

@@ -1,7 +1,13 @@
 #include "walk/dist_walk.hpp"
 
+#include <algorithm>
+#include <memory>
+#include <span>
+#include <utility>
+
 #include "dist/dist_graph.hpp"
 #include "dist/runtime.hpp"
+#include "exec/scheduler.hpp"
 #include "util/check.hpp"
 #include "util/rng.hpp"
 
@@ -15,12 +21,74 @@ struct Walker {
   graph::VertexId at;  // global id in transit, local id while queued
 };
 
+/// One outgoing shipment: destination machine plus the walker in transit.
+struct Outgoing {
+  cluster::MachineId dst;
+  Walker w;
+};
+
 struct WalkMachine {
   std::vector<Walker> queue;  // walkers currently on this machine (local ids)
-  Xoshiro256 rng{0};
   std::uint64_t total_steps = 0;
   std::uint64_t message_walks = 0;
+  // Exec path only: per-machine executor plus per-chunk outgoing buffers
+  // and step tallies, merged in chunk order after each superstep's run.
+  std::unique_ptr<exec::Executor> ex;
+  std::vector<std::vector<Outgoing>> chunk_out;
+  std::vector<std::uint64_t> chunk_steps;
 };
+
+/// Maps (owned local vertex, global-order draw index) -> local neighbor
+/// slot. The subgraph CSR sorts each adjacency run by *local* id, which
+/// pushes every ghost neighbor behind the owned ones; the counter-stream
+/// contract needs draw index k to mean "k-th neighbor in global-id order",
+/// exactly as the single-machine engines index the global CSR. One rank
+/// entry per local edge restores that order.
+std::vector<graph::EdgeId> global_rank_table(const partition::Subgraph& sub) {
+  std::vector<graph::EdgeId> rank(sub.local.num_edges());
+  std::vector<std::pair<graph::VertexId, graph::EdgeId>> run;
+  for (graph::VertexId lid = 0; lid < sub.num_local; ++lid) {
+    const graph::EdgeId degree = sub.local.out_degree(lid);
+    run.clear();
+    for (graph::EdgeId k = 0; k < degree; ++k)
+      run.emplace_back(sub.global_id[sub.local.out_neighbor(lid, k)], k);
+    std::sort(run.begin(), run.end());
+    const graph::EdgeId base = sub.local.out_offsets()[lid];
+    for (graph::EdgeId k = 0; k < degree; ++k) rank[base + k] = run[k].second;
+  }
+  return rank;
+}
+
+/// Advances one queued walker greedily (counter streams keyed on
+/// (seed, walker id, step)), reporting crossings through `ship` and
+/// returning the steps taken. Identical draws whichever machine — or
+/// worker thread — runs it.
+template <typename ShipFn>
+std::uint64_t advance_walker(const Walker& w, const partition::Subgraph& sub,
+                             std::span<const graph::EdgeId> rank,
+                             const ThreadedWalkConfig& cfg,
+                             graph::VertexId num_local, ShipFn&& ship) {
+  std::uint32_t taken = w.steps;
+  graph::VertexId at = w.at;
+  std::uint64_t steps = 0;
+  while (taken < cfg.length) {
+    const auto degree = sub.local.out_degree(at);
+    if (degree == 0) break;
+    CounterRng rng(cfg.seed, w.id, taken);
+    const graph::VertexId next = sub.local.out_neighbor(
+        at, rank[sub.local.out_offsets()[at] + rng.bounded(degree)]);
+    ++taken;
+    ++steps;
+    if (next >= num_local) {
+      const graph::VertexId ghost = next - num_local;
+      ship(sub.ghost_owner[ghost],
+           Walker{w.id, taken, sub.global_id[num_local + ghost]});
+      break;
+    }
+    at = next;
+  }
+  return steps;
+}
 
 }  // namespace
 
@@ -33,18 +101,23 @@ DistWalkReport run_simple_walks_dist(const graph::Graph& g,
   const cluster::MachineId machines = parts.num_parts();
 
   const dist::DistGraph dg(g, parts);
+  std::vector<std::vector<graph::EdgeId>> rank(machines);
+  for (cluster::MachineId m = 0; m < machines; ++m)
+    rank[m] = global_rank_table(dg.subgraph(m));
   std::vector<WalkMachine> state(machines);
   for (unsigned r = 0; r < cfg.walks_per_vertex; ++r)
     for (graph::VertexId v = 0; v < n; ++v)
       state[parts[v]].queue.push_back(
           Walker{static_cast<std::uint64_t>(r) * n + v, 0, dg.owner_local(v)});
 
-  // One independent RNG stream per machine (jump() spacing).
-  Xoshiro256 master(cfg.seed);
-  for (cluster::MachineId m = 0; m < machines; ++m) {
-    state[m].rng = master;
-    master.jump();
-  }
+  const unsigned exec_threads = cfg.exec.resolved_threads();
+  // Walker batches are weight-free (see run_walks): 1/16th of the
+  // edge-chunk target, >= 1.
+  const std::uint32_t batch =
+      std::max<std::uint32_t>(1, cfg.exec.resolved_chunk_edges() / 16);
+  if (exec_threads > 0)
+    for (cluster::MachineId m = 0; m < machines; ++m)
+      state[m].ex = std::make_unique<exec::Executor>(exec_threads);
 
   dist::RuntimeConfig rcfg;
   rcfg.max_supersteps = cfg.max_supersteps;
@@ -55,30 +128,45 @@ DistWalkReport run_simple_walks_dist(const graph::Graph& g,
         const graph::VertexId num_local = sub.num_local;
 
         ctx.for_each_message([&](const Walker& w) {
-          me.queue.push_back(
-              Walker{w.id, w.steps, dg.owner_local(w.at)});
+          me.queue.push_back(Walker{w.id, w.steps, dg.owner_local(w.at)});
         });
 
         std::uint64_t steps = 0;
-        for (const Walker& w : me.queue) {
-          std::uint32_t taken = w.steps;
-          graph::VertexId at = w.at;
-          // Greedy local phase: advance until done, dead end, or crossing.
-          while (taken < cfg.length) {
-            const auto degree = sub.local.out_degree(at);
-            if (degree == 0) break;
-            const graph::VertexId next =
-                sub.local.out_neighbor(at, me.rng.bounded(degree));
-            ++taken;
-            ++steps;
-            if (next >= num_local) {
-              const graph::VertexId ghost = next - num_local;
-              ctx.send(sub.ghost_owner[ghost],
-                       Walker{w.id, taken, sub.global_id[num_local + ghost]});
+        if (me.ex == nullptr) {
+          for (const Walker& w : me.queue)
+            steps += advance_walker(
+                w, sub, rank[ctx.self()], cfg, num_local,
+                [&](cluster::MachineId dst, Walker out) {
+                  ctx.send(dst, out);
+                  ++me.message_walks;
+                });
+        } else {
+          // Chunk the queue and buffer shipments per chunk; flushing the
+          // buffers in chunk order reproduces the sequential drain's
+          // channel content order exactly (chunks are contiguous slices of
+          // the queue), whatever worker ran each chunk.
+          const auto plan =
+              exec::ChunkScheduler::over_items(me.queue.size(), batch);
+          me.chunk_out.assign(plan.num_chunks(), {});
+          me.chunk_steps.assign(plan.num_chunks(), 0);
+          me.ex->run(plan, [&](unsigned, std::uint32_t c, std::uint32_t lo,
+                               std::uint32_t hi) {
+            auto& out = me.chunk_out[c];
+            std::uint64_t local_steps = 0;
+            for (std::uint32_t i = lo; i < hi; ++i)
+              local_steps += advance_walker(
+                  me.queue[i], sub, rank[ctx.self()], cfg, num_local,
+                  [&](cluster::MachineId dst, Walker shipped) {
+                    out.push_back(Outgoing{dst, shipped});
+                  });
+            me.chunk_steps[c] = local_steps;
+          });
+          for (std::size_t c = 0; c < me.chunk_out.size(); ++c) {
+            steps += me.chunk_steps[c];
+            for (const Outgoing& o : me.chunk_out[c]) {
+              ctx.send(o.dst, o.w);
               ++me.message_walks;
-              break;
             }
-            at = next;
           }
         }
         me.queue.clear();

@@ -18,6 +18,7 @@ PprScores estimate_ppr(const graph::Graph& g,
   WalkConfig wcfg;
   wcfg.sources.assign(cfg.num_walks, source);
   wcfg.seed = cfg.seed;
+  wcfg.exec = cfg.exec;
   const WalkReport report =
       run_walks(g, parts, PersonalizedPageRank(cfg.stop_prob), wcfg);
 

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "cluster/bsp.hpp"
+#include "exec/exec_config.hpp"
 #include "graph/csr.hpp"
 #include "partition/partition.hpp"
 
@@ -18,6 +19,9 @@ struct PprConfig {
   double stop_prob = 0.15;          ///< 1 - damping.
   std::size_t top_k = 20;
   std::uint64_t seed = 1;
+  /// Passed through to WalkConfig::exec (see walk_engine.hpp): >= 1 thread
+  /// runs the walks on the exec core with keyed RNG streams.
+  exec::ExecConfig exec;
 };
 
 struct PprScores {

@@ -53,15 +53,6 @@ ThreadedWalkReport run_simple_walks_threaded(
       queue[parts[v]].push_back(pack(walker, 0, v));
     }
 
-  // One independent RNG stream per machine (jump() spacing).
-  std::vector<Xoshiro256> rng;
-  rng.reserve(machines);
-  Xoshiro256 master(cfg.seed);
-  for (cluster::MachineId m = 0; m < machines; ++m) {
-    rng.push_back(master);
-    master.jump();
-  }
-
   std::atomic<std::uint64_t> total_steps{0};
   std::atomic<std::uint64_t> message_walks{0};
 
@@ -81,8 +72,12 @@ ThreadedWalkReport run_simple_walks_threaded(
           while (taken < cfg.length) {
             const auto degree = g.out_degree(at);
             if (degree == 0) break;
+            // Counter stream keyed (seed, walker, step): the draw is the
+            // same whichever machine hosts the walker, so trajectories are
+            // machine-count independent and match the exec-core engines.
+            CounterRng rng(cfg.seed, walker, taken);
             const graph::VertexId next =
-                g.out_neighbor(at, rng[ctx.self()].bounded(degree));
+                g.out_neighbor(at, rng.bounded(degree));
             ++taken;
             ++steps;
             if (parts[next] != ctx.self()) {

@@ -8,14 +8,18 @@
 // current vertex (32 bits) — sufficient for fixed-length first-order walks,
 // which is exactly the workload of the paper's §2/§4.3 experiments.
 //
-// Exists to validate the accounting engine: on dead-end-free graphs the
-// step totals must match run_walks() exactly and the message-walk counts
-// statistically (trajectories differ: each machine draws from its own
-// stream).
+// Every step draws from the counter-based stream keyed on
+// (seed, walker, step) — the same streams the exec-core run_walks path and
+// the dist engine use — so a walker's trajectory is a pure function of the
+// seed: step totals, message-walk counts and per-walker paths are
+// identical across machine counts and identical to run_walks() under the
+// keyed mode (dead ends permitting). Exists to validate the accounting
+// engine against a genuinely concurrent execution.
 #pragma once
 
 #include <cstdint>
 
+#include "exec/exec_config.hpp"
 #include "graph/csr.hpp"
 #include "partition/partition.hpp"
 
@@ -26,6 +30,13 @@ struct ThreadedWalkConfig {
   unsigned walks_per_vertex = 1;
   std::uint64_t seed = 1;
   std::size_t max_supersteps = 100000;
+  /// Exec-core routing for run_simple_walks_dist: resolved_threads() >= 1
+  /// advances each machine's walker queue on a per-machine Executor over
+  /// over_items chunks, with outgoing walkers merged in chunk order before
+  /// the channel flush — bitwise identical to the sequential drain.
+  /// run_simple_walks_threaded ignores it (one thread per machine is the
+  /// point of that engine).
+  exec::ExecConfig exec;
 };
 
 struct ThreadedWalkReport {

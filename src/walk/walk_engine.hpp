@@ -6,6 +6,14 @@
 // paper's traffic metric (Fig. 5b). A machine's computing load is the
 // number of walking steps it executes (Fig. 4), so per-iteration balance
 // and waiting time (Figs. 12/13) fall straight out of the accounting.
+//
+// Walker stepping runs on the exec core when WalkConfig::exec (or
+// $BPART_EXEC_THREADS) says so: walker batches are chunked with the
+// weight-free over_items mode and every step draws from a counter-based
+// RNG stream keyed on (seed, walker, step), so results are bitwise
+// identical at any thread count and chunk size (DESIGN.md §13). Unset
+// keeps the legacy sequential path, bit-identical to the pre-parallel
+// engine (one shared Xoshiro256 stream consumed in walker order).
 #pragma once
 
 #include <cstdint>
@@ -14,11 +22,64 @@
 #include <vector>
 
 #include "cluster/bsp.hpp"
+#include "exec/exec_config.hpp"
 #include "graph/csr.hpp"
 #include "partition/partition.hpp"
 #include "util/rng.hpp"
 
 namespace bpart::walk {
+
+/// The RNG handed to a walk application for one step. One branch per draw
+/// selects between two modes behind a uniform surface:
+///  * shared mode wraps the engine's single Xoshiro256 stream — the legacy
+///    sequential path, bit-identical to the pre-parallel engine;
+///  * keyed mode owns a CounterRng stream derived from
+///    (seed, walker id, step index), so a step's draws are a pure function
+///    of the key — independent of scheduling, chunking and thread count.
+/// uniform/bounded/chance use the exact arithmetic of Xoshiro256's
+/// helpers, so shared mode consumes the underlying stream identically to
+/// the old direct calls.
+class StepRng {
+ public:
+  /// Shared (legacy) mode over the engine's sequential stream.
+  explicit StepRng(Xoshiro256& shared) noexcept
+      : shared_(&shared), keyed_(0, 0, 0) {}
+
+  /// Keyed (parallel) mode: an independent stream per (seed, walker, step).
+  StepRng(std::uint64_t seed, std::uint64_t walker, std::uint64_t step) noexcept
+      : shared_(nullptr), keyed_(seed, walker, step) {}
+
+  std::uint64_t next() noexcept {
+    return shared_ != nullptr ? (*shared_)() : keyed_();
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform integer in [0, bound) without modulo bias (Lemire's method).
+  std::uint64_t bounded(std::uint64_t bound) noexcept {
+    BPART_DCHECK(bound > 0);
+    unsigned __int128 m = static_cast<unsigned __int128>(next()) * bound;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < bound) {
+      const std::uint64_t threshold = (0 - bound) % bound;
+      while (lo < threshold) {
+        m = static_cast<unsigned __int128>(next()) * bound;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Bernoulli trial with success probability p.
+  bool chance(double p) noexcept { return uniform() < p; }
+
+ private:
+  Xoshiro256* shared_;  // non-null = shared mode
+  CounterRng keyed_;
+};
 
 /// Immutable view of one walker handed to the application policy.
 struct WalkerState {
@@ -46,7 +107,7 @@ class WalkApp {
   /// deterministic given (state, rng).
   [[nodiscard]] virtual StepDecision step(const WalkerState& state,
                                           const graph::Graph& g,
-                                          Xoshiro256& rng) const = 0;
+                                          StepRng& rng) const = 0;
 };
 
 struct WalkConfig {
@@ -70,6 +131,11 @@ struct WalkConfig {
   /// Record every walker's full path (memory: walkers × length). Off by
   /// default; the embeddings example turns it on.
   bool record_paths = false;
+  /// Exec-core routing: resolved_threads() >= 1 steps walkers in parallel
+  /// over chunked batches (chunk size = resolved_chunk_edges() walkers) on
+  /// keyed CounterRng streams; 0 (threads unset and $BPART_EXEC_THREADS
+  /// unset) keeps the legacy sequential path on the shared stream.
+  exec::ExecConfig exec;
 };
 
 struct WalkReport {

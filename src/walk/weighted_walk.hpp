@@ -24,6 +24,11 @@ struct WeightedWalkConfig {
   unsigned length = 8;
   std::uint64_t weight_seed = 7;
   std::uint32_t max_weight = 16;
+  /// Exec-core routing for alias construction: resolved_threads() >= 1
+  /// builds the per-vertex tables in parallel over edge-balanced vertex
+  /// chunks (each table depends only on its own vertex, so the result is
+  /// identical at any thread count); 0 keeps the sequential build.
+  exec::ExecConfig exec;
 };
 
 class WeightedRandomWalk final : public WalkApp {
@@ -36,7 +41,7 @@ class WeightedRandomWalk final : public WalkApp {
   [[nodiscard]] std::string name() const override { return "weighted-rw"; }
   [[nodiscard]] StepDecision step(const WalkerState& state,
                                   const graph::Graph& g,
-                                  Xoshiro256& rng) const override;
+                                  StepRng& rng) const override;
 
   /// Exact transition probability v -> its k-th out-neighbor (for tests).
   [[nodiscard]] double transition_probability(graph::VertexId v,

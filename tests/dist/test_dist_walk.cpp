@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "graph/csr.hpp"
+#include "graph/generators.hpp"
 #include "partition/registry.hpp"
 
 namespace bpart::walk {
@@ -57,9 +58,10 @@ TEST(DistWalk, SinglePartitionNeverShips) {
   EXPECT_EQ(r.supersteps, 1u);  // all walks complete in the first superstep
 }
 
-TEST(DistWalk, MatchesThreadedStepTotals) {
-  // Same workload as run_simple_walks_threaded: step totals must agree
-  // exactly on a dead-end-free graph (trajectories differ by RNG stream).
+TEST(DistWalk, MatchesThreadedEngineExactly) {
+  // Both engines draw from the counter streams keyed (seed, walker, step),
+  // so trajectories — not just totals — are identical: step AND
+  // message-walk counts must agree exactly.
   const graph::Graph g = cycle_graph(512);
   const partition::Partition parts =
       partition::create("chunk-v")->partition(g, 4);
@@ -70,6 +72,32 @@ TEST(DistWalk, MatchesThreadedStepTotals) {
   const ThreadedWalkReport threaded =
       run_simple_walks_threaded(g, parts, cfg);
   EXPECT_EQ(dist.total_steps, threaded.total_steps);
+  EXPECT_EQ(dist.message_walks, threaded.message_walks);
+}
+
+TEST(DistWalk, ExecPathMatchesSequentialDrain) {
+  // A branching graph so every step actually draws. Counter streams plus
+  // chunk-order channel flushes make the exec path reproduce the
+  // sequential drain exactly at every thread count.
+  graph::WattsStrogatzConfig wcfg;
+  wcfg.num_vertices = 512;
+  wcfg.k = 4;
+  wcfg.beta = 0.2;
+  wcfg.seed = 5;
+  const graph::Graph g = graph::Graph::from_edges(graph::watts_strogatz(wcfg));
+  const partition::Partition parts =
+      partition::create("chunk-v")->partition(g, 4);
+  ThreadedWalkConfig cfg;
+  cfg.length = 10;
+  cfg.walks_per_vertex = 2;
+  const DistWalkReport base = run_simple_walks_dist(g, parts, cfg);
+  for (const unsigned threads : {1u, 2u, 4u}) {
+    cfg.exec.threads = threads;
+    const DistWalkReport got = run_simple_walks_dist(g, parts, cfg);
+    EXPECT_EQ(got.total_steps, base.total_steps) << threads << " threads";
+    EXPECT_EQ(got.message_walks, base.message_walks) << threads << " threads";
+    EXPECT_EQ(got.supersteps, base.supersteps) << threads << " threads";
+  }
 }
 
 }  // namespace

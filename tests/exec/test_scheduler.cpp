@@ -1,8 +1,11 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
+#include <mutex>
 #include <numeric>
 #include <stdexcept>
+#include <utility>
 #include <vector>
 
 #include "exec/scheduler.hpp"
@@ -129,6 +132,59 @@ TEST(Executor, ChunkExceptionPropagatesAndExecutorStaysUsable) {
       });
   EXPECT_EQ(stats.chunks, plan.num_chunks());
   EXPECT_EQ(visited.load(), 64u);
+}
+
+TEST(ChunkScheduler, ItemChunksPartitionTheCount) {
+  const auto plan = ChunkScheduler::over_items(10, 3);
+  ASSERT_EQ(plan.num_chunks(), 4u);
+  std::uint32_t expect_lo = 0;
+  for (std::size_t c = 0; c < plan.num_chunks(); ++c) {
+    const auto [lo, hi] = plan.chunk(c);
+    EXPECT_EQ(lo, expect_lo);
+    EXPECT_LE(hi - lo, 3u);
+    expect_lo = hi;
+  }
+  EXPECT_EQ(expect_lo, 10u);
+}
+
+TEST(ChunkScheduler, ItemChunksExactMultiple) {
+  const auto plan = ChunkScheduler::over_items(8, 4);
+  ASSERT_EQ(plan.num_chunks(), 2u);
+  EXPECT_EQ(plan.chunk(0), (ChunkScheduler::Range{0, 4}));
+  EXPECT_EQ(plan.chunk(1), (ChunkScheduler::Range{4, 8}));
+}
+
+TEST(ChunkScheduler, ItemChunksEmptyAndSingle) {
+  EXPECT_EQ(ChunkScheduler::over_items(0, 5).num_chunks(), 0u);
+  const auto one = ChunkScheduler::over_items(3, 100);
+  ASSERT_EQ(one.num_chunks(), 1u);
+  EXPECT_EQ(one.chunk(0), (ChunkScheduler::Range{0, 3}));
+}
+
+TEST(ChunkScheduler, ItemChunksBoundariesIgnoreWorkerCount) {
+  // The weight-free mode's contract: the plan is a pure function of
+  // (count, items_per_chunk) — running it under different executors
+  // visits identical [lo, hi) slices.
+  const auto plan = ChunkScheduler::over_items(101, 7);
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> expect;
+  for (std::size_t c = 0; c < plan.num_chunks(); ++c)
+    expect.push_back(plan.chunk(c));
+  for (const unsigned threads : {1u, 4u}) {
+    Executor ex(threads);
+    std::mutex mu;
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> seen;
+    ex.run(plan,
+           [&](unsigned, std::uint32_t, std::uint32_t lo, std::uint32_t hi) {
+             std::lock_guard<std::mutex> lock(mu);
+             seen.emplace_back(lo, hi);
+           });
+    std::sort(seen.begin(), seen.end());
+    EXPECT_EQ(seen, expect) << threads << " threads";
+  }
+}
+
+TEST(ChunkScheduler, ItemChunksRejectZeroChunkSize) {
+  EXPECT_THROW((void)ChunkScheduler::over_items(5, 0), CheckError);
 }
 
 TEST(Executor, SingleThreadNeverSteals) {

@@ -4,10 +4,22 @@
 
 #include <vector>
 
+#include "exec/scheduler.hpp"
 #include "util/check.hpp"
 
 namespace bpart::walk {
 namespace {
+
+/// Bit-exactness witness: identical tables draw identical index sequences
+/// from identical RNG streams (sample() consumes two draws per call, so
+/// any prob_/alias_ difference surfaces within a few thousand draws).
+void expect_same_table(const AliasTable& a, const AliasTable& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i)
+    ASSERT_EQ(a.probability(i), b.probability(i)) << "entry " << i;
+  Xoshiro256 ra(17), rb(17);
+  for (int i = 0; i < 20000; ++i) ASSERT_EQ(a.sample(ra), b.sample(rb));
+}
 
 TEST(AliasTable, UniformWeights) {
   const std::vector<double> w{1, 1, 1, 1};
@@ -78,6 +90,63 @@ TEST(AliasTable, LargeHeavyTailStillExact) {
   for (int i = 0; i < kN; ++i)
     if (t.sample(rng) == 0) ++hits;
   EXPECT_NEAR(hits / static_cast<double>(kN), 1.0 / total, 0.01);
+}
+
+TEST(AliasTable, ParallelConstructionBitExact) {
+  // Zipf-ish weights with zero rows sprinkled in; the parallel classify
+  // pass must reproduce the sequential stacks at every chunk size and
+  // thread count.
+  std::vector<double> w(1537);
+  for (std::size_t i = 0; i < w.size(); ++i)
+    w[i] = (i % 7 == 3) ? 0.0 : 1.0 / static_cast<double>(i + 1);
+  const AliasTable seq(w);
+  for (const unsigned threads : {1u, 2u, 4u}) {
+    exec::Executor ex(threads);
+    for (const std::uint32_t chunk : {1u, 13u, 256u, 100000u}) {
+      const AliasTable par(w, ex, chunk);
+      expect_same_table(par, seq);
+    }
+  }
+}
+
+TEST(AliasTable, ParallelZeroWeightNeverSampled) {
+  const std::vector<double> w{0, 1, 0, 1};
+  exec::Executor ex(2);
+  const AliasTable t(w, ex, 1);
+  Xoshiro256 rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const std::size_t s = t.sample(rng);
+    EXPECT_TRUE(s == 1 || s == 3);
+  }
+}
+
+TEST(AliasTable, ParallelSingleEntry) {
+  const std::vector<double> w{5.0};
+  exec::Executor ex(4);
+  const AliasTable t(w, ex, 64);
+  Xoshiro256 rng(4);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(t.sample(rng), 0u);
+  EXPECT_DOUBLE_EQ(t.probability(0), 1.0);
+}
+
+TEST(AliasTable, ParallelRejectsInvalidWeights) {
+  exec::Executor ex(2);
+  EXPECT_THROW(AliasTable(std::vector<double>{}, ex, 4), CheckError);
+  EXPECT_THROW(AliasTable(std::vector<double>{0, 0}, ex, 4), CheckError);
+  EXPECT_THROW(AliasTable(std::vector<double>{1, -1}, ex, 4), CheckError);
+}
+
+TEST(AliasTable, SampleAcceptsCounterRng) {
+  const std::vector<double> w{1, 2, 7};
+  const AliasTable t(w);
+  // Keyed streams drive the same sampler; rough distribution check.
+  std::vector<int> counts(3, 0);
+  constexpr int kN = 60000;
+  for (int i = 0; i < kN; ++i) {
+    CounterRng rng(9, static_cast<std::uint64_t>(i), 0);
+    ++counts[t.sample(rng)];
+  }
+  EXPECT_NEAR(counts[2] / static_cast<double>(kN), 0.7, 0.02);
 }
 
 }  // namespace

@@ -63,7 +63,8 @@ TEST(WeightedWalk, EmpiricalFrequenciesFollowWeights) {
   const WeightedRandomWalk app(g, {.length = 1});
   const double p1 = app.transition_probability(0, 0);
 
-  Xoshiro256 rng(3);
+  Xoshiro256 shared(3);
+  StepRng rng(shared);
   int first = 0;
   constexpr int kN = 100000;
   WalkerState state;
@@ -104,7 +105,8 @@ TEST(WeightedWalk, GuardsAgainstWrongGraph) {
   const WeightedRandomWalk app(small, {});
   WalkerState state;
   state.current = 100;  // beyond `small`'s tables
-  Xoshiro256 rng(1);
+  Xoshiro256 shared(1);
+  StepRng rng(shared);
   EXPECT_THROW((void)app.step(state, big, rng), CheckError);
 }
 
