@@ -208,7 +208,7 @@ engine::ComponentsResult connected_components(const graph::Graph& g,
           CcExecState& cx = cexec[ctx.self()];
           const std::size_t domain =
               static_cast<std::size_t>(num_local) + sub.num_ghosts;
-          cx.shards.reset(cx.ex->threads(), domain);
+          cx.shards.reset(*cx.ex, domain);
           // Frozen closed-neighborhood minimum of u, offered to every
           // neighbor (and u itself) through the min-shards.
           auto scan_vertex = [&](unsigned w, graph::VertexId u) {

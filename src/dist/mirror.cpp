@@ -6,6 +6,7 @@
 
 #include "exec/edge_map.hpp"
 #include "exec/scheduler.hpp"
+#include "exec/simd.hpp"
 #include "obs/metrics.hpp"
 #include "obs/timeline.hpp"
 
@@ -124,20 +125,16 @@ engine::PageRankResult mirror_pagerank(const vcut::MirrorGraph& mg,
           ctx.add_work(st.gather_work);
           if (st.ex) {
             exec::process_edges_pull(
-                *st.ex, st.in_plan,
+                *st.ex, st.in_plan, sh.local.in_offsets(),
+                sh.local.in_targets(),
                 [&](unsigned, std::uint32_t, graph::VertexId r) {
-                  double acc = 0.0;
-                  for (const graph::VertexId u : sh.local.in_neighbors(r))
-                    acc += st.share[u];
-                  st.partial[r] = acc;
+                  st.partial[r] = exec::simd::gather_sum(
+                      sh.local.in_neighbors(r), st.share.data());
                 });
           } else {
-            for (graph::VertexId r = 0; r < nr; ++r) {
-              double acc = 0.0;
-              for (const graph::VertexId u : sh.local.in_neighbors(r))
-                acc += st.share[u];
-              st.partial[r] = acc;
-            }
+            for (graph::VertexId r = 0; r < nr; ++r)
+              st.partial[r] = exec::simd::gather_sum(
+                  sh.local.in_neighbors(r), st.share.data());
           }
           ctx.mark_comm();
           for (graph::VertexId r = 0; r < nr; ++r) {

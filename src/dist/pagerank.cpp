@@ -8,6 +8,7 @@
 #include "dist/ghost_buffer.hpp"
 #include "exec/edge_map.hpp"
 #include "exec/scheduler.hpp"
+#include "exec/simd.hpp"
 
 namespace bpart::dist {
 
@@ -63,38 +64,41 @@ engine::PageRankResult pagerank(const graph::Graph& g,
 
   const DistGraph dg(g, parts);
   std::vector<PrMachine> state(machines);
-  for (MachineId m = 0; m < machines; ++m) {
+
+  const unsigned exec_threads = opts.exec.resolved_threads();
+  std::vector<PrExecState> pexec;
+  if (exec_threads > 0) pexec.resize(machines);
+
+  // All per-machine state — rank/acc/share vectors, ghost slots, exec
+  // plans, boundary lists — is allocated and first written inside the
+  // runtime's init_machine hook, i.e. on the worker thread that owns the
+  // machine for the whole run, so a NUMA first-touch policy places each
+  // machine's pages next to its driver. The values written are
+  // thread-independent; only placement moves.
+  const std::uint32_t chunk_edges = opts.exec.resolved_chunk_edges();
+  auto init_machine = [&](MachineId m) {
     const partition::Subgraph& sub = dg.subgraph(m);
     state[m].rank.assign(sub.num_local, inv_n);
     state[m].acc.assign(sub.num_local, 0.0);
     state[m].share.assign(sub.num_local, 0.0);
     state[m].ghosts.reset(sub.num_ghosts, 0.0);
-  }
-
-  const unsigned exec_threads = opts.exec.resolved_threads();
-  std::vector<PrExecState> pexec;
-  if (exec_threads > 0) {
-    const std::uint32_t chunk_edges = opts.exec.resolved_chunk_edges();
-    pexec.resize(machines);
-    for (MachineId m = 0; m < machines; ++m) {
-      const partition::Subgraph& sub = dg.subgraph(m);
-      PrExecState& px = pexec[m];
-      px.ex = std::make_unique<exec::Executor>(exec_threads);
-      px.out_plan = exec::ChunkScheduler::over_range(
-          sub.local.out_offsets(), 0, sub.num_local, chunk_edges);
-      px.in_plan = exec::ChunkScheduler::over_range(
-          sub.local.in_offsets(), 0, sub.num_local, chunk_edges);
-      px.chunk_dangling.assign(px.out_plan.num_chunks(), 0.0);
-      for (graph::VertexId v = 0; v < sub.num_local; ++v) {
-        const auto degree = sub.local.out_degree(v);
-        px.emit_work += degree == 0 ? 1 : degree;
-        px.gather_work += sub.local.in_degree(v);
-        for (graph::VertexId t : sub.local.out_neighbors(v))
-          if (t >= sub.num_local)
-            px.boundary.emplace_back(v, t - sub.num_local);
-      }
+    if (exec_threads == 0) return;
+    PrExecState& px = pexec[m];
+    px.ex = std::make_unique<exec::Executor>(exec_threads);
+    px.out_plan = exec::ChunkScheduler::over_range(
+        sub.local.out_offsets(), 0, sub.num_local, chunk_edges);
+    px.in_plan = exec::ChunkScheduler::over_range(
+        sub.local.in_offsets(), 0, sub.num_local, chunk_edges);
+    px.chunk_dangling.assign(px.out_plan.num_chunks(), 0.0);
+    for (graph::VertexId v = 0; v < sub.num_local; ++v) {
+      const auto degree = sub.local.out_degree(v);
+      px.emit_work += degree == 0 ? 1 : degree;
+      px.gather_work += sub.local.in_degree(v);
+      for (graph::VertexId t : sub.local.out_neighbors(v))
+        if (t >= sub.num_local)
+          px.boundary.emplace_back(v, t - sub.num_local);
     }
-  }
+  };
 
   // Protocol per superstep s (s = 0 .. iterations):
   //   1. drain: contributions and dangling shares emitted at s-1 complete
@@ -108,6 +112,7 @@ engine::PageRankResult pagerank(const graph::Graph& g,
   RuntimeConfig rcfg;
   rcfg.threads = opts.threads;
   rcfg.max_supersteps = cfg.iterations + 1;
+  rcfg.init_machine = init_machine;
   RunResult run = Runtime<PrMsg>::run(
       machines, rcfg, [&](Runtime<PrMsg>::Context& ctx, std::size_t s) {
         PrMachine& me = state[ctx.self()];
@@ -133,20 +138,20 @@ engine::PageRankResult pagerank(const graph::Graph& g,
             // in-edge mass already arrived via the drained messages.
             if (px != nullptr) {
               exec::process_edges_pull(
-                  *px->ex, px->in_plan,
+                  *px->ex, px->in_plan, sub.local.in_offsets(),
+                  sub.local.in_targets(),
                   [&](unsigned, std::uint32_t, graph::VertexId v) {
-                    double local_sum = 0;
-                    for (graph::VertexId u : sub.local.in_neighbors(v))
-                      local_sum += me.share[u];
+                    const double local_sum = exec::simd::gather_sum(
+                        sub.local.in_neighbors(v), me.share.data());
                     me.rank[v] = base + cfg.damping * (local_sum + me.acc[v]);
                     me.acc[v] = 0.0;
                   });
               ctx.add_work(px->gather_work);
             } else {
               for (graph::VertexId v = 0; v < num_local; ++v) {
-                double local_sum = 0;
                 const auto in = sub.local.in_neighbors(v);
-                for (graph::VertexId u : in) local_sum += me.share[u];
+                const double local_sum =
+                    exec::simd::gather_sum(in, me.share.data());
                 ctx.add_work(in.size());
                 me.rank[v] = base + cfg.damping * (local_sum + me.acc[v]);
                 me.acc[v] = 0.0;
@@ -199,12 +204,11 @@ engine::PageRankResult pagerank(const graph::Graph& g,
           for (const double d : px->chunk_dangling) me.dangling_local += d;
           if (mode == PrMode::kPush) {
             exec::process_edges_pull(
-                *px->ex, px->in_plan,
+                *px->ex, px->in_plan, sub.local.in_offsets(),
+                sub.local.in_targets(),
                 [&](unsigned, std::uint32_t, graph::VertexId v) {
-                  double local_sum = 0;
-                  for (graph::VertexId u : sub.local.in_neighbors(v))
-                    local_sum += me.share[u];
-                  me.acc[v] += local_sum;
+                  me.acc[v] += exec::simd::gather_sum(
+                      sub.local.in_neighbors(v), me.share.data());
                 });
           }
           for (const auto& [v, gi] : px->boundary)

@@ -22,6 +22,7 @@
 #include <barrier>
 #include <cstdint>
 #include <functional>
+#include <latch>
 #include <thread>
 #include <vector>
 
@@ -33,6 +34,7 @@
 #include "obs/trace.hpp"
 #include "util/check.hpp"
 #include "util/env.hpp"
+#include "util/thread_pool.hpp"
 #include "util/timer.hpp"
 
 namespace bpart::dist {
@@ -66,6 +68,13 @@ struct RuntimeConfig {
   /// count of completed supersteps), all machine threads parked: the safe
   /// place for global decisions (frontier mode, convergence checks).
   std::function<void(std::size_t)> on_barrier;
+  /// First-touch placement hook: runs once per machine, on the worker
+  /// thread that will drive that machine through every superstep, before
+  /// superstep 0. Applications allocate and initialize per-machine state
+  /// (shard vectors, ghost buffers) here so a NUMA first-touch policy
+  /// places the pages on the worker's node. Optional; the result must not
+  /// depend on which thread runs it — only placement may.
+  std::function<void(MachineId)> init_machine;
 };
 
 struct RunResult {
@@ -239,10 +248,22 @@ class Runtime {
       if (cfg.on_barrier) cfg.on_barrier(result.supersteps);
     };
     std::barrier barrier(static_cast<std::ptrdiff_t>(workers), on_sync);
+    std::latch init_gate(static_cast<std::ptrdiff_t>(workers));
 
+    const bool pin = pin_threads();
     auto worker = [&](unsigned t) {
+      if (pin) pin_this_thread(t);
       const MachineId lo = range_begin(t);
       const MachineId hi = range_begin(t + 1);
+      // First-touch pass: each worker initializes exactly the machines it
+      // will drive, before any superstep runs anywhere. Synchronized on
+      // its own latch (not the superstep barrier, whose completion phase
+      // would count a phantom superstep), which also orders the state
+      // writes before any cross-thread reads.
+      if (cfg.init_machine) {
+        for (MachineId m = lo; m < hi; ++m) cfg.init_machine(m);
+        init_gate.arrive_and_wait();
+      }
       // Per-worker phase accounting; AccumTimer is single-thread-owned, so
       // each worker carries its own and publishes totals at shutdown.
       AccumTimer barrier_accum;

@@ -103,7 +103,7 @@ engine::SsspResult sssp(const graph::Graph& g,
           SsspExecState& sx = sexec[ctx.self()];
           const std::size_t domain =
               static_cast<std::size_t>(num_local) + sub.num_ghosts;
-          sx.shards.reset(sx.ex->threads(), domain);
+          sx.shards.reset(*sx.ex, domain);
           std::uint64_t scan_work = 0;
           for (graph::VertexId u : me.frontier)
             scan_work += sub.local.out_degree(u) + 1;

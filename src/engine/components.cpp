@@ -73,7 +73,7 @@ ComponentsResult connected_components(const graph::Graph& g,
             return g.out_degree(list[i]) + g.in_degree(list[i]);
           },
           chunk_edges);
-      shards.reset(ex->threads(), n);
+      shards.reset(*ex, n);
       exec::process_edges_push(
           *ex, plan, frontier, [&](unsigned w, graph::VertexId v) {
             const cluster::MachineId owner = ctx.machine_of(v);

@@ -2,6 +2,7 @@
 
 #include "exec/edge_map.hpp"
 #include "exec/scheduler.hpp"
+#include "exec/simd.hpp"
 #include "obs/trace.hpp"
 
 namespace bpart::engine {
@@ -118,11 +119,14 @@ PageRankResult pagerank_exec(const graph::Graph& g,
     const double base = (1.0 - cfg.damping) * inv_n +
                         cfg.damping * dangling_mass * inv_n;
 
-    // Gather phase: every destination sums its in-neighbors' shares.
+    // Gather phase: every destination sums its in-neighbors' shares
+    // through the vectorized fold (exec/simd.hpp); upcoming destinations'
+    // edge ranges are prefetched by the CSR-aware pull overload.
     exec::process_edges_pull(
-        ex, in_plan, [&](unsigned, std::uint32_t, graph::VertexId v) {
-          double acc = 0.0;
-          for (graph::VertexId u : g.in_neighbors(v)) acc += share[u];
+        ex, in_plan, g.in_offsets(), g.in_targets(),
+        [&](unsigned, std::uint32_t, graph::VertexId v) {
+          const double acc =
+              exec::simd::gather_sum(g.in_neighbors(v), share.data());
           next[v] = base + cfg.damping * acc;
         });
     rank.swap(next);

@@ -96,7 +96,7 @@ SsspResult sssp_exec(const graph::Graph& g, const partition::Partition& parts,
     const auto plan = exec::ChunkScheduler::over_list(
         list.size(), [&](std::size_t i) { return g.out_degree(list[i]); },
         chunk_edges);
-    shards.reset(ex.threads(), n);
+    shards.reset(ex, n);
     exec::process_edges_push(
         ex, plan, frontier, [&](unsigned w, graph::VertexId v) {
           const cluster::MachineId owner = ctx.machine_of(v);

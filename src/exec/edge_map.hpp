@@ -23,6 +23,7 @@
 
 #include "exec/frontier.hpp"
 #include "exec/scheduler.hpp"
+#include "exec/simd.hpp"
 #include "graph/types.hpp"
 #include "util/check.hpp"
 
@@ -48,6 +49,36 @@ class ScatterShards {
       }
       s.touched.clear();
     }
+  }
+
+  /// First-touch variant of reset(): when a shard must (re)allocate, the
+  /// allocation and initial page-in run on that shard's own worker thread
+  /// via Executor::for_each_worker, so under a NUMA first-touch policy the
+  /// pages land near the worker that scatters into them. The steady state
+  /// (allocations already sized, called every superstep) clears touched
+  /// slots on the caller exactly like reset(workers, domain) — no
+  /// cross-thread sync. Shard contents are identical either way; only
+  /// placement differs.
+  void reset(Executor& ex, std::size_t domain) {
+    shards_.resize(ex.threads());
+    bool realloc_needed = false;
+    for (const Shard& s : shards_)
+      if (s.value.size() != domain) realloc_needed = true;
+    if (!realloc_needed) {
+      reset(ex.threads(), domain);
+      return;
+    }
+    domain_ = domain;
+    ex.for_each_worker([this, domain](unsigned w) {
+      Shard& s = shards_[w];
+      if (s.value.size() != domain) {
+        s.value.assign(domain, T{});
+        s.seen.assign(domain, 0);
+      } else {
+        for (const std::uint32_t i : s.touched) s.seen[i] = 0;
+      }
+      s.touched.clear();
+    });
   }
 
   /// Min-combine `v` into worker w's slot i.
@@ -109,6 +140,39 @@ Executor::RunStats process_edges_pull(Executor& ex, const ChunkScheduler& plan,
   return ex.run(plan, [&gather](unsigned w, std::uint32_t c,
                                 std::uint32_t lo, std::uint32_t hi) {
     for (std::uint32_t v = lo; v < hi; ++v) gather(w, c, v);
+  });
+}
+
+/// Pull-mode edge processing over an explicit CSR: like the generic
+/// overload, but the plan's vertex range is walked against `offsets` /
+/// `targets` so the loop can software-prefetch the *next* destinations'
+/// edge ranges while the current destination folds (BPART_SIMD builds
+/// only — OFF keeps the exact legacy loop). Prefetch never changes what is
+/// computed, only when cache lines arrive, so the determinism contract is
+/// untouched.
+template <typename GatherFn>
+Executor::RunStats process_edges_pull(Executor& ex, const ChunkScheduler& plan,
+                                      std::span<const graph::EdgeId> offsets,
+                                      std::span<const graph::VertexId> targets,
+                                      GatherFn&& gather) {
+  return ex.run(plan, [offsets, targets, &gather](
+                          unsigned w, std::uint32_t c, std::uint32_t lo,
+                          std::uint32_t hi) {
+    if constexpr (simd::kEnabled) {
+      // Two destinations ahead: far enough that a short run's fold does
+      // not stall on the offset/targets lines, near enough to stay
+      // resident until the loop arrives.
+      constexpr std::uint32_t kAhead = 2;
+      for (std::uint32_t v = lo; v < hi; ++v) {
+        if (v + kAhead < hi) {
+          simd::prefetch_read(offsets.data() + v + kAhead);
+          simd::prefetch_read(targets.data() + offsets[v + kAhead]);
+        }
+        gather(w, c, v);
+      }
+    } else {
+      for (std::uint32_t v = lo; v < hi; ++v) gather(w, c, v);
+    }
   });
 }
 

@@ -1,0 +1,109 @@
+// Vectorized hot-path kernels for the exec core's pull gathers.
+//
+// process_edges_pull's inner loop — fold vals[idx[i]] over one
+// destination's contiguous CSR run — compiles to a serial addsd chain at
+// -O2 (the compiler may not reassociate floating-point adds), so a
+// long-run destination pays FP-add latency per edge even though the loads
+// themselves pipeline. gather_sum_simd breaks the chain into eight
+// independent accumulator lanes (a reduction tree the autovectorizer can
+// map onto SSE/AVX registers, and that out-of-order cores execute as
+// parallel chains regardless) and software-prefetches upcoming gather
+// targets so LLC-resident share arrays stream instead of stall. Eight
+// lanes beat hardware gather instructions (vgatherdpd) on every core we
+// measured, so the kernel is plain C++ and portable.
+//
+// Determinism envelope (DESIGN.md §14): the lane fold reorders FP
+// additions *within one destination* relative to the legacy left fold —
+// fixed by the lane count, never by thread count or schedule. A binary
+// therefore produces bit-identical results for every BPART_EXEC_THREADS
+// value, but a BPART_SIMD=ON binary and a BPART_SIMD=OFF binary may differ
+// in final ulps. The CMake knob -DBPART_SIMD=OFF compiles gather_sum as
+// the exact legacy left fold, restoring bit-parity with pre-SIMD history.
+// Both kernels are always compiled (the bench compares them in one
+// binary); only the default dispatch follows the build flag.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+#include "graph/types.hpp"
+
+#ifndef BPART_SIMD_ENABLED
+#define BPART_SIMD_ENABLED 1
+#endif
+
+namespace bpart::exec::simd {
+
+/// True when this binary's gather_sum dispatches to the lane kernel.
+inline constexpr bool kEnabled = BPART_SIMD_ENABLED != 0;
+
+/// Human-readable kernel name for bench/report rows.
+inline constexpr const char* kernel_name() noexcept {
+  return kEnabled ? "lanes8+prefetch" : "scalar";
+}
+
+/// Portable best-effort read prefetch (no-op where unsupported).
+inline void prefetch_read(const void* p) noexcept {
+#if defined(__GNUC__) || defined(__clang__)
+  __builtin_prefetch(p, 0, 3);
+#else
+  (void)p;
+#endif
+}
+
+/// Legacy strict left fold: acc = ((v0 + v1) + v2) + ... in CSR order.
+/// This is the exact pre-SIMD fold; BPART_SIMD=OFF binaries dispatch here.
+inline double gather_sum_scalar(const graph::VertexId* idx, std::size_t n,
+                                const double* vals) noexcept {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < n; ++i) acc += vals[idx[i]];
+  return acc;
+}
+
+/// Eight-lane fold with software prefetch of upcoming gather targets.
+/// Lane assignment and the final reduction tree are fixed, so the result
+/// is a pure function of the run — bit-identical across thread counts,
+/// chunk sizes and steal schedules (but not bit-equal to the left fold).
+inline double gather_sum_simd(const graph::VertexId* idx, std::size_t n,
+                              const double* vals) noexcept {
+  // Distance tuned on the gather microbench: far enough to cover an LLC
+  // miss at ~1 edge/cycle, near enough to stay inside one CSR run's
+  // typical residence in the load queue.
+  constexpr std::size_t kPrefetchAhead = 24;
+  double a0 = 0.0, a1 = 0.0, a2 = 0.0, a3 = 0.0;
+  double a4 = 0.0, a5 = 0.0, a6 = 0.0, a7 = 0.0;
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    if (i + kPrefetchAhead < n) {
+      prefetch_read(vals + idx[i + kPrefetchAhead]);
+      prefetch_read(vals + idx[i + kPrefetchAhead + 4]);
+    }
+    a0 += vals[idx[i]];
+    a1 += vals[idx[i + 1]];
+    a2 += vals[idx[i + 2]];
+    a3 += vals[idx[i + 3]];
+    a4 += vals[idx[i + 4]];
+    a5 += vals[idx[i + 5]];
+    a6 += vals[idx[i + 6]];
+    a7 += vals[idx[i + 7]];
+  }
+  double acc = ((a0 + a1) + (a2 + a3)) + ((a4 + a5) + (a6 + a7));
+  for (; i < n; ++i) acc += vals[idx[i]];
+  return acc;
+}
+
+/// Build-flag dispatch: the fold every production gather site uses.
+inline double gather_sum(const graph::VertexId* idx, std::size_t n,
+                         const double* vals) noexcept {
+  if constexpr (kEnabled) return gather_sum_simd(idx, n, vals);
+  return gather_sum_scalar(idx, n, vals);
+}
+
+/// Span convenience over a CSR neighbor run.
+inline double gather_sum(std::span<const graph::VertexId> run,
+                         const double* vals) noexcept {
+  return gather_sum(run.data(), run.size(), vals);
+}
+
+}  // namespace bpart::exec::simd

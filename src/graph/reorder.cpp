@@ -68,6 +68,34 @@ std::vector<VertexId> bfs_order(const Graph& g, VertexId source) {
   return perm;
 }
 
+std::vector<VertexId> invert_permutation(const std::vector<VertexId>& perm) {
+  BPART_CHECK_MSG(is_permutation(perm), "not a permutation of [0, n)");
+  std::vector<VertexId> inv(perm.size());
+  for (VertexId old_id = 0; old_id < perm.size(); ++old_id)
+    inv[perm[old_id]] = old_id;
+  return inv;
+}
+
+std::vector<VertexId> select_order(const Graph& g, ReorderMode mode,
+                                   std::uint64_t seed) {
+  switch (mode) {
+    case ReorderMode::kNone:
+      return {};
+    case ReorderMode::kDegree:
+      return degree_order(g);
+    case ReorderMode::kBfs: {
+      if (g.num_vertices() == 0) return {};
+      VertexId hub = 0;
+      for (VertexId v = 1; v < g.num_vertices(); ++v)
+        if (g.out_degree(v) > g.out_degree(hub)) hub = v;
+      return bfs_order(g, hub);
+    }
+    case ReorderMode::kRandom:
+      return random_order(g.num_vertices(), seed);
+  }
+  return {};
+}
+
 std::vector<VertexId> random_order(VertexId n, std::uint64_t seed) {
   std::vector<VertexId> perm(n);
   std::iota(perm.begin(), perm.end(), VertexId{0});

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "graph/csr.hpp"
+#include "util/env.hpp"
 
 namespace bpart::graph {
 
@@ -31,5 +32,15 @@ std::vector<VertexId> random_order(VertexId n, std::uint64_t seed);
 
 /// True if perm is a permutation of [0, n).
 bool is_permutation(const std::vector<VertexId>& perm);
+
+/// inv[new id] = old id, the inverse of perm[old id] = new id. Checked.
+std::vector<VertexId> invert_permutation(const std::vector<VertexId>& perm);
+
+/// The permutation for a $BPART_REORDER mode: degree_order, bfs_order from
+/// the highest-out-degree vertex (lowest id on ties — a deterministic hub
+/// seed), or random_order(seed). kNone returns an empty vector, the
+/// pipeline's "identity, skip the rebuild" signal.
+std::vector<VertexId> select_order(const Graph& g, ReorderMode mode,
+                                   std::uint64_t seed);
 
 }  // namespace bpart::graph

@@ -42,6 +42,7 @@ constexpr std::uint64_t kArtifactMagic = 0x314341'5452415042ULL;  // "BPARTAC1"
 constexpr std::uint32_t kFormatVersion = 1;
 constexpr std::uint32_t kKindGraph = 1;
 constexpr std::uint32_t kKindPartition = 2;
+constexpr std::uint32_t kKindPerm = 3;
 
 struct ArtifactHeader {
   std::uint64_t magic;
@@ -98,7 +99,8 @@ class Reader {
 };
 
 const char* kind_ext(std::uint32_t kind) {
-  return kind == kKindGraph ? ".graph" : ".part";
+  if (kind == kKindGraph) return ".graph";
+  return kind == kKindPerm ? ".perm" : ".part";
 }
 
 std::string reject(const std::string& path, const std::string& why) {
@@ -326,6 +328,40 @@ bool ArtifactStore::store_partition(const CacheKey& key,
   return write_artifact(dir_, path, kKindPartition, key.hash(), w.bytes());
 }
 
+std::optional<std::vector<graph::VertexId>> ArtifactStore::load_perm(
+    const CacheKey& key) const {
+  const std::string path = dir_ + "/" + key.hex() + kind_ext(kKindPerm);
+  auto payload = read_payload(path, kKindPerm, key.hash());
+  if (!payload) return std::nullopt;
+  Reader r(*payload);
+  std::uint64_t n = 0;
+  std::vector<graph::VertexId> perm;
+  if (!r.get(n) || !r.get_array(perm, n) || !r.exhausted()) {
+    reject(path, "payload layout mismatch");
+    return std::nullopt;
+  }
+  // Structural validation mirrors the graph/partition loaders: a corrupt
+  // permutation silently scrambles every downstream result, so reject loudly.
+  std::vector<bool> seen(perm.size(), false);
+  for (graph::VertexId x : perm) {
+    if (x >= perm.size() || seen[x]) {
+      reject(path, "not a permutation");
+      return std::nullopt;
+    }
+    seen[x] = true;
+  }
+  return perm;
+}
+
+bool ArtifactStore::store_perm(const CacheKey& key,
+                               const std::vector<graph::VertexId>& perm) const {
+  Writer w;
+  w.put<std::uint64_t>(perm.size());
+  w.put_array(std::span<const graph::VertexId>(perm));
+  const std::string path = dir_ + "/" + key.hex() + kind_ext(kKindPerm);
+  return write_artifact(dir_, path, kKindPerm, key.hash(), w.bytes());
+}
+
 bool ArtifactStore::has_graph(const CacheKey& key) const {
   std::error_code ec;
   return fs::exists(dir_ + "/" + key.hex() + kind_ext(kKindGraph), ec);
@@ -336,12 +372,18 @@ bool ArtifactStore::has_partition(const CacheKey& key) const {
   return fs::exists(dir_ + "/" + key.hex() + kind_ext(kKindPartition), ec);
 }
 
+bool ArtifactStore::has_perm(const CacheKey& key) const {
+  std::error_code ec;
+  return fs::exists(dir_ + "/" + key.hex() + kind_ext(kKindPerm), ec);
+}
+
 std::size_t ArtifactStore::purge() const {
   std::error_code ec;
   std::size_t removed = 0;
   for (const auto& entry : fs::directory_iterator(dir_, ec)) {
     const auto ext = entry.path().extension();
-    if (ext == ".graph" || ext == ".part" || ext == ".tmp") {
+    if (ext == ".graph" || ext == ".part" || ext == ".perm" ||
+        ext == ".tmp") {
       fs::remove(entry.path(), ec);
       if (!ec) ++removed;
     }

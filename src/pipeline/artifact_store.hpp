@@ -9,15 +9,17 @@
 // truncated, bit-flipped or version-skewed entry is rejected loudly
 // (LOG_WARN + file removed) and the caller rebuilds it.
 //
-// Layout: <dir>/<key-hex>.graph and <dir>/<key-hex>.part, written
-// atomically (tmp file + rename) so a crashed writer cannot leave a
-// half-written entry that passes the checksum.
+// Layout: <dir>/<key-hex>.graph, <dir>/<key-hex>.part and (for the
+// pipeline's reorder stage) <dir>/<key-hex>.perm, written atomically
+// (tmp file + rename) so a crashed writer cannot leave a half-written
+// entry that passes the checksum.
 #pragma once
 
 #include <cstdint>
 #include <optional>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "graph/csr.hpp"
 #include "partition/partition.hpp"
@@ -82,15 +84,22 @@ class ArtifactStore {
       const CacheKey& key) const;
   [[nodiscard]] std::optional<partition::Partition> load_partition(
       const CacheKey& key) const;
+  /// Vertex permutation (the pipeline's reorder artifact): validated as a
+  /// permutation of [0, n) on load.
+  [[nodiscard]] std::optional<std::vector<graph::VertexId>> load_perm(
+      const CacheKey& key) const;
 
   /// Returns false (after LOG_WARN) on IO failure; the cache is an
   /// optimization, so callers treat a failed store as a non-event.
   bool store_graph(const CacheKey& key, const graph::Graph& g) const;
   bool store_partition(const CacheKey& key,
                        const partition::Partition& p) const;
+  bool store_perm(const CacheKey& key,
+                  const std::vector<graph::VertexId>& perm) const;
 
   [[nodiscard]] bool has_graph(const CacheKey& key) const;
   [[nodiscard]] bool has_partition(const CacheKey& key) const;
+  [[nodiscard]] bool has_perm(const CacheKey& key) const;
 
   /// Delete every artifact in the store. Returns the number removed.
   std::size_t purge() const;

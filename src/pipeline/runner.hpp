@@ -8,11 +8,13 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "graph/csr.hpp"
 #include "partition/partition.hpp"
 #include "pipeline/artifact_store.hpp"
 #include "pipeline/ingest.hpp"
+#include "util/env.hpp"
 #include "util/stats.hpp"
 
 namespace bpart::pipeline {
@@ -23,6 +25,16 @@ struct PipelineConfig {
   /// Build the symmetrized CSR (self-loops removed, both directions) — the
   /// paper's setting for the social-graph datasets. Off = directed CSR.
   bool symmetrize = false;
+
+  /// Vertex relabeling applied between ingest and partitioning, defaulted
+  /// from $BPART_REORDER. The runner hands out the *reordered* CSR (and
+  /// caches it, with its permutation, as first-class artifacts); engines,
+  /// partitioners and the dist layer stay oblivious — per-vertex results
+  /// are mapped back to input ids at the API boundary with unpermute().
+  ReorderMode reorder = reorder_mode();
+
+  /// Shuffle seed of ReorderMode::kRandom (part of the cache key).
+  std::uint64_t reorder_seed = global_seed();
 
   /// Consult/populate the artifact store. ANDed with
   /// ArtifactStore::enabled() so $BPART_CACHE=0 still wins.
@@ -36,9 +48,11 @@ struct PipelineConfig {
 struct PipelineReport {
   IngestReport ingest;            ///< Parse stage (zeroed on cache hit).
   double build_seconds = 0;       ///< EdgeList -> CSR.
+  double reorder_seconds = 0;     ///< Order computation + relabel (0 on hit).
   double partition_seconds = 0;   ///< Partitioner wall-clock (0 on hit).
   double cache_seconds = 0;       ///< Key hashing + artifact load/store.
   bool graph_cache_hit = false;
+  bool reorder_cache_hit = false;
   bool partition_cache_hit = false;
   graph::VertexId vertices = 0;
   graph::EdgeId edges = 0;
@@ -65,14 +79,44 @@ class PipelineRunner {
   struct Result {
     graph::Graph graph;
     partition::Partition partition;
+    /// perm[input id] = internal id of the relabeled CSR; empty = identity
+    /// (ReorderMode::kNone). Feed to unpermute()/to_internal().
+    std::vector<graph::VertexId> perm;
   };
   /// End-to-end: load (or cache-hit) the graph, then partition (or
   /// cache-hit) with the registry partitioner `algo`.
   Result run_file(const std::string& path, const std::string& algo,
                   partition::PartId k);
 
-  /// Content-hash cache key of a text input under this config.
+  /// Content-hash cache key of a text input under this config — the key of
+  /// the graph load_graph returns, i.e. the *reordered* graph when a
+  /// reorder mode is active, so derived partition keys separate per order.
   [[nodiscard]] CacheKey graph_key(const std::string& path) const;
+
+  /// Permutation of the most recent load_graph (empty = identity).
+  [[nodiscard]] const std::vector<graph::VertexId>& permutation() const {
+    return perm_;
+  }
+
+  /// API-boundary inverse relabel: vals is indexed by internal (reordered)
+  /// id, the result by input id — out[v] = vals[perm[v]]. Identity when
+  /// perm is empty. This is how callers publish engine results computed on
+  /// a reordered graph without the engines knowing about the relabel.
+  template <typename T>
+  static std::vector<T> unpermute(const std::vector<T>& vals,
+                                  const std::vector<graph::VertexId>& perm) {
+    if (perm.empty()) return vals;
+    std::vector<T> out(vals.size());
+    for (graph::VertexId v = 0; v < perm.size(); ++v) out[v] = vals[perm[v]];
+    return out;
+  }
+
+  /// Map an input-id vertex (an SSSP source, a walk seed) into the
+  /// reordered id space the engines run in.
+  static graph::VertexId to_internal(
+      graph::VertexId v, const std::vector<graph::VertexId>& perm) {
+    return perm.empty() ? v : perm[v];
+  }
 
   [[nodiscard]] const PipelineReport& report() const { return report_; }
   [[nodiscard]] const PipelineConfig& config() const { return cfg_; }
@@ -80,10 +124,18 @@ class PipelineRunner {
   [[nodiscard]] bool cache_active() const { return cache_on_; }
 
  private:
+  /// Key of the un-reordered ingest product (reorder mode not folded in).
+  [[nodiscard]] CacheKey base_graph_key(const std::string& path) const;
+  /// Reorder stage: relabel `g` per cfg_.reorder, consulting/populating the
+  /// graph+perm artifacts under `reordered_key`; fills perm_ and the
+  /// reorder report fields. Identity mode returns `g` untouched.
+  graph::Graph reorder_stage(graph::Graph g, const CacheKey& reordered_key);
+
   PipelineConfig cfg_;
   ArtifactStore store_;
   bool cache_on_;
   PipelineReport report_;
+  std::vector<graph::VertexId> perm_;
 };
 
 }  // namespace bpart::pipeline

@@ -195,6 +195,35 @@ std::uint32_t vcut_batch() {
   }
 }
 
+bool pin_threads() {
+  const char* env = std::getenv("BPART_PIN");
+  if (env == nullptr) return false;
+  const std::string v(env);
+  return v == "1" || v == "true" || v == "on";
+}
+
+ReorderMode reorder_mode() {
+  const char* env = std::getenv("BPART_REORDER");
+  if (env == nullptr) return ReorderMode::kNone;
+  const std::string v(env);
+  if (v == "none") return ReorderMode::kNone;
+  if (v == "degree") return ReorderMode::kDegree;
+  if (v == "bfs") return ReorderMode::kBfs;
+  if (v == "random") return ReorderMode::kRandom;
+  LOG_WARN << "BPART_REORDER must be none|degree|bfs|random, got " << env;
+  return ReorderMode::kNone;
+}
+
+const char* reorder_mode_name(ReorderMode mode) {
+  switch (mode) {
+    case ReorderMode::kDegree: return "degree";
+    case ReorderMode::kBfs: return "bfs";
+    case ReorderMode::kRandom: return "random";
+    case ReorderMode::kNone: break;
+  }
+  return "none";
+}
+
 std::uint32_t stream_batch_size() {
   constexpr long kMaxBatch = 1L << 24;
   const char* env = std::getenv("BPART_STREAM_BATCH");

@@ -66,6 +66,24 @@ std::uint64_t global_seed();
 /// across thread counts.
 std::uint32_t vcut_batch();
 
+/// Round-robin thread pinning switch, read from $BPART_PIN on every call.
+/// "1"/"true"/"on" pins each worker thread of the exec-core pools and the
+/// dist runtime to a fixed CPU (slot mod hardware_concurrency) at thread
+/// start — hwloc-free NUMA/locality pinning that keeps first-touched pages
+/// next to the thread that touched them. Anything else (or unset) leaves
+/// scheduling to the OS.
+bool pin_threads();
+
+/// Vertex-relabeling mode the pipeline applies before partitioning, read
+/// from $BPART_REORDER on every call: "none" (default), "degree", "bfs",
+/// "random". Junk values warn and fall through to "none".
+enum class ReorderMode : std::uint8_t { kNone, kDegree, kBfs, kRandom };
+ReorderMode reorder_mode();
+
+/// The knob string of a mode ("none"/"degree"/"bfs"/"random") — cache keys
+/// and bench rows use it.
+const char* reorder_mode_name(ReorderMode mode);
+
 /// Default batch size of the buffered streaming partitioner, read from
 /// $BPART_STREAM_BATCH on every call (junk or values < 0 fall through to 0).
 /// 0 means "sequential pass" — the knob is an opt-in, so existing callers

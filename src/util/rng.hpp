@@ -141,6 +141,41 @@ class CounterRng {
     return z ^ (z >> 31);
   }
 
+  /// Rebuild a stream from a raw state word previously produced by
+  /// first_draws — the continuation half of the batched construction.
+  static CounterRng from_raw_state(std::uint64_t state) noexcept {
+    CounterRng r(0, 0, 0);
+    r.state_ = state;
+    return r;
+  }
+
+  /// Batched stream heads: for j in [0, k), out_draw[j] is the first draw
+  /// of CounterRng(seed, stream, counter0 + j) and out_state[j] the state
+  /// *after* that draw (feed it to from_raw_state to continue the stream).
+  /// The arithmetic is identical to constructing each stream and drawing
+  /// once, so every value is bit-identical to the scalar path; the loop
+  /// body is branch-free with the (seed, stream) rounds hoisted, so the
+  /// per-counter work is two SplitMix64 mixes the compiler can unroll and
+  /// vectorize instead of four dependent ones. This is the bounded-draw
+  /// batching the parallel walk engine uses: a walker's next 4/8 steps
+  /// consume one head each, and the rare multi-draw step continues via
+  /// from_raw_state (DESIGN.md §13/§14).
+  static void first_draws(std::uint64_t seed, std::uint64_t stream,
+                          std::uint64_t counter0, std::size_t k,
+                          std::uint64_t* out_draw,
+                          std::uint64_t* out_state) noexcept {
+    const std::uint64_t inner = splitmix64(splitmix64(seed) ^ stream);
+    for (std::size_t j = 0; j < k; ++j) {
+      const std::uint64_t key = splitmix64(inner ^ (counter0 + j));
+      const std::uint64_t state = key + 0x9e3779b97f4a7c15ULL;
+      std::uint64_t z = state;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      out_draw[j] = z ^ (z >> 31);
+      out_state[j] = state;
+    }
+  }
+
   /// Uniform double in [0, 1). Same construction as Xoshiro256::uniform.
   double uniform() noexcept {
     return static_cast<double>((*this)() >> 11) * 0x1.0p-53;

@@ -1,16 +1,38 @@
 #include "util/thread_pool.hpp"
 
 #include <algorithm>
+#include <thread>
+
+#ifdef __linux__
+#include <pthread.h>
+#include <sched.h>
+#endif
 
 #include "util/check.hpp"
+#include "util/env.hpp"
 
 namespace bpart {
 
-ThreadPool::ThreadPool(unsigned workers) {
+void pin_this_thread(unsigned slot) {
+#ifdef __linux__
+  const unsigned ncpu = std::max(1u, std::thread::hardware_concurrency());
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(slot % ncpu, &set);
+  // Best effort: a failed affinity call (cgroup restrictions, exotic
+  // topologies) silently leaves the thread free-floating.
+  (void)pthread_setaffinity_np(pthread_self(), sizeof(set), &set);
+#else
+  (void)slot;
+#endif
+}
+
+ThreadPool::ThreadPool(unsigned workers, unsigned pin_slot_base)
+    : pin_slot_base_(pin_slot_base), pin_(pin_threads()) {
   BPART_CHECK(workers >= 1);
   threads_.reserve(workers);
   for (unsigned i = 0; i < workers; ++i)
-    threads_.emplace_back([this] { worker_loop(); });
+    threads_.emplace_back([this, i] { worker_loop(i); });
 }
 
 ThreadPool::~ThreadPool() {
@@ -22,7 +44,8 @@ ThreadPool::~ThreadPool() {
   for (auto& t : threads_) t.join();
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::worker_loop(unsigned index) {
+  if (pin_) pin_this_thread(pin_slot_base_ + index);
   for (;;) {
     std::function<void()> task;
     {

@@ -152,7 +152,7 @@ void run_walks_parallel(const graph::Graph& g,
     BPART_SPAN("walk/iteration", "active",
                static_cast<double>(active_ids.size()));
     sim.begin_iteration();
-    visit_shards.reset(workers, n);
+    visit_shards.reset(ex, n);
     for (Tally& t : tally) {
       std::fill(t.work.begin(), t.work.end(), 0);
       std::fill(t.msgs.begin(), t.msgs.end(), 0);
@@ -167,12 +167,37 @@ void run_walks_parallel(const graph::Graph& g,
       for (std::uint32_t idx = lo; idx < hi; ++idx) {
         const std::uint32_t i = active_ids[idx];
         WalkerState& wk = walkers[i];
+#if BPART_SIMD_ENABLED
+        // Bounded-draw batching: derive the stream heads of the walker's
+        // next kBatch steps in one vectorizable pass (the per-step key
+        // derivation is the hot loop's serial dependency). Every
+        // non-terminating step advances steps_taken by exactly one, so
+        // batch entry j always corresponds to counter steps_taken_at_refill
+        // + j; leftovers are discarded when the walker ships or dies.
+        // The draws are bit-identical to the scalar construction
+        // (CounterRng::first_draws contract), so trajectories are unchanged.
+        constexpr std::size_t kBatch = 4;
+        std::uint64_t batch_draw[kBatch];
+        std::uint64_t batch_state[kBatch];
+        std::size_t batch_pos = kBatch;
+#endif
         for (;;) {
           const cluster::MachineId here = parts[wk.current];
           ++t.work[here];
           // Each step() call of walker i is uniquely indexed by its
           // steps_taken value, so the keyed stream never repeats.
+#if BPART_SIMD_ENABLED
+          if (batch_pos == kBatch) {
+            CounterRng::first_draws(cfg.seed, i, wk.steps_taken, kBatch,
+                                    batch_draw, batch_state);
+            batch_pos = 0;
+          }
+          StepRng rng = StepRng::with_first_draw(batch_draw[batch_pos],
+                                                 batch_state[batch_pos]);
+          ++batch_pos;
+#else
           StepRng rng(cfg.seed, i, wk.steps_taken);
+#endif
           const StepDecision d = app.step(wk, g, rng);
           if (d.terminate) {
             alive[i] = 0;

@@ -49,7 +49,23 @@ class StepRng {
   StepRng(std::uint64_t seed, std::uint64_t walker, std::uint64_t step) noexcept
       : shared_(nullptr), keyed_(seed, walker, step) {}
 
+  /// Keyed mode from a batched stream head (CounterRng::first_draws):
+  /// next() hands out `first` and then continues from `post_state` — the
+  /// exact draw sequence of the three-argument constructor, with the key
+  /// derivation already paid in the vectorized batch.
+  static StepRng with_first_draw(std::uint64_t first,
+                                 std::uint64_t post_state) noexcept {
+    StepRng r(CounterRng::from_raw_state(post_state));
+    r.pending_ = first;
+    r.has_pending_ = true;
+    return r;
+  }
+
   std::uint64_t next() noexcept {
+    if (has_pending_) {
+      has_pending_ = false;
+      return pending_;
+    }
     return shared_ != nullptr ? (*shared_)() : keyed_();
   }
 
@@ -77,8 +93,13 @@ class StepRng {
   bool chance(double p) noexcept { return uniform() < p; }
 
  private:
+  explicit StepRng(CounterRng keyed) noexcept
+      : shared_(nullptr), keyed_(keyed) {}
+
   Xoshiro256* shared_;  // non-null = shared mode
   CounterRng keyed_;
+  std::uint64_t pending_ = 0;  // first draw handed out before keyed_ runs
+  bool has_pending_ = false;
 };
 
 /// Immutable view of one walker handed to the application policy.

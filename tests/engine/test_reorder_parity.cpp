@@ -1,0 +1,136 @@
+// Round-trip contract of pipeline-integrated reordering (DESIGN.md §14):
+// running an engine app on a relabeled graph and un-permuting the result
+// at the API boundary must agree with running on the original graph. For
+// PageRank the agreement is numerical (the relabel changes the fold order
+// inside each destination's gather, so low-order bits may move); for CC
+// the component *structure* is exact — labels are min-vertex-ids in the
+// active id space, so they are compared through a bijection.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "engine/components.hpp"
+#include "engine/pagerank.hpp"
+#include "graph/generators.hpp"
+#include "graph/reorder.hpp"
+#include "partition/registry.hpp"
+
+namespace bpart::engine {
+namespace {
+
+graph::Graph make_graph() {
+  graph::CommunityGraphConfig cfg;
+  cfg.num_vertices = 2048;
+  cfg.avg_degree = 12;
+  cfg.num_communities = 16;
+  cfg.seed = 19;
+  return graph::Graph::from_edges_symmetric(graph::community_scale_free(cfg));
+}
+
+/// out[v] = vals[perm[v]] — the runner's unpermute, inlined so this test
+/// exercises the documented boundary math rather than the helper.
+template <typename T>
+std::vector<T> unpermute(const std::vector<T>& vals,
+                         const std::vector<graph::VertexId>& perm) {
+  std::vector<T> out(vals.size());
+  for (graph::VertexId v = 0; v < perm.size(); ++v) out[v] = vals[perm[v]];
+  return out;
+}
+
+/// a and b partition the vertices identically iff a consistent bijection
+/// between their label alphabets exists in both directions.
+void expect_same_partition_structure(const std::vector<graph::VertexId>& a,
+                                     const std::vector<graph::VertexId>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  std::unordered_map<graph::VertexId, graph::VertexId> fwd, bwd;
+  for (std::size_t v = 0; v < a.size(); ++v) {
+    const auto [fit, finserted] = fwd.try_emplace(a[v], b[v]);
+    ASSERT_EQ(fit->second, b[v]) << "vertex " << v;
+    const auto [bit, binserted] = bwd.try_emplace(b[v], a[v]);
+    ASSERT_EQ(bit->second, a[v]) << "vertex " << v;
+  }
+}
+
+struct NamedOrder {
+  std::string name;
+  std::vector<graph::VertexId> perm;
+};
+
+class ReorderParity : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    graph_ = new graph::Graph(make_graph());
+    const partition::Partition parts =
+        partition::create("chunk-v")->partition(*graph_, 4);
+    base_pr_ = new PageRankResult(pagerank(*graph_, parts));
+    base_cc_ = new ComponentsResult(connected_components(*graph_, parts));
+    orders_ = new std::vector<NamedOrder>{
+        {"degree", graph::degree_order(*graph_)},
+        {"bfs", graph::select_order(*graph_, ReorderMode::kBfs, 0)},
+        {"random", graph::random_order(graph_->num_vertices(), 5)},
+    };
+  }
+  static void TearDownTestSuite() {
+    delete graph_;
+    delete base_pr_;
+    delete base_cc_;
+    delete orders_;
+    graph_ = nullptr;
+    base_pr_ = nullptr;
+    base_cc_ = nullptr;
+    orders_ = nullptr;
+  }
+
+  static graph::Graph* graph_;
+  static PageRankResult* base_pr_;
+  static ComponentsResult* base_cc_;
+  static std::vector<NamedOrder>* orders_;
+};
+
+graph::Graph* ReorderParity::graph_ = nullptr;
+PageRankResult* ReorderParity::base_pr_ = nullptr;
+ComponentsResult* ReorderParity::base_cc_ = nullptr;
+std::vector<NamedOrder>* ReorderParity::orders_ = nullptr;
+
+TEST_F(ReorderParity, PageRankUnpermutesToOriginal) {
+  for (const NamedOrder& order : *orders_) {
+    const graph::Graph h = graph::apply_permutation(*graph_, order.perm);
+    const partition::Partition parts =
+        partition::create("chunk-v")->partition(h, 4);
+    for (const unsigned threads : {1u, 2u}) {
+      PageRankConfig cfg;
+      cfg.exec.threads = threads;
+      const std::vector<double> got =
+          unpermute(pagerank(h, parts, cfg).rank, order.perm);
+      double max_err = 0;
+      for (graph::VertexId v = 0; v < graph_->num_vertices(); ++v)
+        max_err = std::max(max_err,
+                           std::abs(got[v] - base_pr_->rank[v]));
+      EXPECT_LE(max_err, 1e-8)
+          << order.name << " order at " << threads << " threads";
+    }
+  }
+}
+
+TEST_F(ReorderParity, ComponentsUnpermuteToSameStructure) {
+  for (const NamedOrder& order : *orders_) {
+    const graph::Graph h = graph::apply_permutation(*graph_, order.perm);
+    const partition::Partition parts =
+        partition::create("chunk-v")->partition(h, 4);
+    for (const unsigned threads : {1u, 2u}) {
+      exec::ExecConfig xcfg;
+      xcfg.threads = threads;
+      const ComponentsResult got =
+          connected_components(h, parts, {}, 200, xcfg);
+      EXPECT_EQ(got.num_components, base_cc_->num_components) << order.name;
+      expect_same_partition_structure(unpermute(got.label, order.perm),
+                                      base_cc_->label);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bpart::engine

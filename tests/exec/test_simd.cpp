@@ -1,0 +1,108 @@
+// The SIMD gather kernel's contract (DESIGN.md §14): a pure function of
+// the CSR run — lane assignment and reduction tree fixed by the lane
+// count, so the fold is reproducible everywhere — and numerically the same
+// sum as the strict left fold up to reassociation error. Runs shorter than
+// one lane block take the scalar tail only, so they are bit-equal to the
+// legacy fold regardless of the build flag.
+#include "exec/simd.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace bpart::exec::simd {
+namespace {
+
+struct GatherRun {
+  std::vector<graph::VertexId> idx;
+  std::vector<double> vals;
+};
+
+GatherRun random_run(std::size_t n, std::size_t num_vals, std::uint64_t seed) {
+  GatherRun r;
+  Xoshiro256 rng(seed);
+  r.vals.resize(num_vals);
+  for (double& v : r.vals) v = rng.uniform() * 2.0 - 1.0;
+  r.idx.resize(n);
+  for (graph::VertexId& i : r.idx)
+    i = static_cast<graph::VertexId>(rng.bounded(num_vals));
+  return r;
+}
+
+/// Lane-exact oracle: eight independent left folds + the fixed reduction
+/// tree + scalar tail, written without the prefetch/unroll plumbing.
+double reference_lane_fold(const GatherRun& r) {
+  double lane[8] = {0, 0, 0, 0, 0, 0, 0, 0};
+  std::size_t i = 0;
+  for (; i + 8 <= r.idx.size(); i += 8)
+    for (std::size_t l = 0; l < 8; ++l) lane[l] += r.vals[r.idx[i + l]];
+  double acc = ((lane[0] + lane[1]) + (lane[2] + lane[3])) +
+               ((lane[4] + lane[5]) + (lane[6] + lane[7]));
+  for (; i < r.idx.size(); ++i) acc += r.vals[r.idx[i]];
+  return acc;
+}
+
+TEST(GatherSum, SimdMatchesLaneOracleBitExactly) {
+  // The kernel's fold order is part of the determinism envelope: any
+  // reassociation beyond the documented 8-lane tree is a contract break,
+  // so the comparison is bitwise, not approximate.
+  for (const std::size_t n : {0u, 1u, 7u, 8u, 9u, 16u, 63u, 64u, 1000u}) {
+    const GatherRun r = random_run(n, 512, 31 + n);
+    EXPECT_EQ(gather_sum_simd(r.idx.data(), n, r.vals.data()),
+              reference_lane_fold(r))
+        << "n = " << n;
+  }
+}
+
+TEST(GatherSum, ShortRunsAreBitEqualToScalar) {
+  // n < 8 never enters the lane block: all lanes stay zero and the scalar
+  // tail is the legacy left fold, so the two kernels agree bitwise. This
+  // keeps low-degree vertices (most of a power-law graph) outside the
+  // SIMD-on/off ulp envelope entirely.
+  for (std::size_t n = 0; n < 8; ++n) {
+    const GatherRun r = random_run(n, 64, 101 + n);
+    EXPECT_EQ(gather_sum_simd(r.idx.data(), n, r.vals.data()),
+              gather_sum_scalar(r.idx.data(), n, r.vals.data()))
+        << "n = " << n;
+  }
+}
+
+TEST(GatherSum, SimdAgreesWithScalarNumerically) {
+  // Same addends, different association: relative error bounded far below
+  // anything an engine tolerance would notice.
+  for (const std::size_t n : {64u, 1000u, 4096u}) {
+    const GatherRun r = random_run(n, 2048, 7 * n);
+    const double scalar = gather_sum_scalar(r.idx.data(), n, r.vals.data());
+    const double simd = gather_sum_simd(r.idx.data(), n, r.vals.data());
+    EXPECT_NEAR(simd, scalar, 1e-12 * std::max(1.0, std::abs(scalar)))
+        << "n = " << n;
+  }
+}
+
+TEST(GatherSum, DispatchFollowsBuildFlag) {
+  const GatherRun r = random_run(256, 512, 5);
+  const double got = gather_sum(r.idx.data(), r.idx.size(), r.vals.data());
+  const double want =
+      kEnabled ? gather_sum_simd(r.idx.data(), r.idx.size(), r.vals.data())
+               : gather_sum_scalar(r.idx.data(), r.idx.size(), r.vals.data());
+  EXPECT_EQ(got, want);
+  EXPECT_EQ(gather_sum(std::span<const graph::VertexId>(r.idx),
+                       r.vals.data()),
+            got);
+}
+
+TEST(GatherSum, DeterministicAcrossCalls) {
+  const GatherRun r = random_run(4096, 4096, 13);
+  const double first = gather_sum_simd(r.idx.data(), r.idx.size(),
+                                       r.vals.data());
+  for (int rep = 0; rep < 8; ++rep)
+    ASSERT_EQ(gather_sum_simd(r.idx.data(), r.idx.size(), r.vals.data()),
+              first);
+}
+
+}  // namespace
+}  // namespace bpart::exec::simd

@@ -115,5 +115,76 @@ TEST(RandomOrder, IsSeededPermutation) {
   EXPECT_NE(a, c);
 }
 
+/// Exact triangle count via wedge checking on the undirected view — small
+/// graphs only; the relabel-invariance oracle below.
+std::uint64_t count_triangles_naive(const Graph& g) {
+  const VertexId n = g.num_vertices();
+  std::vector<std::vector<VertexId>> adj(n);
+  for (VertexId v = 0; v < n; ++v) {
+    for (VertexId u : g.out_neighbors(v)) {
+      if (u == v) continue;
+      adj[v].push_back(u);
+      adj[u].push_back(v);
+    }
+  }
+  for (auto& a : adj) {
+    std::sort(a.begin(), a.end());
+    a.erase(std::unique(a.begin(), a.end()), a.end());
+  }
+  std::uint64_t triangles = 0;
+  for (VertexId v = 0; v < n; ++v)
+    for (VertexId u : adj[v]) {
+      if (u <= v) continue;
+      for (VertexId w : adj[u]) {
+        if (w <= u) continue;
+        if (std::binary_search(adj[v].begin(), adj[v].end(), w)) ++triangles;
+      }
+    }
+  return triangles;
+}
+
+TEST(ApplyPermutation, PreservesTriangles) {
+  CommunityGraphConfig cfg;
+  cfg.num_vertices = 512;
+  cfg.avg_degree = 10;
+  cfg.num_communities = 8;
+  cfg.seed = 23;
+  const Graph g = Graph::from_edges_symmetric(community_scale_free(cfg));
+  const std::uint64_t want = count_triangles_naive(g);
+  EXPECT_GT(want, 0u);
+  for (const auto& perm :
+       {degree_order(g), bfs_order(g, 0),
+        random_order(g.num_vertices(), 5)}) {
+    EXPECT_EQ(count_triangles_naive(apply_permutation(g, perm)), want);
+  }
+}
+
+TEST(InvertPermutation, RoundTrips) {
+  const auto perm = random_order(257, 11);
+  const auto inv = invert_permutation(perm);
+  ASSERT_TRUE(is_permutation(inv));
+  for (VertexId v = 0; v < perm.size(); ++v) {
+    EXPECT_EQ(inv[perm[v]], v);
+    EXPECT_EQ(perm[inv[v]], v);
+  }
+  EXPECT_THROW(invert_permutation({0, 0}), CheckError);
+  EXPECT_THROW(invert_permutation({1, 2}), CheckError);
+}
+
+TEST(SelectOrder, ModesMatchTheirGenerators) {
+  const Graph g = test_graph();
+  EXPECT_TRUE(select_order(g, ReorderMode::kNone, 0).empty());
+  EXPECT_EQ(select_order(g, ReorderMode::kDegree, 0), degree_order(g));
+  EXPECT_EQ(select_order(g, ReorderMode::kRandom, 9),
+            random_order(g.num_vertices(), 9));
+  // BFS seeds from the highest-out-degree hub (lowest id on ties).
+  VertexId hub = 0;
+  for (VertexId v = 1; v < g.num_vertices(); ++v)
+    if (g.out_degree(v) > g.out_degree(hub)) hub = v;
+  const auto perm = select_order(g, ReorderMode::kBfs, 0);
+  ASSERT_TRUE(is_permutation(perm));
+  EXPECT_EQ(perm[hub], 0u);
+}
+
 }  // namespace
 }  // namespace bpart::graph

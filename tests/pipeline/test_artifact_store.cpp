@@ -172,14 +172,48 @@ TEST_F(ArtifactStoreTest, WrongKindIsRejected) {
   EXPECT_FALSE(s.load_partition(key).has_value());
 }
 
+TEST_F(ArtifactStoreTest, PermRoundTripIsBitIdentical) {
+  const std::vector<graph::VertexId> perm = {3, 0, 4, 1, 2};
+  const CacheKey key = CacheKey::for_spec("base").derive(":ro=degree");
+  const ArtifactStore s = store();
+  EXPECT_FALSE(s.load_perm(key).has_value());
+  EXPECT_FALSE(s.has_perm(key));
+  ASSERT_TRUE(s.store_perm(key, perm));
+  ASSERT_TRUE(s.has_perm(key));
+  const auto loaded = s.load_perm(key);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(*loaded, perm);
+  // Empty permutations round-trip too (identity marker).
+  const CacheKey empty_key = CacheKey::for_spec("base").derive(":ro=none");
+  ASSERT_TRUE(s.store_perm(empty_key, {}));
+  const auto empty = s.load_perm(empty_key);
+  ASSERT_TRUE(empty.has_value());
+  EXPECT_TRUE(empty->empty());
+}
+
+TEST_F(ArtifactStoreTest, TruncatedPermIsRejectedAndRemoved) {
+  const CacheKey key = CacheKey::for_spec("permtrunc");
+  const ArtifactStore s = store();
+  std::vector<graph::VertexId> perm(256);
+  for (graph::VertexId v = 0; v < perm.size(); ++v)
+    perm[v] = static_cast<graph::VertexId>(perm.size() - 1 - v);
+  ASSERT_TRUE(s.store_perm(key, perm));
+  const fs::path file = only_artifact();
+  fs::resize_file(file, fs::file_size(file) / 2);
+  EXPECT_FALSE(s.load_perm(key).has_value());
+  EXPECT_FALSE(fs::exists(file)) << "corrupt perm must be removed";
+}
+
 TEST_F(ArtifactStoreTest, PurgeRemovesEverything) {
   const ArtifactStore s = store();
   ASSERT_TRUE(s.store_graph(CacheKey::for_spec("a"), sample_graph()));
   ASSERT_TRUE(s.store_partition(
       CacheKey::for_spec("b"),
       partition::Partition(std::vector<partition::PartId>{0}, 1)));
-  EXPECT_EQ(s.purge(), 2u);
+  ASSERT_TRUE(s.store_perm(CacheKey::for_spec("c"), {1, 0}));
+  EXPECT_EQ(s.purge(), 3u);
   EXPECT_FALSE(s.load_graph(CacheKey::for_spec("a")).has_value());
+  EXPECT_FALSE(s.load_perm(CacheKey::for_spec("c")).has_value());
 }
 
 }  // namespace

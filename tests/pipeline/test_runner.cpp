@@ -10,6 +10,7 @@
 
 #include "graph/generators.hpp"
 #include "graph/io.hpp"
+#include "graph/reorder.hpp"
 #include "partition/registry.hpp"
 
 namespace bpart::pipeline {
@@ -172,6 +173,91 @@ TEST_F(RunnerTest, AppendedEdgesInvalidatePartitionCache) {
   PipelineRunner warm(config());
   (void)warm.run_file(input_, "fennel", 4);
   EXPECT_TRUE(warm.report().partition_cache_hit);
+}
+
+TEST_F(RunnerTest, ReorderStageRelabelsAndExposesThePermutation) {
+  PipelineConfig cfg = config();
+  cfg.reorder = ReorderMode::kDegree;
+  PipelineRunner runner(cfg);
+  const auto result = runner.run_file(input_, "chunk-v", 4);
+
+  // The permutation is a real permutation and the graph is the base graph
+  // relabeled by exactly it.
+  ASSERT_FALSE(result.perm.empty());
+  ASSERT_TRUE(graph::is_permutation(result.perm));
+  EXPECT_EQ(result.perm, runner.permutation());
+  const graph::Graph base =
+      graph::Graph::from_edges(graph::load_text_edges(input_));
+  const graph::Graph relabeled = graph::apply_permutation(base, result.perm);
+  EXPECT_TRUE(std::ranges::equal(result.graph.out_offsets(),
+                                 relabeled.out_offsets()));
+  EXPECT_TRUE(std::ranges::equal(result.graph.out_targets(),
+                                 relabeled.out_targets()));
+
+  // Degree mode: hubs first.
+  for (graph::VertexId v = 1; v < result.graph.num_vertices(); ++v)
+    ASSERT_GE(result.graph.out_degree(v - 1), result.graph.out_degree(v));
+
+  // to_internal/unpermute round the boundary: a per-vertex value computed
+  // in internal ids lands back on the external id.
+  std::vector<graph::VertexId> internal_ids(result.graph.num_vertices());
+  for (graph::VertexId v = 0; v < result.graph.num_vertices(); ++v)
+    internal_ids[v] = v;
+  const auto external = PipelineRunner::unpermute(internal_ids, result.perm);
+  for (graph::VertexId v = 0; v < base.num_vertices(); ++v)
+    EXPECT_EQ(external[v], PipelineRunner::to_internal(v, result.perm));
+}
+
+TEST_F(RunnerTest, WarmReorderRunHitsTheReorderedCache) {
+  PipelineConfig cfg = config();
+  cfg.reorder = ReorderMode::kBfs;
+  PipelineRunner cold(cfg);
+  const auto first = cold.run_file(input_, "chunk-v", 4);
+  ASSERT_FALSE(cold.report().reorder_cache_hit);
+
+  PipelineRunner warm(cfg);
+  const auto second = warm.run_file(input_, "chunk-v", 4);
+  EXPECT_TRUE(warm.report().graph_cache_hit);
+  EXPECT_TRUE(warm.report().reorder_cache_hit);
+  EXPECT_TRUE(warm.report().partition_cache_hit);
+  EXPECT_EQ(second.perm, first.perm);
+  EXPECT_EQ(second.graph.num_edges(), first.graph.num_edges());
+  EXPECT_TRUE(std::ranges::equal(second.graph.out_targets(),
+                                 first.graph.out_targets()));
+  expect_same_partition(second.partition, first.partition);
+}
+
+TEST_F(RunnerTest, ReorderModesGetDistinctCacheEntriesAndNoneKeepsLegacyKey) {
+  // A kNone run and a default-config run share the historical key (warm
+  // caches survive the reorder feature), while each mode keys its own
+  // graph+perm pair.
+  PipelineRunner plain(config());
+  (void)plain.run_file(input_, "chunk-v", 4);
+
+  PipelineConfig none_cfg = config();
+  none_cfg.reorder = ReorderMode::kNone;
+  PipelineRunner none(none_cfg);
+  const auto none_result = none.run_file(input_, "chunk-v", 4);
+  EXPECT_TRUE(none.report().graph_cache_hit);
+  EXPECT_FALSE(none.report().reorder_cache_hit);
+  EXPECT_TRUE(none_result.perm.empty()) << "identity order has no perm";
+
+  PipelineConfig deg_cfg = config();
+  deg_cfg.reorder = ReorderMode::kDegree;
+  PipelineRunner deg(deg_cfg);
+  (void)deg.run_file(input_, "chunk-v", 4);
+  EXPECT_FALSE(deg.report().reorder_cache_hit)
+      << "degree order must not reuse the identity entry";
+  EXPECT_NE(deg.graph_key(input_).hash(), none.graph_key(input_).hash());
+
+  // Random order folds the seed into the key.
+  PipelineConfig r1 = config();
+  r1.reorder = ReorderMode::kRandom;
+  r1.reorder_seed = 1;
+  PipelineConfig r2 = r1;
+  r2.reorder_seed = 2;
+  EXPECT_NE(PipelineRunner(r1).graph_key(input_).hash(),
+            PipelineRunner(r2).graph_key(input_).hash());
 }
 
 }  // namespace

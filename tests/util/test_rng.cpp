@@ -125,5 +125,38 @@ TEST(ZipfSampler, RejectsBadParameters) {
   EXPECT_THROW(ZipfSampler(10, 0.0), CheckError);
 }
 
+TEST(CounterRng, FirstDrawsAreBitIdenticalToScalarStreams) {
+  // The batched walk hot loop depends on this being exact, not approximate:
+  // out_draw[j] must equal the first draw of CounterRng(seed, stream,
+  // counter0 + j), and from_raw_state(out_state[j]) must continue that
+  // stream draw-for-draw.
+  constexpr std::size_t kBatch = 8;
+  std::uint64_t draw[kBatch];
+  std::uint64_t state[kBatch];
+  for (const std::uint64_t seed : {0ull, 42ull, ~0ull}) {
+    for (const std::uint64_t counter0 : {0ull, 1000ull, ~0ull - 3}) {
+      CounterRng::first_draws(seed, 7, counter0, kBatch, draw, state);
+      for (std::size_t j = 0; j < kBatch; ++j) {
+        CounterRng scalar(seed, 7, counter0 + j);
+        ASSERT_EQ(draw[j], scalar()) << "seed " << seed << " slot " << j;
+        CounterRng resumed = CounterRng::from_raw_state(state[j]);
+        for (int i = 0; i < 16; ++i)
+          ASSERT_EQ(resumed(), scalar()) << "continuation draw " << i;
+      }
+    }
+  }
+}
+
+TEST(CounterRng, StreamsAreDecorrelated) {
+  // Adjacent (stream, counter) pairs must land in unrelated sequences.
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t s = 0; s < 32; ++s)
+    for (std::uint64_t c = 0; c < 32; ++c) {
+      CounterRng r(9, s, c);
+      seen.insert(r());
+    }
+  EXPECT_EQ(seen.size(), 32u * 32u);
+}
+
 }  // namespace
 }  // namespace bpart

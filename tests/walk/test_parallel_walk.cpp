@@ -15,6 +15,7 @@
 #include "walk/dist_walk.hpp"
 #include "walk/ppr_estimate.hpp"
 #include "walk/threaded_walk.hpp"
+#include "util/rng.hpp"
 #include "walk/walk_engine.hpp"
 #include "walk/weighted_walk.hpp"
 
@@ -209,6 +210,23 @@ TEST_F(ParallelWalk, PprEstimateDeterministicAcrossThreads) {
   for (std::size_t i = 0; i < got.top.size(); ++i) {
     EXPECT_EQ(got.top[i].vertex, base.top[i].vertex);
     EXPECT_DOUBLE_EQ(got.top[i].score, base.top[i].score);
+  }
+}
+
+TEST(StepRngBatch, WithFirstDrawReplaysTheKeyedStream) {
+  // The SIMD-batched hot loop hands each walker step a pre-computed stream
+  // head via with_first_draw; the resulting draw sequence must be the exact
+  // sequence the three-argument (seed, walker, step) constructor produces,
+  // including the rare multi-draw steps that run past the head.
+  constexpr std::size_t kBatch = 4;
+  std::uint64_t draw[kBatch];
+  std::uint64_t state[kBatch];
+  CounterRng::first_draws(123, 5, 77, kBatch, draw, state);
+  for (std::size_t j = 0; j < kBatch; ++j) {
+    StepRng batched = StepRng::with_first_draw(draw[j], state[j]);
+    StepRng keyed(123, 5, 77 + j);
+    for (int i = 0; i < 32; ++i)
+      ASSERT_EQ(batched.next(), keyed.next()) << "slot " << j << " draw " << i;
   }
 }
 
